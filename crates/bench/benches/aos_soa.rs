@@ -1,0 +1,33 @@
+//! Experiment E4: the AoS vs SoA layout effect that motivates the
+//! paper's flagship refactoring ([ML21]/[BIHK16]).
+//!
+//! Sweeps the particle count across cache regimes; the reproduction
+//! criterion is the *shape* — SoA ≥ AoS with the gap widening once the
+//! AoS working set (10 doubles/particle vs 6 used) exceeds cache.
+
+use cocci_workloads::kernels::{init_aos, init_soa, update_aos, update_soa};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn aos_vs_soa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aos_soa");
+    for exp in [10u32, 14, 18] {
+        let n = 1usize << exp;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("aos", n), &n, |b, &n| {
+            let mut particles = init_aos(n);
+            b.iter(|| update_aos(&mut particles, 1e-6));
+        });
+        group.bench_with_input(BenchmarkId::new("soa", n), &n, |b, &n| {
+            let mut particles = init_soa(n);
+            b.iter(|| update_soa(&mut particles, 1e-6));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = aos_vs_soa
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Experiment E2: semantic vs textual API translation — the paper's
+//! implicit hipify-perl comparison, made quantitative.
+//!
+//! On the adversarial corpus (API names inside strings, comments, and
+//! longer identifiers), three translators run:
+//!
+//! * `semantic` — the cocci-core engine with the UC7 dictionary patch:
+//!   expected 0 false positives;
+//! * `text-word` — hipify-perl-fidelity word-boundary rewriting:
+//!   rewrites string/comment occurrences (false positives > 0);
+//! * `text-naive` — plain substring replacement: additionally corrupts
+//!   identifiers containing the API name.
+//!
+//! The FP/FN table is printed once before timing; the timed section
+//! reports throughput, which is expected to *favour* the textual tools —
+//! the trade-off the paper's approach buys precision with.
+
+use cocci_core::Patcher;
+use cocci_smpl::parse_semantic_patch;
+use cocci_textpatch::{Mode, TextPatcher, CUDA_HIP_DICT};
+use cocci_workloads::adversarial;
+use cocci_workloads::patches::UC7_CUDA_HIP;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const OLD: &str = "curand_uniform_double";
+const NEW: &str = "rocrand_uniform_double";
+
+fn print_precision_table() {
+    let corpus = adversarial::corpus(8);
+    let patch = parse_semantic_patch(UC7_CUDA_HIP).unwrap();
+
+    let mut sem = (0usize, 0usize, 0usize); // (tp, fp, expected)
+    let mut word = (0usize, 0usize, 0usize);
+    let mut naive = (0usize, 0usize, 0usize);
+
+    for f in &corpus {
+        let expected = f.true_call_sites;
+
+        let mut patcher = Patcher::new(&patch).unwrap();
+        let sem_out = patcher
+            .apply(&f.name, &f.text)
+            .unwrap()
+            .unwrap_or_else(|| f.text.clone());
+        let (tp, fp) = adversarial::score(f, &sem_out, OLD, NEW);
+        sem = (sem.0 + tp, sem.1 + fp, sem.2 + expected);
+
+        let (wout, _) = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::WordBoundary).apply(&f.text);
+        let (tp, fp) = adversarial::score(f, &wout, OLD, NEW);
+        word = (word.0 + tp, word.1 + fp, word.2 + expected);
+
+        let (nout, _) = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::Naive).apply(&f.text);
+        let (tp, fp) = adversarial::score(f, &nout, OLD, NEW);
+        naive = (naive.0 + tp, naive.1 + fp, naive.2 + expected);
+    }
+
+    eprintln!("\nE2 precision table (adversarial corpus, {} files):", corpus.len());
+    eprintln!(
+        "{:<12} {:>10} {:>10} {:>16}",
+        "engine", "rewritten", "expected", "false positives"
+    );
+    for (name, (tp, fp, exp)) in [
+        ("semantic", sem),
+        ("text-word", word),
+        ("text-naive", naive),
+    ] {
+        eprintln!("{name:<12} {tp:>10} {exp:>10} {fp:>16}");
+    }
+    assert_eq!(sem.1, 0, "semantic engine produced false positives");
+    assert_eq!(sem.0, sem.2, "semantic engine missed call sites");
+    assert!(word.1 > 0, "word-boundary baseline should hit traps");
+    assert!(naive.1 > word.1, "naive baseline should hit more traps");
+}
+
+fn precision(c: &mut Criterion) {
+    print_precision_table();
+
+    let corpus = adversarial::corpus(8);
+    let bytes: usize = corpus.iter().map(|f| f.text.len()).sum();
+    let patch = parse_semantic_patch(UC7_CUDA_HIP).unwrap();
+
+    let mut group = c.benchmark_group("precision");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("semantic", |b| {
+        b.iter(|| {
+            let mut patcher = Patcher::new(&patch).unwrap();
+            corpus
+                .iter()
+                .map(|f| patcher.apply(&f.name, &f.text).unwrap().is_some() as usize)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("text-word", |b| {
+        let tp = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::WordBoundary);
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|f| tp.apply(&f.text).1)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("text-naive", |b| {
+        let tp = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::Naive);
+        b.iter(|| {
+            corpus
+                .iter()
+                .map(|f| tp.apply(&f.text).1)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = precision
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment E3: throughput and parallel scaling — the "thousands of
+//! loops across a GADGET-scale codebase" claim.
+//!
+//! Two sweeps:
+//!
+//! * `size` — single-thread apply time vs. per-file size (loops per
+//!   function), expecting ~linear growth;
+//! * `threads` — multi-file driver over a fixed corpus with 1..=8
+//!   workers, expecting near-linear speedup until core count.
+
+use cocci_core::apply_to_files;
+use cocci_smpl::parse_semantic_patch;
+use cocci_workloads::gen::sized_codebase;
+use cocci_workloads::patches::UC1_LIKWID;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn size_sweep(c: &mut Criterion) {
+    let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
+    let mut group = c.benchmark_group("scaling_size");
+    for loops in [4usize, 16, 64, 256] {
+        let files = sized_codebase(2, 4, loops, 0xE3);
+        let inputs: Vec<(String, String)> = files
+            .iter()
+            .map(|f| (f.name.clone(), f.text.clone()))
+            .collect();
+        let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(loops),
+            &inputs,
+            |b, inputs| b.iter(|| apply_to_files(&patch, inputs, 1)),
+        );
+    }
+    group.finish();
+}
+
+fn thread_sweep(c: &mut Criterion) {
+    let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
+    let files = sized_codebase(32, 8, 32, 0xE3);
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|f| (f.name.clone(), f.text.clone()))
+        .collect();
+    let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
+
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let mut group = c.benchmark_group("scaling_threads");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    let mut t = 1usize;
+    while t <= max {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &threads| {
+            b.iter(|| apply_to_files(&patch, &inputs, threads))
+        });
+        t *= 2;
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12);
+    targets = size_sweep, thread_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment E1: the use-case correctness/cost matrix.
+//!
+//! For each Section-3 use case, applies its semantic patch to the
+//! matching generated corpus and measures wall time per application.
+//! Correctness itself is asserted by the `e1_matrix_all_use_cases_fire`
+//! unit test in `cocci-bench`; here the same rows are timed so the paper
+//! table gains a cost column.
+
+use cocci_bench::corpus_for;
+use cocci_core::apply_to_files;
+use cocci_smpl::parse_semantic_patch;
+use cocci_workloads::patches;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn uc_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uc_matrix");
+    for (uc, patch_text) in patches::ALL {
+        let corpus = corpus_for(uc);
+        let patch = parse_semantic_patch(patch_text).expect(uc);
+        let inputs: Vec<(String, String)> = corpus
+            .iter()
+            .map(|f| (f.name.clone(), f.text.clone()))
+            .collect();
+        let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(uc), &inputs, |b, inputs| {
+            b.iter(|| {
+                let outcomes = apply_to_files(&patch, inputs, 1);
+                assert!(outcomes.iter().any(|o| o.output.is_some()));
+                outcomes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = uc_matrix
+}
+criterion_main!(benches);

@@ -1,0 +1,908 @@
+//! Abstract syntax tree for the C/C++ subset handled by the engine.
+//!
+//! Coverage is driven by the paper's Section-3 use cases plus generality
+//! headroom: functions with attributes, declarations with initializers,
+//! the full statement repertoire (including C++ range-`for`), the full
+//! expression grammar with CUDA `<<< >>>` kernel launches and C++23
+//! multi-index subscripts, and preprocessor directives preserved as
+//! first-class items/statements (pragmas are what several semantic patches
+//! transform).
+//!
+//! Every node carries a [`Span`] into the file it was parsed from, so the
+//! transformation engine can splice edits into the original text.
+
+use cocci_source::Span;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct a synthetic identifier (no source location).
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident {
+            name: name.into(),
+            span: Span::SYNTHETIC,
+        }
+    }
+}
+
+/// A whole parsed file.
+#[derive(Debug, Clone)]
+pub struct TranslationUnit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Span of the whole file.
+    pub span: Span,
+}
+
+/// Top-level item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `#include`, `#define`, `#pragma`, … — one logical line.
+    Directive(Directive),
+    /// A function definition (with body).
+    Function(FunctionDef),
+    /// A declaration (variables, prototypes, typedefs, struct defs).
+    Decl(Declaration),
+    /// `namespace N { ... }` — body re-parsed as items.
+    Namespace {
+        /// Namespace name (empty for anonymous).
+        name: Option<Ident>,
+        /// Contained items.
+        items: Vec<Item>,
+        /// Full span.
+        span: Span,
+    },
+    /// `extern "C" { ... }`.
+    ExternBlock {
+        /// Contained items.
+        items: Vec<Item>,
+        /// Full span.
+        span: Span,
+    },
+}
+
+impl Item {
+    /// Source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Directive(d) => d.span,
+            Item::Function(f) => f.span,
+            Item::Decl(d) => d.span,
+            Item::Namespace { span, .. } | Item::ExternBlock { span, .. } => *span,
+        }
+    }
+}
+
+/// Classification of a preprocessor directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `#include`.
+    Include,
+    /// `#pragma`.
+    Pragma,
+    /// `#define`.
+    Define,
+    /// `#if/#ifdef/#ifndef/#else/#elif/#endif/#undef` and anything else.
+    Other,
+}
+
+/// A preprocessor logical line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Which directive.
+    pub kind: DirectiveKind,
+    /// Full raw text, `#` included, continuations joined by the lexer.
+    pub raw: String,
+    /// For `#pragma`: the text after `#pragma ` (e.g. `omp parallel for`).
+    /// For `#include`: the header spec (e.g. `<omp.h>` or `"x.h"`).
+    pub payload: String,
+    /// Source span of the whole logical line.
+    pub span: Span,
+}
+
+impl Directive {
+    /// For `#pragma` directives: the first word of the payload (`omp`,
+    /// `acc`, `GCC`, …), if any.
+    pub fn pragma_namespace(&self) -> Option<&str> {
+        if self.kind == DirectiveKind::Pragma {
+            self.payload.split_whitespace().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// A GCC/Clang `__attribute__((...))` group attached to a declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// The entries inside the double parentheses.
+    pub items: Vec<AttrItem>,
+    /// Span of the whole `__attribute__((...))`.
+    pub span: Span,
+}
+
+/// One entry of an attribute group, e.g. `target("avx512")` or `unused`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrItem {
+    /// Attribute name.
+    pub name: Ident,
+    /// Arguments, if parenthesized.
+    pub args: Option<Vec<Expr>>,
+    /// Span of the item.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FunctionDef {
+    /// Attributes preceding the declaration.
+    pub attrs: Vec<Attribute>,
+    /// Storage/function specifiers in source order (`static`, `inline`, …).
+    pub specifiers: Vec<Ident>,
+    /// Return type.
+    pub ret: Type,
+    /// Function name.
+    pub name: Ident,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Whether the parameter list ends with `...`.
+    pub varargs: bool,
+    /// Body block.
+    pub body: Block,
+    /// Span from first specifier/attribute to closing brace.
+    pub span: Span,
+    /// Span from return type through closing parenthesis of the parameter
+    /// list — the "signature" region used when cloning functions.
+    pub sig_span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Type,
+    /// Name, absent for abstract declarators (prototypes).
+    pub name: Option<Ident>,
+    /// Pattern-only: this "parameter" is a `parameter list` metavariable
+    /// occurrence that matches any run of parameters.
+    pub meta_list: bool,
+    /// Span of the whole parameter.
+    pub span: Span,
+}
+
+/// A declaration: specifiers/type plus one or more declarators.
+#[derive(Debug, Clone)]
+pub struct Declaration {
+    /// Attributes preceding the declaration.
+    pub attrs: Vec<Attribute>,
+    /// Storage specifiers (`static`, `typedef`, …).
+    pub specifiers: Vec<Ident>,
+    /// The base type shared by all declarators.
+    pub ty: Type,
+    /// Declared entities.
+    pub declarators: Vec<Declarator>,
+    /// Full span including the `;`.
+    pub span: Span,
+}
+
+/// One declared entity within a declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declarator {
+    /// The name being declared.
+    pub name: Ident,
+    /// Pointer depth added by this declarator (`**x` → 2).
+    pub ptr: u8,
+    /// Whether declared as a C++ reference (`&x`).
+    pub reference: bool,
+    /// Array extents; `None` entry for `[]`.
+    pub array: Vec<Option<Expr>>,
+    /// Initializer, if any.
+    pub init: Option<Expr>,
+    /// If this declarator is a function prototype, its parameters.
+    pub fn_params: Option<Vec<Param>>,
+    /// Span of the declarator (name through initializer).
+    pub span: Span,
+}
+
+/// A type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Type {
+    /// Structure of the type.
+    pub kind: TypeKind,
+    /// Source span (synthetic for derived types built by the engine).
+    pub span: Span,
+}
+
+/// Type structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeKind {
+    /// Named type: builtin multi-word (`unsigned long`), typedef name,
+    /// `struct S` / `union U` / `enum E`, optionally with template
+    /// arguments (`std::vector<double>` — kept as raw text).
+    Named {
+        /// Canonical name, single-space separated (e.g. `unsigned long`,
+        /// `struct particle`).
+        name: String,
+        /// Raw template-argument text including angle brackets, if any.
+        template_args: Option<String>,
+    },
+    /// A `struct`/`union`/`enum` *definition* with a body.
+    Record {
+        /// `struct`, `union` or `enum`.
+        keyword: String,
+        /// Tag name, if any.
+        name: Option<String>,
+        /// Raw body text including braces (fields are not modelled;
+        /// semantic patches in this workspace do not destructure them).
+        raw_body: String,
+    },
+    /// Pointer to inner type.
+    Ptr(Box<Type>),
+    /// C++ reference to inner type.
+    Ref(Box<Type>),
+    /// `const`/`volatile`-qualified inner type (qualifiers normalized to
+    /// the front, sorted).
+    Qualified {
+        /// Sorted qualifier names.
+        quals: Vec<String>,
+        /// Qualified type.
+        inner: Box<Type>,
+    },
+    /// Pattern-only: a type metavariable occurrence.
+    Meta {
+        /// Metavariable name.
+        name: String,
+    },
+}
+
+impl Type {
+    /// Construct a named type without template args.
+    pub fn named(name: impl Into<String>, span: Span) -> Self {
+        Type {
+            kind: TypeKind::Named {
+                name: name.into(),
+                template_args: None,
+            },
+            span,
+        }
+    }
+
+    /// The base name if this is (possibly qualified) a named type.
+    pub fn base_name(&self) -> Option<&str> {
+        match &self.kind {
+            TypeKind::Named { name, .. } => Some(name),
+            TypeKind::Qualified { inner, .. } => inner.base_name(),
+            _ => None,
+        }
+    }
+}
+
+/// A `{ ... }` block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span including both braces.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Expression statement `e;`.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Span including `;`.
+        span: Span,
+    },
+    /// Local declaration.
+    Decl(Declaration),
+    /// Nested block.
+    Block(Block),
+    /// `if (cond) then [else els]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Box<Stmt>,
+        /// Else-branch.
+        else_branch: Option<Box<Stmt>>,
+        /// Full span.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Full span.
+        span: Span,
+    },
+    /// `do body while (cond);`.
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Full span.
+        span: Span,
+    },
+    /// Classic `for (init; cond; step) body`.
+    For {
+        /// Init clause: declaration or expression statement or empty.
+        init: Option<Box<ForInit>>,
+        /// Condition, if present.
+        cond: Option<Expr>,
+        /// Step expression, if present.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+        /// Full span.
+        span: Span,
+        /// Span of just the `(...)` header (used by header-local edits).
+        header_span: Span,
+    },
+    /// C++ range-for `for (decl : range) body`.
+    RangeFor {
+        /// Element type.
+        ty: Type,
+        /// Pointer/reference markers on the element declarator.
+        by_ref: bool,
+        /// Element name.
+        var: Ident,
+        /// Range expression.
+        range: Expr,
+        /// Body.
+        body: Box<Stmt>,
+        /// Full span.
+        span: Span,
+    },
+    /// `return e?;`.
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// `break;`
+    Break {
+        /// Full span.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Full span.
+        span: Span,
+    },
+    /// `goto label;`
+    Goto {
+        /// Target label.
+        label: Ident,
+        /// Full span.
+        span: Span,
+    },
+    /// `label: stmt`.
+    Label {
+        /// Label name.
+        label: Ident,
+        /// Labeled statement.
+        stmt: Box<Stmt>,
+        /// Full span.
+        span: Span,
+    },
+    /// `switch (scrut) body`.
+    Switch {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// Body (normally a block with case labels).
+        body: Box<Stmt>,
+        /// Full span.
+        span: Span,
+    },
+    /// `case e:` / `default:` followed by a statement.
+    Case {
+        /// Case value; `None` = `default`.
+        value: Option<Expr>,
+        /// The labeled statement.
+        stmt: Box<Stmt>,
+        /// Full span.
+        span: Span,
+    },
+    /// A preprocessor directive in statement position (`#pragma` mostly).
+    Directive(Directive),
+    /// Empty statement `;`.
+    Empty {
+        /// Span of the semicolon.
+        span: Span,
+    },
+    /// Pattern-only: `...` in statement position — matches any run of
+    /// statements.
+    Dots {
+        /// Span of the `...` token.
+        span: Span,
+        /// `when != e` constraints: the skipped statements must not
+        /// contain an occurrence of any of these expressions.
+        when_not: Vec<Expr>,
+    },
+    /// Pattern-only: a `statement` metavariable occurrence, optionally
+    /// with a position attachment (`fc@p`).
+    MetaStmt {
+        /// Metavariable name.
+        name: String,
+        /// Position metavariable attached with `@`, if any.
+        pos: Option<String>,
+        /// Span of the occurrence.
+        span: Span,
+    },
+    /// Pattern-only: a `statement list` metavariable occurrence.
+    MetaStmtList {
+        /// Metavariable name.
+        name: String,
+        /// Span of the occurrence.
+        span: Span,
+    },
+    /// Pattern-only: disjunction `\( P1 \| P2 \)` or conjunction
+    /// `\( P1 \& P2 \)` of statement-sequence branches.
+    PatGroup {
+        /// True for conjunction (`\&`), false for disjunction (`\|`).
+        conj: bool,
+        /// The branches; each is a statement sequence.
+        branches: Vec<Vec<Stmt>>,
+        /// Full span.
+        span: Span,
+    },
+}
+
+/// The init clause of a classic `for`.
+#[derive(Debug, Clone)]
+pub enum ForInit {
+    /// Declaration init (`for (int i = 0; ...`).
+    Decl(Declaration),
+    /// Expression init (`for (i = 0; ...`).
+    Expr(Expr),
+    /// Pattern-only: `...` as the init clause.
+    Dots {
+        /// Span of the `...`.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// Source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Expr { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::DoWhile { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::RangeFor { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Break { span }
+            | Stmt::Continue { span }
+            | Stmt::Goto { span, .. }
+            | Stmt::Label { span, .. }
+            | Stmt::Switch { span, .. }
+            | Stmt::Case { span, .. }
+            | Stmt::Empty { span }
+            | Stmt::Dots { span, .. }
+            | Stmt::MetaStmt { span, .. }
+            | Stmt::MetaStmtList { span, .. }
+            | Stmt::PatGroup { span, .. } => *span,
+            Stmt::Decl(d) => d.span,
+            Stmt::Block(b) => b.span,
+            Stmt::Directive(d) => d.span,
+        }
+    }
+}
+
+/// Binary operators (includes assignment forms and comma).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    BitAnd,
+    BitXor,
+    BitOr,
+    And,
+    Or,
+    Comma,
+}
+
+impl BinOp {
+    /// Canonical operator text.
+    pub fn text(self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitXor => "^",
+            BitOr => "|",
+            And => "&&",
+            Or => "||",
+            Comma => ",",
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AssignOp {
+    Assign,
+    AddAssign,
+    SubAssign,
+    MulAssign,
+    DivAssign,
+    RemAssign,
+    ShlAssign,
+    ShrAssign,
+    AndAssign,
+    XorAssign,
+    OrAssign,
+}
+
+impl AssignOp {
+    /// Canonical operator text.
+    pub fn text(self) -> &'static str {
+        use AssignOp::*;
+        match self {
+            Assign => "=",
+            AddAssign => "+=",
+            SubAssign => "-=",
+            MulAssign => "*=",
+            DivAssign => "/=",
+            RemAssign => "%=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            AndAssign => "&=",
+            XorAssign => "^=",
+            OrAssign => "|=",
+        }
+    }
+}
+
+/// Unary operators (prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Pos,
+    Not,
+    BitNot,
+    Deref,
+    AddrOf,
+    PreInc,
+    PreDec,
+}
+
+impl UnOp {
+    /// Canonical operator text.
+    pub fn text(self) -> &'static str {
+        use UnOp::*;
+        match self {
+            Neg => "-",
+            Pos => "+",
+            Not => "!",
+            BitNot => "~",
+            Deref => "*",
+            AddrOf => "&",
+            PreInc => "++",
+            PreDec => "--",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Identifier (possibly `::`-qualified; the full path is the name).
+    Ident(Ident),
+    /// Integer literal.
+    IntLit {
+        /// Parsed value (suffixes stripped).
+        value: i128,
+        /// Raw text.
+        raw: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Floating literal (kept as raw text; value irrelevant to matching).
+    FloatLit {
+        /// Raw text.
+        raw: String,
+        /// Source span.
+        span: Span,
+    },
+    /// String literal, quotes included in `raw`.
+    StrLit {
+        /// Raw text with quotes.
+        raw: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Character literal, quotes included in `raw`.
+    CharLit {
+        /// Raw text with quotes.
+        raw: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Parenthesized expression.
+    Paren {
+        /// Inner expression.
+        inner: Box<Expr>,
+        /// Span including parens.
+        span: Span,
+    },
+    /// Prefix unary application.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Postfix `++`/`--`.
+    PostIncDec {
+        /// Operand.
+        expr: Box<Expr>,
+        /// True for `++`.
+        inc: bool,
+        /// Full span.
+        span: Span,
+    },
+    /// Binary application.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Assignment.
+    Assign {
+        /// Operator.
+        op: AssignOp,
+        /// Target.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Ternary conditional.
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-value.
+        then_val: Box<Expr>,
+        /// Else-value.
+        else_val: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Function call.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// CUDA kernel launch `k<<<cfg...>>>(args...)`.
+    KernelCall {
+        /// Kernel name expression.
+        callee: Box<Expr>,
+        /// Launch configuration expressions inside `<<< >>>`.
+        config: Vec<Expr>,
+        /// Call arguments.
+        args: Vec<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Subscript. `indices.len() > 1` only for C++23 multi-index
+    /// subscripts `a[x, y, z]`.
+    Index {
+        /// Indexed expression.
+        base: Box<Expr>,
+        /// Index expressions.
+        indices: Vec<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Member access `a.b` / `a->b`.
+    Member {
+        /// Object expression.
+        base: Box<Expr>,
+        /// True for `->`.
+        arrow: bool,
+        /// Member name.
+        field: Ident,
+        /// Full span.
+        span: Span,
+    },
+    /// C-style cast `(T)e`.
+    Cast {
+        /// Target type.
+        ty: Type,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// `sizeof(e)` / `sizeof(T)` (argument kept as raw text).
+    Sizeof {
+        /// Raw text of the operand (parens stripped).
+        arg: String,
+        /// Full span.
+        span: Span,
+    },
+    /// Brace initializer list `{a, b, c}`.
+    InitList {
+        /// Elements.
+        elems: Vec<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Pattern-only: `...` in expression position. In an argument list it
+    /// matches any run of arguments; elsewhere it matches any expression.
+    Dots {
+        /// Span of the `...`.
+        span: Span,
+    },
+    /// Pattern-only: expression disjunction `\( e1 \| e2 \)`.
+    Disj {
+        /// The alternative patterns.
+        branches: Vec<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Pattern-only: position attachment `e@p`.
+    PosAnn {
+        /// Annotated expression.
+        inner: Box<Expr>,
+        /// Position metavariable name.
+        pos: String,
+        /// Full span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident(i) => i.span,
+            Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::StrLit { span, .. }
+            | Expr::CharLit { span, .. }
+            | Expr::Paren { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::PostIncDec { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Assign { span, .. }
+            | Expr::Ternary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::KernelCall { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Member { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::Sizeof { span, .. }
+            | Expr::InitList { span, .. }
+            | Expr::Dots { span }
+            | Expr::Disj { span, .. }
+            | Expr::PosAnn { span, .. } => *span,
+        }
+    }
+
+    /// Strip parentheses.
+    pub fn unparen(&self) -> &Expr {
+        match self {
+            Expr::Paren { inner, .. } => inner.unparen(),
+            other => other,
+        }
+    }
+
+    /// If this is a plain identifier, its name.
+    pub fn as_ident(&self) -> Option<&Ident> {
+        match self {
+            Expr::Ident(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unparen_strips_nesting() {
+        let inner = Expr::Ident(Ident::synthetic("x"));
+        let e = Expr::Paren {
+            inner: Box::new(Expr::Paren {
+                inner: Box::new(inner.clone()),
+                span: Span::SYNTHETIC,
+            }),
+            span: Span::SYNTHETIC,
+        };
+        assert_eq!(e.unparen(), &inner);
+    }
+
+    #[test]
+    fn type_base_name_through_qualifiers() {
+        let t = Type {
+            kind: TypeKind::Qualified {
+                quals: vec!["const".into()],
+                inner: Box::new(Type::named("double", Span::SYNTHETIC)),
+            },
+            span: Span::SYNTHETIC,
+        };
+        assert_eq!(t.base_name(), Some("double"));
+    }
+
+    #[test]
+    fn pragma_namespace_extraction() {
+        let d = Directive {
+            kind: DirectiveKind::Pragma,
+            raw: "#pragma omp parallel for".into(),
+            payload: "omp parallel for".into(),
+            span: Span::SYNTHETIC,
+        };
+        assert_eq!(d.pragma_namespace(), Some("omp"));
+        let inc = Directive {
+            kind: DirectiveKind::Include,
+            raw: "#include <omp.h>".into(),
+            payload: "<omp.h>".into(),
+            span: Span::SYNTHETIC,
+        };
+        assert_eq!(inc.pragma_namespace(), None);
+    }
+
+    #[test]
+    fn op_texts() {
+        assert_eq!(BinOp::Shl.text(), "<<");
+        assert_eq!(AssignOp::AddAssign.text(), "+=");
+        assert_eq!(UnOp::PreInc.text(), "++");
+    }
+}

@@ -1,0 +1,463 @@
+//! Canonical rendering of AST nodes back to C text.
+//!
+//! Two uses: (1) rendering metavariable bindings whose value was
+//! synthesized (script rules, fresh identifiers) rather than sliced from
+//! source text; (2) debugging and golden-test construction. The output is
+//! canonical, not source-faithful — the minimal-diff unparser in
+//! `cocci-core` splices original text wherever possible and only falls
+//! back to this renderer for synthetic nodes.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render an expression canonically.
+pub fn render_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    expr(&mut s, e);
+    s
+}
+
+/// Render a type canonically.
+pub fn render_type(t: &Type) -> String {
+    let mut s = String::new();
+    ty(&mut s, t);
+    s
+}
+
+/// Render a statement canonically (single line, blocks braced).
+pub fn render_stmt(st: &Stmt) -> String {
+    let mut s = String::new();
+    stmt(&mut s, st);
+    s
+}
+
+/// Render a parameter.
+pub fn render_param(p: &Param) -> String {
+    if p.meta_list {
+        return p.name.as_ref().map(|n| n.name.clone()).unwrap_or_default();
+    }
+    let mut s = render_type(&p.ty);
+    if let Some(n) = &p.name {
+        s.push(' ');
+        s.push_str(&n.name);
+    }
+    s
+}
+
+/// Render a declaration.
+pub fn render_decl(d: &Declaration) -> String {
+    let mut s = String::new();
+    for sp in &d.specifiers {
+        s.push_str(&sp.name);
+        s.push(' ');
+    }
+    ty(&mut s, &d.ty);
+    let mut first = true;
+    for dr in &d.declarators {
+        if first {
+            s.push(' ');
+            first = false;
+        } else {
+            s.push_str(", ");
+        }
+        for _ in 0..dr.ptr {
+            s.push('*');
+        }
+        if dr.reference {
+            s.push('&');
+        }
+        s.push_str(&dr.name.name);
+        for a in &dr.array {
+            s.push('[');
+            if let Some(e) = a {
+                expr(&mut s, e);
+            }
+            s.push(']');
+        }
+        if let Some(init) = &dr.init {
+            s.push_str(" = ");
+            expr(&mut s, init);
+        }
+    }
+    s.push(';');
+    s
+}
+
+fn ty(s: &mut String, t: &Type) {
+    match &t.kind {
+        TypeKind::Named {
+            name,
+            template_args,
+        } => {
+            s.push_str(name);
+            if let Some(ta) = template_args {
+                s.push_str(ta);
+            }
+        }
+        TypeKind::Record { keyword, name, raw_body } => {
+            s.push_str(keyword);
+            if let Some(n) = name {
+                s.push(' ');
+                s.push_str(n);
+            }
+            s.push(' ');
+            s.push_str(raw_body);
+        }
+        TypeKind::Ptr(inner) => {
+            ty(s, inner);
+            s.push('*');
+        }
+        TypeKind::Ref(inner) => {
+            ty(s, inner);
+            s.push('&');
+        }
+        TypeKind::Qualified { quals, inner } => {
+            for q in quals {
+                s.push_str(q);
+                s.push(' ');
+            }
+            ty(s, inner);
+        }
+        TypeKind::Meta { name } => s.push_str(name),
+    }
+}
+
+fn stmt(s: &mut String, st: &Stmt) {
+    match st {
+        Stmt::Expr { expr: e, .. } => {
+            expr(s, e);
+            s.push(';');
+        }
+        Stmt::Decl(d) => s.push_str(&render_decl(d)),
+        Stmt::Block(b) => block(s, b),
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            s.push_str("if (");
+            expr(s, cond);
+            s.push_str(") ");
+            stmt(s, then_branch);
+            if let Some(e) = else_branch {
+                s.push_str(" else ");
+                stmt(s, e);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            s.push_str("while (");
+            expr(s, cond);
+            s.push_str(") ");
+            stmt(s, body);
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            s.push_str("do ");
+            stmt(s, body);
+            s.push_str(" while (");
+            expr(s, cond);
+            s.push_str(");");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            s.push_str("for (");
+            match init.as_deref() {
+                None => s.push(';'),
+                Some(ForInit::Decl(d)) => s.push_str(&render_decl(d)),
+                Some(ForInit::Expr(e)) => {
+                    expr(s, e);
+                    s.push(';');
+                }
+                Some(ForInit::Dots { .. }) => s.push_str("...;"),
+            }
+            s.push(' ');
+            if let Some(c) = cond {
+                expr(s, c);
+            }
+            s.push_str("; ");
+            if let Some(st2) = step {
+                expr(s, st2);
+            }
+            s.push_str(") ");
+            stmt(s, body);
+        }
+        Stmt::RangeFor {
+            ty: t,
+            by_ref,
+            var,
+            range,
+            body,
+            ..
+        } => {
+            s.push_str("for (");
+            ty(s, t);
+            s.push(' ');
+            if *by_ref {
+                s.push('&');
+            }
+            s.push_str(&var.name);
+            s.push_str(" : ");
+            expr(s, range);
+            s.push_str(") ");
+            stmt(s, body);
+        }
+        Stmt::Return { value, .. } => {
+            s.push_str("return");
+            if let Some(v) = value {
+                s.push(' ');
+                expr(s, v);
+            }
+            s.push(';');
+        }
+        Stmt::Break { .. } => s.push_str("break;"),
+        Stmt::Continue { .. } => s.push_str("continue;"),
+        Stmt::Goto { label, .. } => {
+            let _ = write!(s, "goto {};", label.name);
+        }
+        Stmt::Label { label, stmt: st2, .. } => {
+            let _ = write!(s, "{}: ", label.name);
+            stmt(s, st2);
+        }
+        Stmt::Switch { scrutinee, body, .. } => {
+            s.push_str("switch (");
+            expr(s, scrutinee);
+            s.push_str(") ");
+            stmt(s, body);
+        }
+        Stmt::Case { value, stmt: st2, .. } => {
+            match value {
+                Some(v) => {
+                    s.push_str("case ");
+                    expr(s, v);
+                    s.push_str(": ");
+                }
+                None => s.push_str("default: "),
+            }
+            stmt(s, st2);
+        }
+        Stmt::Directive(d) => s.push_str(&d.raw),
+        Stmt::Empty { .. } => s.push(';'),
+        Stmt::Dots { .. } => s.push_str("..."),
+        Stmt::MetaStmt { name, pos, .. } => {
+            s.push_str(name);
+            if let Some(p) = pos {
+                s.push('@');
+                s.push_str(p);
+            }
+        }
+        Stmt::MetaStmtList { name, .. } => s.push_str(name),
+        Stmt::PatGroup { conj, branches, .. } => {
+            s.push_str("\\( ");
+            for (i, b) in branches.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(if *conj { " \\& " } else { " \\| " });
+                }
+                for (j, st2) in b.iter().enumerate() {
+                    if j > 0 {
+                        s.push(' ');
+                    }
+                    stmt(s, st2);
+                }
+            }
+            s.push_str(" \\)");
+        }
+    }
+}
+
+fn block(s: &mut String, b: &Block) {
+    s.push_str("{ ");
+    for st in &b.stmts {
+        stmt(s, st);
+        s.push(' ');
+    }
+    s.push('}');
+}
+
+fn expr(s: &mut String, e: &Expr) {
+    match e {
+        Expr::Ident(i) => s.push_str(&i.name),
+        Expr::IntLit { raw, .. }
+        | Expr::FloatLit { raw, .. }
+        | Expr::StrLit { raw, .. }
+        | Expr::CharLit { raw, .. } => s.push_str(raw),
+        Expr::Paren { inner, .. } => {
+            s.push('(');
+            expr(s, inner);
+            s.push(')');
+        }
+        Expr::Unary { op, expr: e2, .. } => {
+            s.push_str(op.text());
+            // Avoid gluing `- -x` into `--x`.
+            if matches!(op, UnOp::Neg | UnOp::Pos)
+                && matches!(
+                    e2.as_ref(),
+                    Expr::Unary {
+                        op: UnOp::Neg | UnOp::Pos,
+                        ..
+                    }
+                )
+            {
+                s.push(' ');
+            }
+            expr(s, e2);
+        }
+        Expr::PostIncDec { expr: e2, inc, .. } => {
+            expr(s, e2);
+            s.push_str(if *inc { "++" } else { "--" });
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            expr(s, lhs);
+            if *op == BinOp::Comma {
+                s.push_str(", ");
+            } else {
+                s.push(' ');
+                s.push_str(op.text());
+                s.push(' ');
+            }
+            expr(s, rhs);
+        }
+        Expr::Assign { op, lhs, rhs, .. } => {
+            expr(s, lhs);
+            s.push(' ');
+            s.push_str(op.text());
+            s.push(' ');
+            expr(s, rhs);
+        }
+        Expr::Ternary {
+            cond,
+            then_val,
+            else_val,
+            ..
+        } => {
+            expr(s, cond);
+            s.push_str(" ? ");
+            expr(s, then_val);
+            s.push_str(" : ");
+            expr(s, else_val);
+        }
+        Expr::Call { callee, args, .. } => {
+            expr(s, callee);
+            s.push('(');
+            exprs(s, args);
+            s.push(')');
+        }
+        Expr::KernelCall {
+            callee,
+            config,
+            args,
+            ..
+        } => {
+            expr(s, callee);
+            s.push_str("<<<");
+            exprs(s, config);
+            s.push_str(">>>(");
+            exprs(s, args);
+            s.push(')');
+        }
+        Expr::Index { base, indices, .. } => {
+            expr(s, base);
+            s.push('[');
+            exprs(s, indices);
+            s.push(']');
+        }
+        Expr::Member {
+            base, arrow, field, ..
+        } => {
+            expr(s, base);
+            s.push_str(if *arrow { "->" } else { "." });
+            s.push_str(&field.name);
+        }
+        Expr::Cast { ty: t, expr: e2, .. } => {
+            s.push('(');
+            ty(s, t);
+            s.push(')');
+            expr(s, e2);
+        }
+        Expr::Sizeof { arg, .. } => {
+            let _ = write!(s, "sizeof({arg})");
+        }
+        Expr::InitList { elems, .. } => {
+            s.push('{');
+            exprs(s, elems);
+            s.push('}');
+        }
+        Expr::Dots { .. } => s.push_str("..."),
+        Expr::Disj { branches, .. } => {
+            s.push_str("\\( ");
+            for (i, b) in branches.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" \\| ");
+                }
+                expr(s, b);
+            }
+            s.push_str(" \\)");
+        }
+        Expr::PosAnn { inner, pos, .. } => {
+            expr(s, inner);
+            s.push('@');
+            s.push_str(pos);
+        }
+    }
+}
+
+fn exprs(s: &mut String, es: &[Expr]) {
+    for (i, e) in es.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        expr(s, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expression, parse_statements, NoMeta, ParseOptions};
+
+    fn round_e(src: &str) -> String {
+        super::render_expr(&parse_expression(src, ParseOptions::cpp(), &NoMeta).unwrap())
+    }
+
+    fn round_s(src: &str) -> String {
+        super::render_stmt(
+            &parse_statements(src, ParseOptions::cpp(), &NoMeta)
+                .unwrap()
+                .remove(0),
+        )
+    }
+
+    #[test]
+    fn expr_rendering() {
+        assert_eq!(round_e("a[i]+b*2"), "a[i] + b * 2");
+        assert_eq!(round_e("f(x,y)"), "f(x, y)");
+        assert_eq!(round_e("a[x][y][z]"), "a[x][y][z]");
+        assert_eq!(round_e("a[x, y, z]"), "a[x, y, z]");
+        assert_eq!(round_e("k<<<b,t,0,s>>>(p,q)"), "k<<<b, t, 0, s>>>(p, q)");
+        assert_eq!(round_e("p->next.val"), "p->next.val");
+        assert_eq!(round_e("(double)x"), "(double)x");
+    }
+
+    #[test]
+    fn stmt_rendering() {
+        assert_eq!(round_s("x=1;"), "x = 1;");
+        assert_eq!(
+            round_s("for(int i=0;i<n;++i){s+=a[i];}"),
+            "for (int i = 0; i < n; ++i) { s += a[i]; }"
+        );
+        assert_eq!(round_s("if(a)b();else c();"), "if (a) b(); else c();");
+        assert_eq!(round_s("return x+1;"), "return x + 1;");
+    }
+
+    #[test]
+    fn idempotent_on_own_output() {
+        for src in ["a[i] + b * 2", "f(x, y)", "a ? b : c"] {
+            let once = round_e(src);
+            let twice = round_e(&once);
+            assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Token definitions for the C/C++ lexer.
+//!
+//! The same lexer is reused by `cocci-smpl` for rule bodies, so the token
+//! set includes everything SMPL patterns can mention: the full C operator
+//! set, CUDA's `<<<`/`>>>` kernel-launch chevrons, C++ `::`, and the
+//! ellipsis `...` (varargs in C, "dots" in SMPL).
+
+use cocci_source::Span;
+use std::fmt;
+
+/// Lexical category of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are distinguished by the parser via
+    /// [`is_keyword`]) — the lexer stays keyword-agnostic so that SMPL can
+    /// use keyword-shaped metavariable names.
+    Ident,
+    /// Integer literal (decimal, hex `0x`, octal, binary `0b`, with
+    /// optional suffix).
+    IntLit,
+    /// Floating literal.
+    FloatLit,
+    /// String literal, including both quotes.
+    StrLit,
+    /// Character literal, including both quotes.
+    CharLit,
+    /// A whole preprocessor line starting with `#` (logical line: `\`
+    /// continuations joined).
+    Directive,
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input sentinel.
+    Eof,
+}
+
+/// All punctuation tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    ColonColon,
+    Question,
+    Dot,
+    Ellipsis,
+    Arrow,
+    Plus,
+    PlusPlus,
+    PlusEq,
+    Minus,
+    MinusMinus,
+    MinusEq,
+    Star,
+    StarEq,
+    Slash,
+    SlashEq,
+    Percent,
+    PercentEq,
+    Amp,
+    AmpAmp,
+    AmpEq,
+    Pipe,
+    PipePipe,
+    PipeEq,
+    Caret,
+    CaretEq,
+    Tilde,
+    Bang,
+    BangEq,
+    Eq,
+    EqEq,
+    Lt,
+    LtEq,
+    Shl,
+    ShlEq,
+    TripleLt,
+    Gt,
+    GtEq,
+    Shr,
+    ShrEq,
+    TripleGt,
+    /// SMPL-only: `@` for position metavariable attachment.
+    At,
+    /// SMPL-only: `\(` disjunction open.
+    DisjOpen,
+    /// SMPL-only: `\|` disjunction separator.
+    DisjPipe,
+    /// SMPL-only: `\&` conjunction separator.
+    ConjAmp,
+    /// SMPL-only: `\)` disjunction close.
+    DisjClose,
+    /// SMPL-only: `##` identifier concatenation.
+    HashHash,
+}
+
+impl Punct {
+    /// Canonical text of the punctuation token.
+    pub fn text(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            ColonColon => "::",
+            Question => "?",
+            Dot => ".",
+            Ellipsis => "...",
+            Arrow => "->",
+            Plus => "+",
+            PlusPlus => "++",
+            PlusEq => "+=",
+            Minus => "-",
+            MinusMinus => "--",
+            MinusEq => "-=",
+            Star => "*",
+            StarEq => "*=",
+            Slash => "/",
+            SlashEq => "/=",
+            Percent => "%",
+            PercentEq => "%=",
+            Amp => "&",
+            AmpAmp => "&&",
+            AmpEq => "&=",
+            Pipe => "|",
+            PipePipe => "||",
+            PipeEq => "|=",
+            Caret => "^",
+            CaretEq => "^=",
+            Tilde => "~",
+            Bang => "!",
+            BangEq => "!=",
+            Eq => "=",
+            EqEq => "==",
+            Lt => "<",
+            LtEq => "<=",
+            Shl => "<<",
+            ShlEq => "<<=",
+            TripleLt => "<<<",
+            Gt => ">",
+            GtEq => ">=",
+            Shr => ">>",
+            ShrEq => ">>=",
+            TripleGt => ">>>",
+            At => "@",
+            DisjOpen => "\\(",
+            DisjPipe => "\\|",
+            ConjAmp => "\\&",
+            DisjClose => "\\)",
+            HashHash => "##",
+        }
+    }
+}
+
+/// A lexed token: kind plus the byte span of its text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// Where in the file the token's text lives.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        if self.span.is_synthetic() {
+            ""
+        } else {
+            &src[self.span.start as usize..self.span.end as usize]
+        }
+    }
+
+    /// Whether this token is a specific punctuation.
+    pub fn is(&self, p: Punct) -> bool {
+        self.kind == TokenKind::Punct(p)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident => write!(f, "identifier"),
+            TokenKind::IntLit => write!(f, "integer literal"),
+            TokenKind::FloatLit => write!(f, "float literal"),
+            TokenKind::StrLit => write!(f, "string literal"),
+            TokenKind::CharLit => write!(f, "char literal"),
+            TokenKind::Directive => write!(f, "preprocessor directive"),
+            TokenKind::Punct(p) => write!(f, "`{}`", p.text()),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// C/C++ keywords that can never be identifiers in target code.
+///
+/// Deliberately *not* including SMPL metavariable-kind words
+/// (`expression`, `statement`, …) which are only keywords inside rule
+/// headers.
+pub const KEYWORDS: &[&str] = &[
+    "auto", "break", "case", "char", "const", "constexpr", "continue", "default", "do", "double",
+    "else", "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long", "register",
+    "restrict", "return", "short", "signed", "sizeof", "static", "struct", "switch", "typedef",
+    "union", "unsigned", "void", "volatile", "while", "bool", "true", "false", "class", "public",
+    "private", "protected", "template", "typename", "namespace", "using", "new", "delete", "this",
+    "operator", "virtual", "override", "final", "nullptr", "decltype",
+];
+
+/// Whether `s` is a C/C++ keyword.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Builtin type-ish keywords that may begin a declaration specifier.
+pub const TYPE_KEYWORDS: &[&str] = &[
+    "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "bool",
+    "const", "volatile", "restrict", "struct", "union", "enum", "auto", "constexpr",
+];
+
+/// Storage/function specifiers that may prefix a declaration.
+pub const DECL_SPECIFIERS: &[&str] = &["static", "extern", "inline", "register", "typedef", "virtual", "constexpr"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_table() {
+        assert!(is_keyword("for"));
+        assert!(is_keyword("restrict"));
+        assert!(!is_keyword("kernel"));
+        assert!(!is_keyword("expression")); // SMPL-only keyword
+    }
+
+    #[test]
+    fn punct_text_roundtrip() {
+        assert_eq!(Punct::TripleLt.text(), "<<<");
+        assert_eq!(Punct::Ellipsis.text(), "...");
+        assert_eq!(Punct::HashHash.text(), "##");
+    }
+
+    #[test]
+    fn token_text_slicing() {
+        let src = "int foo;";
+        let t = Token {
+            kind: TokenKind::Ident,
+            span: Span::new(4, 7),
+        };
+        assert_eq!(t.text(src), "foo");
+    }
+
+    #[test]
+    fn synthetic_token_text_is_empty() {
+        let t = Token {
+            kind: TokenKind::Ident,
+            span: Span::SYNTHETIC,
+        };
+        assert_eq!(t.text("whatever"), "");
+    }
+}

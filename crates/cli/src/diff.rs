@@ -1,0 +1,200 @@
+//! Minimal unified-diff rendering (line-based LCS).
+//!
+//! `spatch` traditionally prints its transformations as a unified diff;
+//! this module provides that output without external dependencies. The
+//! LCS is computed with the O(n·m) dynamic program, which is fine for
+//! source files (the driver diffs one file at a time).
+
+/// Produce a unified diff between `a` and `b` labelled with `name`.
+/// Returns an empty string when the texts are identical.
+pub fn unified_diff(name: &str, a: &str, b: &str, context: usize) -> String {
+    if a == b {
+        return String::new();
+    }
+    let al: Vec<&str> = a.lines().collect();
+    let bl: Vec<&str> = b.lines().collect();
+    let ops = diff_ops(&al, &bl);
+
+    let mut out = String::new();
+    out.push_str(&format!("--- a/{name}\n+++ b/{name}\n"));
+
+    // Group ops into hunks with `context` lines of context.
+    let mut i = 0usize;
+    while i < ops.len() {
+        if let Op::Equal(_, _) = ops[i] {
+            i += 1;
+            continue;
+        }
+        // Start of a change run; back up for leading context.
+        let hunk_start = i;
+        let mut hunk_end = i;
+        let mut gap = 0usize;
+        let mut j = i + 1;
+        while j < ops.len() {
+            match ops[j] {
+                Op::Equal(_, _) => {
+                    gap += 1;
+                    if gap > 2 * context {
+                        break;
+                    }
+                }
+                _ => {
+                    gap = 0;
+                    hunk_end = j;
+                }
+            }
+            j += 1;
+        }
+
+        // Collect hunk ops with surrounding context.
+        let lead = hunk_start.saturating_sub(context);
+        let tail = (hunk_end + context + 1).min(ops.len());
+        let hunk = &ops[lead..tail];
+
+        let (mut a_start, mut b_start) = (usize::MAX, usize::MAX);
+        let (mut a_count, mut b_count) = (0usize, 0usize);
+        for op in hunk {
+            match *op {
+                Op::Equal(ai, bi) => {
+                    a_start = a_start.min(ai);
+                    b_start = b_start.min(bi);
+                    a_count += 1;
+                    b_count += 1;
+                }
+                Op::Delete(ai) => {
+                    a_start = a_start.min(ai);
+                    a_count += 1;
+                }
+                Op::Insert(bi) => {
+                    b_start = b_start.min(bi);
+                    b_count += 1;
+                }
+            }
+        }
+        if a_start == usize::MAX {
+            a_start = 0;
+        }
+        if b_start == usize::MAX {
+            b_start = 0;
+        }
+        out.push_str(&format!(
+            "@@ -{},{} +{},{} @@\n",
+            a_start + 1,
+            a_count,
+            b_start + 1,
+            b_count
+        ));
+        for op in hunk {
+            match *op {
+                Op::Equal(ai, _) => {
+                    out.push(' ');
+                    out.push_str(al[ai]);
+                    out.push('\n');
+                }
+                Op::Delete(ai) => {
+                    out.push('-');
+                    out.push_str(al[ai]);
+                    out.push('\n');
+                }
+                Op::Insert(bi) => {
+                    out.push('+');
+                    out.push_str(bl[bi]);
+                    out.push('\n');
+                }
+            }
+        }
+        i = tail;
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Equal(usize, usize),
+    Delete(usize),
+    Insert(usize),
+}
+
+fn diff_ops(a: &[&str], b: &[&str]) -> Vec<Op> {
+    let n = a.len();
+    let m = b.len();
+    // LCS table.
+    let mut lcs = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[idx(i, j)] = if a[i] == b[j] {
+                lcs[idx(i + 1, j + 1)] + 1
+            } else {
+                lcs[idx(i + 1, j)].max(lcs[idx(i, j + 1)])
+            };
+        }
+    }
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push(Op::Equal(i, j));
+            i += 1;
+            j += 1;
+        } else if lcs[idx(i + 1, j)] >= lcs[idx(i, j + 1)] {
+            ops.push(Op::Delete(i));
+            i += 1;
+        } else {
+            ops.push(Op::Insert(j));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(Op::Delete(i));
+        i += 1;
+    }
+    while j < m {
+        ops.push(Op::Insert(j));
+        j += 1;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_produce_nothing() {
+        assert_eq!(unified_diff("f.c", "a\nb\n", "a\nb\n", 3), "");
+    }
+
+    #[test]
+    fn single_line_change() {
+        let d = unified_diff("f.c", "one\ntwo\nthree\n", "one\nTWO\nthree\n", 1);
+        assert!(d.contains("--- a/f.c"));
+        assert!(d.contains("-two"));
+        assert!(d.contains("+TWO"));
+        assert!(d.contains(" one"));
+        assert!(d.contains(" three"));
+    }
+
+    #[test]
+    fn insertion_only() {
+        let d = unified_diff("f.c", "a\nc\n", "a\nb\nc\n", 0);
+        assert!(d.contains("+b"));
+        // No deletion lines (the `---` header does not count).
+        assert!(!d.lines().any(|l| l.starts_with('-') && !l.starts_with("---")));
+    }
+
+    #[test]
+    fn deletion_only() {
+        let d = unified_diff("f.c", "a\nb\nc\n", "a\nc\n", 0);
+        assert!(d.contains("-b"));
+    }
+
+    #[test]
+    fn distant_changes_get_separate_hunks() {
+        let a: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let b = a.replace("line3\n", "LINE3\n").replace("line36\n", "LINE36\n");
+        let d = unified_diff("f.c", &a, &b, 2);
+        assert_eq!(d.matches("@@").count() / 2 * 2, d.matches("@@").count());
+        assert!(d.matches("@@ -").count() >= 2, "{d}");
+    }
+}

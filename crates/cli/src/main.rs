@@ -1,0 +1,156 @@
+//! `spatch` — command-line front end for the semantic-patch engine,
+//! mirroring Coccinelle's `spatch` usage:
+//!
+//! ```text
+//! spatch --sp-file patch.cocci file1.c file2.c ...
+//!
+//! Options:
+//!   --sp-file <FILE>   semantic patch to apply (required)
+//!   --in-place         rewrite files on disk instead of printing a diff
+//!   -o <FILE>          write the single patched file here
+//!   -j <N>             worker threads (default: all cores)
+//!   --quiet            suppress per-file match reports
+//! ```
+//!
+//! Without `--in-place`/`-o`, a unified diff of every changed file is
+//! printed to stdout — the traditional spatch workflow of reviewing the
+//! change before enacting it.
+
+mod diff;
+
+use cocci_core::apply_to_files;
+use cocci_smpl::parse_semantic_patch;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    sp_file: PathBuf,
+    files: Vec<PathBuf>,
+    in_place: bool,
+    output: Option<PathBuf>,
+    threads: usize,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spatch --sp-file <patch.cocci> [--in-place] [-o FILE] [-j N] [--quiet] <files...>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut sp_file = None;
+    let mut files = Vec::new();
+    let mut in_place = false;
+    let mut output = None;
+    let mut threads = 0usize;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sp-file" => sp_file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--in-place" => in_place = true,
+            "-o" => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "-j" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    let Some(sp_file) = sp_file else { usage() };
+    if files.is_empty() {
+        usage();
+    }
+    Args {
+        sp_file,
+        files,
+        in_place,
+        output,
+        threads,
+        quiet,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let patch_text = match std::fs::read_to_string(&args.sp_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("spatch: cannot read {}: {e}", args.sp_file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let patch = match parse_semantic_patch(&patch_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("spatch: {}: {e}", args.sp_file.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut inputs = Vec::new();
+    for f in &args.files {
+        match std::fs::read_to_string(f) {
+            Ok(t) => inputs.push((f.display().to_string(), t)),
+            Err(e) => {
+                eprintln!("spatch: cannot read {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcomes = apply_to_files(&patch, &inputs, args.threads);
+
+    let mut failures = 0usize;
+    let mut changed = 0usize;
+    for (outcome, (name, original)) in outcomes.iter().zip(&inputs) {
+        if let Some(err) = &outcome.error {
+            eprintln!("spatch: {name}: {err}");
+            failures += 1;
+            continue;
+        }
+        let Some(new_text) = &outcome.output else {
+            if !args.quiet {
+                eprintln!("spatch: {name}: no match");
+            }
+            continue;
+        };
+        changed += 1;
+        if args.in_place {
+            if let Err(e) = std::fs::write(name, new_text) {
+                eprintln!("spatch: cannot write {name}: {e}");
+                failures += 1;
+            } else if !args.quiet {
+                eprintln!("spatch: {name}: rewritten ({} matches)", outcome.matches);
+            }
+        } else if let Some(out) = &args.output {
+            if let Err(e) = std::fs::write(out, new_text) {
+                eprintln!("spatch: cannot write {}: {e}", out.display());
+                failures += 1;
+            }
+        } else {
+            print!("{}", diff::unified_diff(name, original, new_text, 3));
+        }
+    }
+    if !args.quiet {
+        eprintln!(
+            "spatch: {changed}/{} file(s) transformed, {failures} failure(s)",
+            inputs.len()
+        );
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

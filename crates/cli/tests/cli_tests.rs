@@ -1,0 +1,124 @@
+//! End-to-end tests of the `spatch` binary: diff output, in-place
+//! rewriting, thread flag, and error reporting.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn spatch() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spatch"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spatch-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const RENAME_PATCH: &str = "@@\nexpression e;\n@@\n- old_api(e);\n+ new_api(e);\n";
+
+#[test]
+fn prints_unified_diff_by_default() {
+    let dir = tmpdir("diff");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    fs::write(&file, "void f(void) {\n    old_api(1);\n}\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("-    old_api(1);"), "{stdout}");
+    assert!(stdout.contains("+    new_api(1);"), "{stdout}");
+    // The file itself is untouched.
+    assert!(fs::read_to_string(&file).unwrap().contains("old_api"));
+}
+
+#[test]
+fn in_place_rewrites_files() {
+    let dir = tmpdir("inplace");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let mut files = Vec::new();
+    for i in 0..4 {
+        let f = dir.join(format!("t{i}.c"));
+        fs::write(&f, format!("void f{i}(void) {{ old_api({i}); }}\n")).unwrap();
+        files.push(f);
+    }
+
+    let mut cmd = spatch();
+    cmd.args(["--sp-file"])
+        .arg(&patch)
+        .args(["--in-place", "-j", "2", "--quiet"]);
+    for f in &files {
+        cmd.arg(f);
+    }
+    let out = cmd.output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    for (i, f) in files.iter().enumerate() {
+        let text = fs::read_to_string(f).unwrap();
+        assert!(text.contains(&format!("new_api({i});")), "{text}");
+    }
+}
+
+#[test]
+fn reports_parse_errors_and_fails() {
+    let dir = tmpdir("err");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("broken.c");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    fs::write(&file, "void f( {\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("broken.c"), "{stderr}");
+}
+
+#[test]
+fn bad_patch_is_reported() {
+    let dir = tmpdir("badpatch");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    fs::write(&patch, "this is not SMPL").unwrap();
+    fs::write(&file, "int x;\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("semantic patch error"), "{stderr}");
+}
+
+#[test]
+fn no_match_exits_zero() {
+    let dir = tmpdir("nomatch");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    fs::write(&file, "void f(void) { other(); }\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty());
+}

@@ -1,0 +1,151 @@
+//! Parallel multi-file driver.
+//!
+//! Applying one semantic patch to N files is embarrassingly parallel —
+//! the per-file pipeline shares nothing but the (read-only) patch. The
+//! driver follows the hpc-parallel guide idioms: crossbeam scoped threads
+//! pulling file indices from an atomic work counter, results collected
+//! under a `parking_lot` mutex; no locks are held while patching.
+
+use crate::orchestrate::Patcher;
+use cocci_smpl::SemanticPatch;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Result of patching one file.
+#[derive(Debug, Clone)]
+pub struct FileOutcome {
+    /// File name as passed in.
+    pub name: String,
+    /// Patched text when the patch changed the file.
+    pub output: Option<String>,
+    /// Error message when the file failed (parse error, edit conflict).
+    pub error: Option<String>,
+    /// Matches found across rules.
+    pub matches: usize,
+}
+
+/// Apply `patch` to every `(name, text)` pair using `threads` worker
+/// threads (0 = number of available CPUs). Outcomes are returned in input
+/// order.
+pub fn apply_to_files(
+    patch: &SemanticPatch,
+    files: &[(String, String)],
+    threads: usize,
+) -> Vec<FileOutcome> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(files.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<FileOutcome>>> = Mutex::new(vec![None; files.len()]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                // One Patcher per worker: script-interpreter globals are
+                // per-application state and must not be shared.
+                let mut patcher = match Patcher::new(patch) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        // Compile error affects every file identically;
+                        // record it on whichever files this worker claims.
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= files.len() {
+                                return;
+                            }
+                            results.lock()[i] = Some(FileOutcome {
+                                name: files[i].0.clone(),
+                                output: None,
+                                error: Some(e.to_string()),
+                                matches: 0,
+                            });
+                        }
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= files.len() {
+                        return;
+                    }
+                    let (name, text) = &files[i];
+                    let outcome = match patcher.apply(name, text) {
+                        Ok(output) => FileOutcome {
+                            name: name.clone(),
+                            output,
+                            error: None,
+                            matches: patcher.last_stats.matches_per_rule.iter().sum(),
+                        },
+                        Err(e) => FileOutcome {
+                            name: name.clone(),
+                            output: None,
+                            error: Some(e.to_string()),
+                            matches: 0,
+                        },
+                    };
+                    results.lock()[i] = Some(outcome);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every file processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocci_smpl::parse_semantic_patch;
+
+    #[test]
+    fn parallel_driver_patches_all_files() {
+        let patch = parse_semantic_patch("@@ @@\n- old_api(42);\n+ new_api(42);\n").unwrap();
+        let files: Vec<(String, String)> = (0..32)
+            .map(|i| {
+                (
+                    format!("f{i}.c"),
+                    "void f(void) { old_api(42); done(); }\n".to_string(),
+                )
+            })
+            .collect();
+        let outcomes = apply_to_files(&patch, &files, 4);
+        assert_eq!(outcomes.len(), 32);
+        for o in &outcomes {
+            assert!(o.error.is_none(), "{:?}", o.error);
+            let out = o.output.as_ref().expect("patched");
+            assert!(out.contains("new_api(42);"));
+            assert!(!out.contains("old_api"));
+        }
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let patch = parse_semantic_patch("@@ @@\n- a();\n+ b();\n").unwrap();
+        let files: Vec<(String, String)> = (0..8)
+            .map(|i| (format!("f{i}.c"), "void g(void) { a(); }\n".to_string()))
+            .collect();
+        let outcomes = apply_to_files(&patch, &files, 3);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.name, format!("f{i}.c"));
+        }
+    }
+
+    #[test]
+    fn unmatched_files_return_none() {
+        let patch = parse_semantic_patch("@@ @@\n- nothing_here();\n+ x();\n").unwrap();
+        let files = vec![("f.c".to_string(), "void g(void) { other(); }\n".to_string())];
+        let outcomes = apply_to_files(&patch, &files, 1);
+        assert!(outcomes[0].output.is_none());
+        assert!(outcomes[0].error.is_none());
+    }
+}

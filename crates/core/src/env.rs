@@ -1,0 +1,273 @@
+//! Metavariable binding environments.
+
+use cocci_cast::ast::{Expr, Param, Stmt, Type};
+use cocci_cast::render;
+use cocci_source::Span;
+use std::collections::BTreeMap;
+
+/// The value bound to a metavariable.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A bound expression (spans point into the target file).
+    Expr(Expr),
+    /// A bound expression list (argument run).
+    ExprList(Vec<Expr>),
+    /// A bound statement.
+    Stmt(Stmt),
+    /// A bound statement list.
+    StmtList(Vec<Stmt>),
+    /// A bound type.
+    Type(Type),
+    /// A bound parameter list.
+    Params(Vec<Param>),
+    /// A bound identifier (name + where it occurred).
+    Ident {
+        /// The identifier text.
+        name: String,
+        /// Source occurrence (synthetic for script/fresh-made idents).
+        span: Span,
+    },
+    /// Synthesized text (script outputs, fresh identifiers, pragmainfo
+    /// replacements).
+    Text(String),
+    /// A bound integer constant.
+    Int(i128),
+    /// A bound position.
+    Pos {
+        /// Byte offset in the target file.
+        offset: u32,
+    },
+    /// A bound `pragmainfo` (pragma payload remainder).
+    Pragma(String),
+    /// A value exported across a rule boundary after the target text may
+    /// have changed: keeps the AST for structural comparison but renders
+    /// from captured text (the old spans would be stale).
+    Detached {
+        /// The original value (for structural equality).
+        ast: Box<Value>,
+        /// Text captured at export time.
+        text: String,
+    },
+}
+
+impl Value {
+    /// Render the value as target-language text, slicing the original
+    /// source where the binding has real spans (preserving formatting),
+    /// falling back to the canonical renderer for synthetic nodes.
+    pub fn render(&self, src: &str) -> String {
+        let slice = |span: Span| -> Option<String> {
+            if span.is_synthetic() || span.end as usize > src.len() {
+                None
+            } else {
+                Some(src[span.start as usize..span.end as usize].to_string())
+            }
+        };
+        match self {
+            Value::Expr(e) => slice(e.span()).unwrap_or_else(|| render::render_expr(e)),
+            Value::ExprList(es) => {
+                let merged = es
+                    .iter()
+                    .fold(Span::SYNTHETIC, |acc, e| acc.merge(e.span()));
+                slice(merged).unwrap_or_else(|| {
+                    es.iter()
+                        .map(render::render_expr)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+            }
+            Value::Stmt(s) => slice(s.span()).unwrap_or_else(|| render::render_stmt(s)),
+            Value::StmtList(ss) => {
+                let merged = ss
+                    .iter()
+                    .fold(Span::SYNTHETIC, |acc, s| acc.merge(s.span()));
+                slice(merged).unwrap_or_else(|| {
+                    ss.iter()
+                        .map(render::render_stmt)
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                })
+            }
+            Value::Type(t) => slice(t.span).unwrap_or_else(|| render::render_type(t)),
+            Value::Params(ps) => {
+                let merged = ps
+                    .iter()
+                    .fold(Span::SYNTHETIC, |acc, p| acc.merge(p.span));
+                slice(merged).unwrap_or_else(|| {
+                    ps.iter()
+                        .map(render::render_param)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+            }
+            Value::Ident { name, .. } => name.clone(),
+            Value::Text(t) => t.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Pos { offset } => format!("<pos:{offset}>"),
+            Value::Pragma(p) => p.clone(),
+            Value::Detached { text, .. } => text.clone(),
+        }
+    }
+
+    /// Detach the value from `src`: capture its rendering so it stays
+    /// valid after the target text changes, keeping the AST for
+    /// structural comparison. Values that carry no spans are returned
+    /// unchanged.
+    pub fn detach(&self, src: &str) -> Value {
+        match self {
+            Value::Ident { .. }
+            | Value::Text(_)
+            | Value::Int(_)
+            | Value::Pos { .. }
+            | Value::Pragma(_)
+            | Value::Detached { .. } => self.clone(),
+            other => Value::Detached {
+                ast: Box::new(other.clone()),
+                text: other.render(src),
+            },
+        }
+    }
+
+    /// Unwrap a detached value to its structural core.
+    pub fn structural(&self) -> &Value {
+        match self {
+            Value::Detached { ast, .. } => ast.structural(),
+            other => other,
+        }
+    }
+}
+
+/// A metavariable environment: local bindings of the rule currently being
+/// matched.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    map: BTreeMap<String, Value>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.map.get(name)
+    }
+
+    /// Insert a binding.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        self.map.insert(name.into(), value);
+    }
+
+    /// Whether `name` is bound.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Iterate bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.map.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Exported environment accumulated along the rule chain: bindings
+/// qualified by rule name, as visible to later rules via `rule.var`.
+#[derive(Debug, Clone, Default)]
+pub struct ExportedEnv {
+    map: BTreeMap<(String, String), Value>,
+}
+
+impl ExportedEnv {
+    /// Empty exported environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `rule.var`.
+    pub fn get(&self, rule: &str, var: &str) -> Option<&Value> {
+        self.map.get(&(rule.to_string(), var.to_string()))
+    }
+
+    /// Record `rule.var = value`.
+    pub fn bind(&mut self, rule: &str, var: &str, value: Value) {
+        self.map.insert((rule.to_string(), var.to_string()), value);
+    }
+
+    /// Merge a rule's local bindings under its name.
+    pub fn absorb(&mut self, rule: &str, env: &Env) {
+        for (k, v) in env.iter() {
+            self.bind(rule, k, v.clone());
+        }
+    }
+
+    /// Number of qualified bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocci_cast::ast::Ident;
+
+    #[test]
+    fn render_slices_source_for_real_spans() {
+        let src = "foo(  a+b , c )";
+        let e = Expr::Ident(Ident {
+            name: "weird".into(),
+            span: Span::new(6, 9), // "a+b"
+        });
+        assert_eq!(Value::Expr(e).render(src), "a+b");
+    }
+
+    #[test]
+    fn render_falls_back_for_synthetic() {
+        let e = Expr::Ident(Ident::synthetic("x"));
+        assert_eq!(Value::Expr(e).render("unrelated"), "x");
+    }
+
+    #[test]
+    fn text_and_int_render() {
+        assert_eq!(Value::Text("hipMalloc".into()).render(""), "hipMalloc");
+        assert_eq!(Value::Int(42).render(""), "42");
+        assert_eq!(Value::Pragma("omp parallel".into()).render(""), "omp parallel");
+    }
+
+    #[test]
+    fn env_bind_and_lookup() {
+        let mut env = Env::new();
+        env.bind("T", Value::Text("double".into()));
+        assert!(env.is_bound("T"));
+        assert_eq!(env.get("T").unwrap().render(""), "double");
+        assert!(!env.is_bound("U"));
+    }
+
+    #[test]
+    fn exported_env_chain() {
+        let mut env = Env::new();
+        env.bind("fn", Value::Ident {
+            name: "cudaMalloc".into(),
+            span: Span::SYNTHETIC,
+        });
+        let mut ex = ExportedEnv::new();
+        ex.absorb("cfe", &env);
+        assert_eq!(ex.get("cfe", "fn").unwrap().render(""), "cudaMalloc");
+        assert!(ex.get("other", "fn").is_none());
+    }
+}

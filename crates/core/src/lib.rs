@@ -1,0 +1,40 @@
+//! `cocci-core`: the semantic-patch engine — matching, transformation,
+//! rule orchestration, and a parallel multi-file driver.
+//!
+//! This is the paper's primary contribution rebuilt in Rust. The pipeline
+//! for one file is:
+//!
+//! 1. parse the target file with `cocci-cast`;
+//! 2. for each rule of the semantic patch (in order), honouring
+//!    `depends on` and inherited-metavariable seeding, find all matches of
+//!    the rule's pattern ([`matcher`]);
+//! 3. for each match, generate span edits from the rule body's `-`/`+`
+//!    annotations ([`rewrite`]);
+//! 4. splice all edits into the original text ([`edits`]), yielding a
+//!    minimal diff.
+//!
+//! The [`driver`] module distributes step 1–4 over many files with
+//! crossbeam scoped threads.
+//!
+//! ```
+//! use cocci_core::Patcher;
+//! let patch = cocci_smpl::parse_semantic_patch(
+//!     "@@ @@\n- old_api(42);\n+ new_api(42);\n",
+//! ).unwrap();
+//! let mut patcher = Patcher::new(&patch).unwrap();
+//! let out = patcher.apply("demo.c", "void f(void) { old_api(42); }\n").unwrap();
+//! assert_eq!(out.unwrap(), "void f(void) { new_api(42); }\n");
+//! ```
+
+pub mod driver;
+pub mod edits;
+pub mod env;
+pub mod matcher;
+pub mod orchestrate;
+pub mod rewrite;
+
+pub use driver::{apply_to_files, FileOutcome};
+pub use edits::{Edit, EditConflict, EditSet};
+pub use env::{Env, ExportedEnv, Value};
+pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
+pub use orchestrate::{ApplyError, Patcher};

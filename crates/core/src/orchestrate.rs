@@ -1,0 +1,610 @@
+//! Rule orchestration: running a whole semantic patch against one file.
+//!
+//! Rules execute **in order**, and each transformation rule's edits are
+//! applied to the text before the next rule runs (Coccinelle's sequential
+//! semantics — the unroll patch relies on rule `r1` seeing `p1`'s
+//! substitutions). Rules communicate through:
+//!
+//! * the *matched set* — `depends on r` skips a rule unless `r` matched;
+//! * *exported environments* — a rule that later rules inherit from
+//!   (via `rule.var` metavariables or script inputs) exports one
+//!   environment per match; dependent rules run once per environment.
+//!   Environments form a linear chain (`cfe` → `cf2hf` → `hfe`), which
+//!   covers every multi-rule patch in the paper; full cross-product
+//!   semantics of upstream Coccinelle are intentionally not reproduced
+//!   (documented in DESIGN.md).
+//! * the shared script interpreter: `@initialize@` blocks populate
+//!   globals, `@script@` rules compute new bindings per environment.
+
+use crate::edits::EditSet;
+use crate::env::{Env, ExportedEnv, Value};
+use crate::matcher::{self, MatchCtx, MatchState};
+use crate::rewrite;
+use cocci_cast::ast::*;
+use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
+use cocci_cast::visit;
+use cocci_rex::Regex;
+use cocci_script::{Interp, Value as ScriptValue};
+use cocci_smpl::{
+    Constraint, DepExpr, FreshPart, MetaDeclKind, Pattern, Rule, ScriptRule, SemanticPatch,
+    TransformRule,
+};
+use cocci_source::Span;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Error applying a semantic patch.
+#[derive(Debug, Clone)]
+pub struct ApplyError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+fn aerr(message: impl Into<String>) -> ApplyError {
+    ApplyError {
+        message: message.into(),
+    }
+}
+
+/// Statistics from one application.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyStats {
+    /// Matches found per rule (by index).
+    pub matches_per_rule: Vec<usize>,
+    /// Total edits applied.
+    pub edits: usize,
+}
+
+/// Applies a parsed semantic patch to files.
+pub struct Patcher {
+    patch: SemanticPatch,
+    /// Compiled regex constraints, per rule index.
+    regexes: Vec<HashMap<String, Regex>>,
+    /// Rule names that later rules inherit from (metavariables or script
+    /// inputs) — only these export environments.
+    inherited_from: HashSet<String>,
+    /// Statistics of the most recent `apply` call.
+    pub last_stats: ApplyStats,
+}
+
+impl Patcher {
+    /// Compile a semantic patch (regex constraints validated eagerly).
+    pub fn new(patch: &SemanticPatch) -> Result<Self, ApplyError> {
+        let mut regexes = Vec::new();
+        let mut inherited_from = HashSet::new();
+        for rule in &patch.rules {
+            let mut map = HashMap::new();
+            match rule {
+                Rule::Transform(t) => {
+                    for mv in &t.metavars {
+                        if let Some(Constraint::Regex(re)) | Some(Constraint::NotRegex(re)) =
+                            &mv.constraint
+                        {
+                            let compiled = Regex::new(re).map_err(|e| {
+                                aerr(format!(
+                                    "bad regex for metavariable `{}`: {e}",
+                                    mv.name
+                                ))
+                            })?;
+                            map.insert(mv.name.clone(), compiled);
+                        }
+                        if let Some(from) = &mv.inherited_from {
+                            inherited_from.insert(from.clone());
+                        }
+                    }
+                }
+                Rule::Script(s) => {
+                    for (_, from, _) in &s.inputs {
+                        inherited_from.insert(from.clone());
+                    }
+                }
+                _ => {}
+            }
+            regexes.push(map);
+        }
+        Ok(Patcher {
+            patch: patch.clone(),
+            regexes,
+            inherited_from,
+            last_stats: ApplyStats::default(),
+        })
+    }
+
+    /// Apply the patch to one file. Returns `Ok(Some(text))` when edits
+    /// were made, `Ok(None)` when nothing matched.
+    pub fn apply(&mut self, name: &str, src: &str) -> Result<Option<String>, ApplyError> {
+        let opts = ParseOptions {
+            pattern: false,
+            lang: self.patch.lang,
+        };
+        let mut current = src.to_string();
+        let mut changed = false;
+        let mut interp = Interp::new();
+        let mut matched: HashSet<String> = HashSet::new();
+        let mut streams: Vec<ExportedEnv> = vec![ExportedEnv::new()];
+        let mut stats = ApplyStats {
+            matches_per_rule: vec![0; self.patch.rules.len()],
+            edits: 0,
+        };
+        let mut finalizers = Vec::new();
+
+        let rules: Vec<Rule> = self.patch.rules.clone();
+        for (ri, rule) in rules.iter().enumerate() {
+            match rule {
+                Rule::Initialize(b) => {
+                    interp
+                        .run_block(&b.code)
+                        .map_err(|e| aerr(format!("{name}: initialize block: {e}")))?;
+                }
+                Rule::Finalize(b) => finalizers.push(b.code.clone()),
+                Rule::Script(s) => {
+                    if !deps_ok(s.depends.as_ref(), &matched) {
+                        continue;
+                    }
+                    self.run_script_rule(s, &mut interp, &mut streams, &mut matched, name)?;
+                }
+                Rule::Transform(t) => {
+                    if !deps_ok(t.depends.as_ref(), &matched) {
+                        continue;
+                    }
+                    let tu = parse_translation_unit(&current, opts, &NoMeta).map_err(|e| {
+                        aerr(format!(
+                            "{name}: cannot parse target{}: {e}",
+                            if changed { " (after transformation)" } else { "" }
+                        ))
+                    })?;
+                    let (all_matches, new_streams) =
+                        self.run_transform_rule(ri, t, &tu, &current, &streams)?;
+                    stats.matches_per_rule[ri] = all_matches.len();
+                    if !all_matches.is_empty() {
+                        if let Some(n) = &t.name {
+                            matched.insert(n.clone());
+                        }
+                        if let Some(ns) = new_streams {
+                            streams = ns;
+                        }
+                        // Emit and apply edits.
+                        let mut edits = EditSet::new();
+                        let mut claimed: Vec<Span> = Vec::new();
+                        for m in &all_matches {
+                            let root = match_root(m);
+                            if !root.is_synthetic()
+                                && claimed.iter().any(|c| overlaps(*c, root))
+                            {
+                                continue;
+                            }
+                            rewrite::emit_edits(&t.body, m, &current, &mut edits)
+                                .map_err(|e| aerr(format!("{name}: rewrite: {e}")))?;
+                            if !root.is_synthetic() {
+                                claimed.push(root);
+                            }
+                        }
+                        if !edits.is_empty() {
+                            stats.edits += edits.len();
+                            current = edits.apply(&current).map_err(|e| {
+                                aerr(format!(
+                                    "{name}: rule {}: {e}",
+                                    t.name.as_deref().unwrap_or("<anonymous>")
+                                ))
+                            })?;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        for code in finalizers {
+            interp
+                .run_block(&code)
+                .map_err(|e| aerr(format!("{name}: finalize block: {e}")))?;
+        }
+        self.last_stats = stats;
+        Ok(if changed { Some(current) } else { None })
+    }
+
+    fn run_script_rule(
+        &self,
+        s: &ScriptRule,
+        interp: &mut Interp,
+        streams: &mut Vec<ExportedEnv>,
+        matched: &mut HashSet<String>,
+        file: &str,
+    ) -> Result<(), ApplyError> {
+        let mut new_streams = Vec::new();
+        let mut any = false;
+        for ex in streams.iter() {
+            // Gather inputs; environments lacking them pass through
+            // unchanged (the script does not run for them).
+            let mut inputs = BTreeMap::new();
+            let mut complete = true;
+            for (local, from, var) in &s.inputs {
+                match ex.get(from, var) {
+                    Some(v) => {
+                        inputs.insert(local.clone(), ScriptValue::Str(v.render("")));
+                    }
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                new_streams.push(ex.clone());
+                continue;
+            }
+            match interp
+                .run_script(&s.code, &inputs)
+                .map_err(|e| aerr(format!("{file}: script rule: {e}")))?
+            {
+                Some(outputs) => {
+                    let mut ex2 = ex.clone();
+                    if let Some(rname) = &s.name {
+                        for (k, v) in outputs {
+                            ex2.bind(rname, &k, Value::Text(v.render()));
+                        }
+                    }
+                    new_streams.push(ex2);
+                    any = true;
+                }
+                None => {
+                    // Dict-miss idiom: drop this environment.
+                }
+            }
+        }
+        if any {
+            if let Some(n) = &s.name {
+                matched.insert(n.clone());
+            }
+        }
+        if !new_streams.is_empty() {
+            *streams = new_streams;
+        }
+        Ok(())
+    }
+
+    /// Run one transformation rule over all seed environments. Returns
+    /// all matches plus (when the rule is inherited from) the new
+    /// environment stream.
+    fn run_transform_rule(
+        &self,
+        ri: usize,
+        t: &TransformRule,
+        tu: &TranslationUnit,
+        src: &str,
+        streams: &[ExportedEnv],
+    ) -> Result<(Vec<MatchState>, Option<Vec<ExportedEnv>>), ApplyError> {
+        let exports_needed = t
+            .name
+            .as_ref()
+            .map(|n| self.inherited_from.contains(n))
+            .unwrap_or(false);
+        let has_inherited = t.metavars.iter().any(|m| m.inherited_from.is_some());
+
+        // Build seeds: one per stream env when inheriting, else a single
+        // empty seed. Constant-set metavariables multiply seeds.
+        let base_seeds: Vec<(Option<&ExportedEnv>, Env)> = if has_inherited {
+            let mut seeds = Vec::new();
+            'outer: for ex in streams {
+                let mut env = Env::new();
+                for mv in &t.metavars {
+                    if let Some(from) = &mv.inherited_from {
+                        match ex.get(from, &mv.name) {
+                            Some(v) => env.bind(&mv.name, v.clone()),
+                            None => continue 'outer,
+                        }
+                    }
+                }
+                seeds.push((Some(ex), env));
+            }
+            seeds
+        } else {
+            vec![(None, Env::new())]
+        };
+
+        let mut seeds = Vec::new();
+        for (ex, env) in base_seeds {
+            let mut variants = vec![env];
+            for mv in &t.metavars {
+                if mv.kind == MetaDeclKind::Constant {
+                    if let Some(Constraint::Set(vals)) = &mv.constraint {
+                        let mut next = Vec::new();
+                        for v in vals {
+                            if let Ok(i) = v.parse::<i128>() {
+                                for base in &variants {
+                                    let mut e = base.clone();
+                                    e.bind(&mv.name, Value::Int(i));
+                                    next.push(e);
+                                }
+                            }
+                        }
+                        if !next.is_empty() {
+                            variants = next;
+                        }
+                    }
+                }
+            }
+            for v in variants {
+                seeds.push((ex, v));
+            }
+        }
+
+        let ctx = MatchCtx {
+            src,
+            decls: &t.metavars,
+            regexes: &self.regexes[ri],
+        };
+
+        let mut all_matches: Vec<MatchState> = Vec::new();
+        let mut new_streams: Vec<ExportedEnv> = Vec::new();
+        let mut claimed: Vec<Span> = Vec::new();
+        for (ex, seed) in &seeds {
+            let mut found = find_matches(&ctx, &t.body.pattern, tu, seed);
+            for m in &mut found {
+                // Fresh identifiers computed per match.
+                for mv in &t.metavars {
+                    if let MetaDeclKind::FreshIdentifier(parts) = &mv.kind {
+                        let mut text = String::new();
+                        for p in parts {
+                            match p {
+                                FreshPart::Lit(l) => text.push_str(l),
+                                FreshPart::MetaRef(r) => match m.env.get(r) {
+                                    Some(v) => text.push_str(&v.render(src)),
+                                    None => {
+                                        return Err(aerr(format!(
+                                            "fresh identifier `{}` references unbound `{r}`",
+                                            mv.name
+                                        )))
+                                    }
+                                },
+                            }
+                        }
+                        m.env.bind(
+                            &mv.name,
+                            Value::Ident {
+                                name: text,
+                                span: Span::SYNTHETIC,
+                            },
+                        );
+                    }
+                }
+            }
+            for m in found {
+                let root = match_root(&m);
+                if !root.is_synthetic() && claimed.iter().any(|c| overlaps(*c, root)) {
+                    continue;
+                }
+                if !root.is_synthetic() {
+                    claimed.push(root);
+                }
+                if exports_needed {
+                    let mut ex2 = ex.map(|e| (*e).clone()).unwrap_or_default();
+                    let mut detached = Env::new();
+                    for (k, v) in m.env.iter() {
+                        detached.bind(k, v.detach(src));
+                    }
+                    if let Some(n) = &t.name {
+                        ex2.absorb(n, &detached);
+                    }
+                    new_streams.push(ex2);
+                }
+                all_matches.push(m);
+            }
+        }
+        let streams_out = if exports_needed && !new_streams.is_empty() {
+            Some(new_streams)
+        } else {
+            None
+        };
+        Ok((all_matches, streams_out))
+    }
+}
+
+/// Evaluate a dependency expression against the matched-rule set.
+fn deps_ok(dep: Option<&DepExpr>, matched: &HashSet<String>) -> bool {
+    match dep {
+        None => true,
+        Some(DepExpr::Rule(n)) => matched.contains(n),
+        Some(DepExpr::Not(n)) => !matched.contains(n),
+        Some(DepExpr::And(parts)) => parts.iter().all(|p| deps_ok(Some(p), matched)),
+        Some(DepExpr::Or(parts)) => parts.iter().any(|p| deps_ok(Some(p), matched)),
+    }
+}
+
+/// Root source span of a match (merge of all pair spans).
+fn match_root(m: &MatchState) -> Span {
+    m.pairs
+        .iter()
+        .filter(|p| !p.src.is_synthetic() && !p.src.is_empty())
+        .fold(Span::SYNTHETIC, |acc, p| acc.merge(p.src))
+}
+
+fn overlaps(a: Span, b: Span) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
+/// Find all matches of a pattern in a translation unit, starting from a
+/// seed environment.
+pub fn find_matches(
+    ctx: &MatchCtx,
+    pattern: &Pattern,
+    tu: &TranslationUnit,
+    seed: &Env,
+) -> Vec<MatchState> {
+    let mut out = Vec::new();
+    match pattern {
+        Pattern::Expr(pat) => {
+            visit::walk_all_exprs(tu, &mut |e| {
+                let mut st = MatchState {
+                    env: seed.clone(),
+                    ..Default::default()
+                };
+                if matcher::match_expr(ctx, pat, e, &mut st) {
+                    // Record the root pair for the rewriter.
+                    st.pairs.push(crate::matcher::Pair {
+                        pat: pat.span(),
+                        src: e.span(),
+                        kind: crate::matcher::PairKind::Expr,
+                    });
+                    out.push(st);
+                }
+            });
+        }
+        Pattern::Stmts(pats) => {
+            // Match inside every block of every function.
+            let mut blocks: Vec<&Block> = Vec::new();
+            visit::walk_functions(tu, &mut |f| {
+                blocks.push(&f.body);
+            });
+            let mut nested: Vec<&Block> = Vec::new();
+            for b in &blocks {
+                for s in &b.stmts {
+                    visit::walk_stmt(s, &mut |st| {
+                        if let Stmt::Block(inner) = st {
+                            nested.push(inner);
+                        }
+                    });
+                }
+            }
+            blocks.extend(nested);
+            for block in blocks {
+                collect_seq_matches(ctx, pats, &block.stmts, block.span, seed, &mut out);
+            }
+            // Single-statement patterns also match at nested
+            // sub-statement positions (unbraced `if`/loop branches),
+            // which block-list windows never visit.
+            if pats.len() == 1
+                && !matches!(pats[0], Stmt::Dots { .. } | Stmt::MetaStmtList { .. })
+            {
+                let mut nested_stmts: Vec<&Stmt> = Vec::new();
+                visit::walk_functions(tu, &mut |f| {
+                    for s in &f.body.stmts {
+                        visit::walk_stmt(s, &mut |st| {
+                            if !matches!(st, Stmt::Block(_)) {
+                                nested_stmts.push(st);
+                            }
+                        });
+                    }
+                });
+                for s in nested_stmts {
+                    let mut st = MatchState {
+                        env: seed.clone(),
+                        ..Default::default()
+                    };
+                    if matcher::match_stmt(ctx, &pats[0], s, &mut st) {
+                        out.push(st);
+                    }
+                }
+            }
+            // Dual: directive/declaration-only patterns also match the
+            // top level (the include-insertion and API-translation rules
+            // need this).
+            let only_toplevel_shapes = pats
+                .iter()
+                .all(|p| matches!(p, Stmt::Directive(_) | Stmt::Decl(_) | Stmt::Dots { .. }));
+            if only_toplevel_shapes {
+                let pseudo: Vec<Stmt> = tu
+                    .items
+                    .iter()
+                    .map(|it| match it {
+                        Item::Directive(d) => Stmt::Directive(d.clone()),
+                        Item::Decl(d) => Stmt::Decl(d.clone()),
+                        other => Stmt::Empty {
+                            span: other.span(),
+                        },
+                    })
+                    .collect();
+                collect_seq_matches(ctx, pats, &pseudo, tu.span, seed, &mut out);
+            }
+        }
+        Pattern::Items(pats) => {
+            collect_item_matches(ctx, pats, &tu.items, seed, &mut out);
+            // Recurse into namespaces / extern blocks.
+            fn rec(
+                ctx: &MatchCtx,
+                pats: &[Item],
+                items: &[Item],
+                seed: &Env,
+                out: &mut Vec<MatchState>,
+            ) {
+                for it in items {
+                    match it {
+                        Item::Namespace { items, .. } | Item::ExternBlock { items, .. } => {
+                            collect_item_matches(ctx, pats, items, seed, out);
+                            rec(ctx, pats, items, seed, out);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            rec(ctx, pats, &tu.items, seed, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_seq_matches(
+    ctx: &MatchCtx,
+    pats: &[Stmt],
+    srcs: &[Stmt],
+    enclosing: Span,
+    seed: &Env,
+    out: &mut Vec<MatchState>,
+) {
+    let leading_dots = matches!(pats.first(), Some(Stmt::Dots { .. }));
+    let starts: Vec<usize> = if leading_dots {
+        vec![0]
+    } else {
+        (0..srcs.len().max(1)).collect()
+    };
+    for start in starts {
+        if start > srcs.len() {
+            break;
+        }
+        let mut st = MatchState {
+            env: seed.clone(),
+            ..Default::default()
+        };
+        if matcher::match_stmt_seq(ctx, pats, &srcs[start..], false, enclosing, &mut st) {
+            out.push(st);
+        }
+    }
+}
+
+fn collect_item_matches(
+    ctx: &MatchCtx,
+    pats: &[Item],
+    items: &[Item],
+    seed: &Env,
+    out: &mut Vec<MatchState>,
+) {
+    if pats.is_empty() {
+        return;
+    }
+    for start in 0..items.len() {
+        if start + pats.len() > items.len() {
+            break;
+        }
+        let mut st = MatchState {
+            env: seed.clone(),
+            ..Default::default()
+        };
+        let mut ok = true;
+        for (pi, p) in pats.iter().enumerate() {
+            if !matcher::match_item(ctx, p, &items[start + pi], &mut st) {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            out.push(st);
+        }
+    }
+}

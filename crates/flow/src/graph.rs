@@ -1,0 +1,236 @@
+//! CFG data structure.
+
+use cocci_source::Span;
+
+/// Index of a node in a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic function entry.
+    Entry,
+    /// Synthetic function exit.
+    Exit,
+    /// A simple statement (expression, declaration, return, …).
+    Stmt,
+    /// A branching construct's decision point (`if`, `while`, `for`
+    /// condition, `switch` scrutinee).
+    Branch,
+    /// A pragma or other directive in statement position.
+    Directive,
+    /// A no-op join point inserted for structure (loop headers after the
+    /// body, if-joins).
+    Join,
+}
+
+/// Classification of a CFG edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Unconditional fallthrough.
+    Seq,
+    /// Branch taken (`true` side / matching case).
+    True,
+    /// Branch not taken (`false` side / default).
+    False,
+    /// Loop back edge.
+    Back,
+}
+
+/// An intra-procedural control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    kinds: Vec<NodeKind>,
+    labels: Vec<String>,
+    spans: Vec<Span>,
+    succs: Vec<Vec<(NodeId, EdgeKind)>>,
+    preds: Vec<Vec<(NodeId, EdgeKind)>>,
+    entry: NodeId,
+    exit: NodeId,
+}
+
+impl Cfg {
+    /// Create a graph containing only entry and exit nodes.
+    pub(crate) fn new() -> Self {
+        let mut g = Cfg {
+            kinds: Vec::new(),
+            labels: Vec::new(),
+            spans: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            entry: NodeId(0),
+            exit: NodeId(0),
+        };
+        g.entry = g.add(NodeKind::Entry, "entry", Span::SYNTHETIC);
+        g.exit = g.add(NodeKind::Exit, "exit", Span::SYNTHETIC);
+        g
+    }
+
+    pub(crate) fn add(&mut self, kind: NodeKind, label: impl Into<String>, span: Span) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.labels.push(label.into());
+        self.spans.push(span);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    pub(crate) fn edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        if !self.succs[from.index()].iter().any(|&(t, k)| t == to && k == kind) {
+            self.succs[from.index()].push((to, kind));
+            self.preds[to.index()].push((from, kind));
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the graph has only entry/exit.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.len() <= 2
+    }
+
+    /// Entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// Exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Iterate all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Kind of `n`.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// Human-readable label of `n` (statement text, condensed).
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.labels[n.index()]
+    }
+
+    /// Source span of `n`.
+    pub fn span(&self, n: NodeId) -> Span {
+        self.spans[n.index()]
+    }
+
+    /// Successor edges of `n`.
+    pub fn succs(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessor edges of `n`.
+    pub fn preds(&self, n: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.preds[n.index()]
+    }
+
+    /// Reverse postorder from the entry node.
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.len()];
+        let mut post = Vec::with_capacity(self.len());
+        // Iterative DFS with explicit stack of (node, next-succ-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[n.index()].len() {
+                let (succ, _) = self.succs[n.index()][*i];
+                *i += 1;
+                if !visited[succ.index()] {
+                    visited[succ.index()] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                post.push(n);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Graphviz dot rendering (for debugging and documentation).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph cfg {\n");
+        for n in self.nodes() {
+            s.push_str(&format!(
+                "  n{} [label=\"{}\"];\n",
+                n.index(),
+                self.label(n).replace('"', "\\\"")
+            ));
+        }
+        for n in self.nodes() {
+            for &(t, k) in self.succs(n) {
+                s.push_str(&format!(
+                    "  n{} -> n{} [label=\"{:?}\"];\n",
+                    n.index(),
+                    t.index(),
+                    k
+                ));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_graph_edges() {
+        let mut g = Cfg::new();
+        let a = g.add(NodeKind::Stmt, "a", Span::SYNTHETIC);
+        let b = g.add(NodeKind::Stmt, "b", Span::SYNTHETIC);
+        g.edge(g.entry(), a, EdgeKind::Seq);
+        g.edge(a, b, EdgeKind::Seq);
+        g.edge(b, g.exit(), EdgeKind::Seq);
+        assert_eq!(g.succs(a), &[(b, EdgeKind::Seq)]);
+        assert_eq!(g.preds(b), &[(a, EdgeKind::Seq)]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Cfg::new();
+        let a = g.add(NodeKind::Stmt, "a", Span::SYNTHETIC);
+        g.edge(g.entry(), a, EdgeKind::Seq);
+        g.edge(g.entry(), a, EdgeKind::Seq);
+        assert_eq!(g.succs(g.entry()).len(), 1);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let mut g = Cfg::new();
+        let a = g.add(NodeKind::Stmt, "a", Span::SYNTHETIC);
+        g.edge(g.entry(), a, EdgeKind::Seq);
+        g.edge(a, g.exit(), EdgeKind::Seq);
+        let rpo = g.reverse_postorder();
+        assert_eq!(rpo[0], g.entry());
+    }
+
+    #[test]
+    fn dot_output_contains_nodes() {
+        let g = Cfg::new();
+        let dot = g.to_dot();
+        assert!(dot.contains("entry"));
+        assert!(dot.contains("exit"));
+    }
+}

@@ -1,0 +1,274 @@
+//! `cocci-flow`: intra-procedural control-flow graphs and analyses.
+//!
+//! A semantic patch is "applied taking into account … the control flow of
+//! the target programming language" (paper, §1). This crate provides the
+//! control-flow substrate: CFG construction from a
+//! [`FunctionDef`](cocci_cast::FunctionDef), plus the analyses the engine
+//! and the experiment harness use — reachability, dominators, and natural
+//! loop detection (loop headers are where most HPC patches anchor:
+//! instrumentation, unroll removal, Kokkos conversion).
+
+mod build;
+mod graph;
+
+pub use build::build_cfg;
+pub use graph::{Cfg, EdgeKind, NodeId, NodeKind};
+
+use std::collections::VecDeque;
+
+/// Nodes reachable from the entry node.
+pub fn reachable(cfg: &Cfg) -> Vec<bool> {
+    let mut seen = vec![false; cfg.len()];
+    let mut q = VecDeque::new();
+    q.push_back(cfg.entry());
+    seen[cfg.entry().index()] = true;
+    while let Some(n) = q.pop_front() {
+        for &(succ, _) in cfg.succs(n) {
+            if !seen[succ.index()] {
+                seen[succ.index()] = true;
+                q.push_back(succ);
+            }
+        }
+    }
+    seen
+}
+
+/// Immediate dominators (Cooper–Harvey–Kennedy iterative algorithm).
+/// `idom[entry] == entry`; unreachable nodes map to `None`.
+pub fn dominators(cfg: &Cfg) -> Vec<Option<NodeId>> {
+    let n = cfg.len();
+    let rpo = cfg.reverse_postorder();
+    let mut order = vec![usize::MAX; n];
+    for (i, &node) in rpo.iter().enumerate() {
+        order[node.index()] = i;
+    }
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    idom[cfg.entry().index()] = Some(cfg.entry());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<NodeId> = None;
+            for &(p, _) in cfg.preds(b) {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.index()] != Some(ni) {
+                    idom[b.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(idom: &[Option<NodeId>], order: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
+    while a != b {
+        while order[a.index()] > order[b.index()] {
+            a = idom[a.index()].expect("dominator of processed node");
+        }
+        while order[b.index()] > order[a.index()] {
+            b = idom[b.index()].expect("dominator of processed node");
+        }
+    }
+    a
+}
+
+/// Does `a` dominate `b`?
+pub fn dominates(idom: &[Option<NodeId>], a: NodeId, b: NodeId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.index()] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// A natural loop: back edge `tail -> header` with the set of nodes in the
+/// loop body.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Loop header node.
+    pub header: NodeId,
+    /// Source of the back edge.
+    pub tail: NodeId,
+    /// All nodes in the loop (including header and tail).
+    pub body: Vec<NodeId>,
+}
+
+/// Find all natural loops (back edges whose target dominates the source).
+pub fn natural_loops(cfg: &Cfg) -> Vec<NaturalLoop> {
+    let idom = dominators(cfg);
+    let reach = reachable(cfg);
+    let mut loops = Vec::new();
+    for n in cfg.nodes() {
+        if !reach[n.index()] {
+            continue;
+        }
+        for &(succ, _) in cfg.succs(n) {
+            if dominates(&idom, succ, n) {
+                // back edge n -> succ.
+                let mut body = vec![succ];
+                let mut stack = vec![n];
+                let mut in_body = vec![false; cfg.len()];
+                in_body[succ.index()] = true;
+                while let Some(m) = stack.pop() {
+                    if in_body[m.index()] {
+                        continue;
+                    }
+                    in_body[m.index()] = true;
+                    body.push(m);
+                    for &(p, _) in cfg.preds(m) {
+                        stack.push(p);
+                    }
+                }
+                body.sort_by_key(|x| x.index());
+                loops.push(NaturalLoop {
+                    header: succ,
+                    tail: n,
+                    body,
+                });
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
+    use cocci_cast::Item;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let tu = parse_translation_unit(src, ParseOptions::c(), &NoMeta).unwrap();
+        match &tu.items[0] {
+            Item::Function(f) => build_cfg(f),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn straightline_cfg() {
+        let cfg = cfg_of("void f(void) { a(); b(); c(); }");
+        // entry -> a -> b -> c -> exit
+        assert!(cfg.len() >= 5);
+        let reach = reachable(&cfg);
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn if_join() {
+        let cfg = cfg_of("void f(int x) { if (x) a(); else b(); c(); }");
+        // the `if` node has two successors
+        let cond = cfg
+            .nodes()
+            .find(|&n| matches!(cfg.kind(n), NodeKind::Branch))
+            .unwrap();
+        assert_eq!(cfg.succs(cond).len(), 2);
+        let loops = natural_loops(&cfg);
+        assert!(loops.is_empty());
+    }
+
+    #[test]
+    fn while_loop_detected() {
+        let cfg = cfg_of("void f(int n) { int i = 0; while (i < n) { i++; } done(); }");
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].body.len() >= 2);
+    }
+
+    #[test]
+    fn for_loop_detected() {
+        let cfg = cfg_of("void f(int n) { for (int i = 0; i < n; ++i) { work(i); } }");
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let cfg = cfg_of(
+            "void f(int n) { for (int i = 0; i < n; ++i) { for (int j = 0; j < n; ++j) { w(i, j); } } }",
+        );
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let cfg = cfg_of("void f(int n) { while (1) { if (n) break; g(); } h(); }");
+        let reach = reachable(&cfg);
+        // h() must be reachable through the break edge.
+        let h_reachable = cfg.nodes().any(|n| {
+            reach[n.index()]
+                && matches!(cfg.kind(n), NodeKind::Stmt)
+                && cfg.label(n).contains("h()")
+        });
+        assert!(h_reachable);
+    }
+
+    #[test]
+    fn do_while_loops_once_minimum() {
+        let cfg = cfg_of("void f(int n) { do { g(); } while (n); }");
+        assert_eq!(natural_loops(&cfg).len(), 1);
+    }
+
+    #[test]
+    fn dominators_linear_chain() {
+        let cfg = cfg_of("void f(void) { a(); b(); }");
+        let idom = dominators(&cfg);
+        // Entry dominates everything.
+        for n in cfg.nodes() {
+            if reachable(&cfg)[n.index()] {
+                assert!(dominates(&idom, cfg.entry(), n));
+            }
+        }
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        let cfg = cfg_of("void f(int n) { start: if (n) goto start; end(); }");
+        assert_eq!(natural_loops(&cfg).len(), 1);
+    }
+
+    #[test]
+    fn continue_edge() {
+        let cfg = cfg_of(
+            "void f(int n) { for (int i = 0; i < n; ++i) { if (i % 2) continue; g(i); } }",
+        );
+        let loops = natural_loops(&cfg);
+        assert_eq!(loops.len(), 1);
+        let reach = reachable(&cfg);
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn return_goes_to_exit() {
+        let cfg = cfg_of("int f(int n) { if (n) return 1; return 0; }");
+        // Exit has at least two predecessors (both returns).
+        assert!(cfg.preds(cfg.exit()).len() >= 2);
+    }
+
+    #[test]
+    fn switch_fanout() {
+        let cfg = cfg_of(
+            "void f(int n) { switch (n) { case 0: a(); break; case 1: b(); break; default: c(); } d(); }",
+        );
+        let sw = cfg
+            .nodes()
+            .find(|&n| matches!(cfg.kind(n), NodeKind::Branch))
+            .unwrap();
+        assert!(cfg.succs(sw).len() >= 3);
+    }
+}

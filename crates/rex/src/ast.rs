@@ -1,0 +1,118 @@
+//! Regex syntax tree.
+
+/// One element of a character class `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single byte.
+    Byte(u8),
+    /// An inclusive byte range `lo-hi`.
+    Range(u8, u8),
+}
+
+impl ClassItem {
+    /// Whether `b` is covered by this item.
+    pub fn matches(&self, b: u8) -> bool {
+        match *self {
+            ClassItem::Byte(c) => b == c,
+            ClassItem::Range(lo, hi) => lo <= b && b <= hi,
+        }
+    }
+}
+
+/// Regex AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Matches the empty string.
+    Empty,
+    /// A literal byte.
+    Byte(u8),
+    /// `.` — any byte except `\n`.
+    AnyByte,
+    /// `[...]` or a Perl class; `negated` flips the set.
+    Class {
+        /// Set members.
+        items: Vec<ClassItem>,
+        /// `[^...]` when true.
+        negated: bool,
+    },
+    /// Concatenation of sub-patterns.
+    Concat(Vec<Node>),
+    /// Alternation `a|b|...`.
+    Alt(Vec<Node>),
+    /// `a*` / `a+` / `a?` / `a{m,n}` normalized to (min, max).
+    Repeat {
+        /// Repeated sub-pattern.
+        node: Box<Node>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = unbounded.
+        max: Option<u32>,
+    },
+    /// `^` — start of text.
+    StartAnchor,
+    /// `$` — end of text.
+    EndAnchor,
+}
+
+impl Node {
+    /// Convenience constructor for the `\d` class.
+    pub fn digit(negated: bool) -> Node {
+        Node::Class {
+            items: vec![ClassItem::Range(b'0', b'9')],
+            negated,
+        }
+    }
+
+    /// Convenience constructor for the `\w` class.
+    pub fn word(negated: bool) -> Node {
+        Node::Class {
+            items: vec![
+                ClassItem::Range(b'a', b'z'),
+                ClassItem::Range(b'A', b'Z'),
+                ClassItem::Range(b'0', b'9'),
+                ClassItem::Byte(b'_'),
+            ],
+            negated,
+        }
+    }
+
+    /// Convenience constructor for the `\s` class.
+    pub fn space(negated: bool) -> Node {
+        Node::Class {
+            items: vec![
+                ClassItem::Byte(b' '),
+                ClassItem::Byte(b'\t'),
+                ClassItem::Byte(b'\n'),
+                ClassItem::Byte(b'\r'),
+                ClassItem::Byte(0x0b),
+                ClassItem::Byte(0x0c),
+            ],
+            negated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_matching() {
+        assert!(ClassItem::Byte(b'x').matches(b'x'));
+        assert!(!ClassItem::Byte(b'x').matches(b'y'));
+        assert!(ClassItem::Range(b'a', b'f').matches(b'c'));
+        assert!(!ClassItem::Range(b'a', b'f').matches(b'g'));
+    }
+
+    #[test]
+    fn word_class_contents() {
+        if let Node::Class { items, negated } = Node::word(false) {
+            assert!(!negated);
+            assert!(items.iter().any(|i| i.matches(b'_')));
+            assert!(items.iter().any(|i| i.matches(b'Q')));
+            assert!(!items.iter().any(|i| i.matches(b'-')));
+        } else {
+            panic!("expected class");
+        }
+    }
+}

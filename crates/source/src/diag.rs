@@ -1,0 +1,196 @@
+//! Diagnostics: errors and warnings with source positions.
+
+use crate::{FileId, SourceMap, Span};
+use std::fmt;
+
+/// Severity / category of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// A hard error; the producing phase failed.
+    Error,
+    /// A recoverable oddity worth reporting.
+    Warning,
+    /// Informational note (e.g. which rule matched where).
+    Note,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnosticKind::Error => write!(f, "error"),
+            DiagnosticKind::Warning => write!(f, "warning"),
+            DiagnosticKind::Note => write!(f, "note"),
+        }
+    }
+}
+
+/// A single diagnostic message anchored to a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity.
+    pub kind: DiagnosticKind,
+    /// File the diagnostic refers to, when known.
+    pub file: Option<FileId>,
+    /// Location within the file.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(file: FileId, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind: DiagnosticKind::Error,
+            file: Some(file),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(file: FileId, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind: DiagnosticKind::Warning,
+            file: Some(file),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a file-less error (e.g. configuration problems).
+    pub fn bare_error(message: impl Into<String>) -> Self {
+        Diagnostic {
+            kind: DiagnosticKind::Error,
+            file: None,
+            span: Span::SYNTHETIC,
+            message: message.into(),
+        }
+    }
+
+    /// Render with `name:line:col` context resolved against `sm`.
+    pub fn render(&self, sm: &SourceMap) -> String {
+        match self.file {
+            Some(f) if !self.span.is_synthetic() => {
+                format!(
+                    "{}: {}: {}",
+                    sm.describe(f, self.span),
+                    self.kind,
+                    self.message
+                )
+            }
+            Some(f) => format!("{}: {}: {}", sm.file(f).name, self.kind, self.message),
+            None => format!("{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+/// Accumulator for diagnostics produced during a phase.
+#[derive(Debug, Default, Clone)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Shorthand for pushing an error.
+    pub fn error(&mut self, file: FileId, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(file, span, message));
+    }
+
+    /// Shorthand for pushing a warning.
+    pub fn warning(&mut self, file: FileId, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(file, span, message));
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::Error)
+    }
+
+    /// All recorded diagnostics in order.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Render all diagnostics, one per line.
+    pub fn render_all(&self, sm: &SourceMap) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render(sm));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_with_position() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("f.c", "abc\ndef\n");
+        let d = Diagnostic::error(id, Span::new(4, 5), "bad token");
+        assert_eq!(d.render(&sm), "f.c:2:1: error: bad token");
+    }
+
+    #[test]
+    fn render_bare() {
+        let sm = SourceMap::new();
+        let d = Diagnostic::bare_error("no input files");
+        assert_eq!(d.render(&sm), "error: no input files");
+    }
+
+    #[test]
+    fn has_errors_distinguishes_warnings() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("f.c", "x");
+        let mut ds = Diagnostics::new();
+        ds.warning(id, Span::new(0, 1), "odd");
+        assert!(!ds.has_errors());
+        ds.error(id, Span::new(0, 1), "bad");
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn render_all_multiline() {
+        let mut sm = SourceMap::new();
+        let id = sm.add_file("f.c", "x\ny");
+        let mut ds = Diagnostics::new();
+        ds.error(id, Span::new(0, 1), "one");
+        ds.error(id, Span::new(2, 3), "two");
+        let r = ds.render_all(&sm);
+        assert_eq!(r.lines().count(), 2);
+        assert!(r.contains("f.c:1:1"));
+        assert!(r.contains("f.c:2:1"));
+    }
+}

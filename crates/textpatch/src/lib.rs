@@ -1,0 +1,177 @@
+//! `cocci-textpatch`: a text-level API rewriter — the baseline the paper
+//! contrasts semantic patching against.
+//!
+//! The paper (§3, "Translation of very similar APIs") notes that
+//! `hipify-perl` performs CUDA→HIP translation with token dictionaries
+//! "albeit without using an AST". This crate reimplements that class of
+//! tool so experiment E2 can measure the difference: a dictionary of
+//! name→name rewrites applied directly to text.
+//!
+//! Two fidelity levels are provided, bracketing real text-based tools:
+//!
+//! * [`TextPatcher::naive`] — plain substring replacement (what a sed
+//!   one-liner does): corrupts substrings of longer identifiers as well
+//!   as strings and comments;
+//! * [`TextPatcher::word_boundary`] — identifier-boundary-aware
+//!   replacement (what hipify-perl's regexes do): spares substrings but
+//!   still rewrites names inside string literals and comments, because
+//!   text-level tools do not tokenize.
+//!
+//! Neither consults an AST; both are fast. The semantic engine
+//! (`cocci-core`) is the third point of the comparison.
+
+/// Replacement fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Substring replacement.
+    Naive,
+    /// Identifier-boundary-aware replacement.
+    WordBoundary,
+}
+
+/// A dictionary-driven text rewriter.
+#[derive(Debug, Clone)]
+pub struct TextPatcher {
+    dict: Vec<(String, String)>,
+    mode: Mode,
+}
+
+impl TextPatcher {
+    /// Naive substring rewriter.
+    pub fn naive(dict: &[(&str, &str)]) -> Self {
+        Self::with_mode(dict, Mode::Naive)
+    }
+
+    /// Word-boundary rewriter (hipify-perl fidelity).
+    pub fn word_boundary(dict: &[(&str, &str)]) -> Self {
+        Self::with_mode(dict, Mode::WordBoundary)
+    }
+
+    /// Build with an explicit mode.
+    pub fn with_mode(dict: &[(&str, &str)], mode: Mode) -> Self {
+        TextPatcher {
+            dict: dict
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            mode,
+        }
+    }
+
+    /// Rewrite `text`, returning the result and the number of
+    /// replacements made.
+    pub fn apply(&self, text: &str) -> (String, usize) {
+        let mut out = text.to_string();
+        let mut count = 0usize;
+        for (old, new) in &self.dict {
+            let (next, n) = match self.mode {
+                Mode::Naive => replace_all(&out, old, new),
+                Mode::WordBoundary => replace_word(&out, old, new),
+            };
+            out = next;
+            count += n;
+        }
+        (out, count)
+    }
+}
+
+fn replace_all(text: &str, old: &str, new: &str) -> (String, usize) {
+    let count = text.matches(old).count();
+    (text.replace(old, new), count)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+fn replace_word(text: &str, old: &str, new: &str) -> (String, usize) {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0usize;
+    let mut count = 0usize;
+    while i < bytes.len() {
+        if text[i..].starts_with(old) {
+            let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+            let after = i + old.len();
+            let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+            if before_ok && after_ok {
+                out.push_str(new);
+                i = after;
+                count += 1;
+                continue;
+            }
+        }
+        // Advance one UTF-8 scalar.
+        let ch = text[i..].chars().next().unwrap();
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    (out, count)
+}
+
+/// The CUDA→HIP dictionary shared by the E2 experiment (a small excerpt
+/// of the hipify tables — enough to exercise the comparison).
+pub const CUDA_HIP_DICT: &[(&str, &str)] = &[
+    ("curand_uniform_double", "rocrand_uniform_double"),
+    ("cudaMalloc", "hipMalloc"),
+    ("cudaFree", "hipFree"),
+    ("cudaMemcpy", "hipMemcpy"),
+    ("cudaDeviceSynchronize", "hipDeviceSynchronize"),
+    ("cudaStream_t", "hipStream_t"),
+    ("__half", "rocblas_half"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_rewrites_everything_including_traps() {
+        let p = TextPatcher::naive(&[("cudaFree", "hipFree")]);
+        let src = "cudaFree(p); // cudaFree docs\nlog(\"cudaFree\"); my_cudaFree_wrapper(p);";
+        let (out, n) = p.apply(src);
+        assert_eq!(n, 4);
+        assert!(out.contains("hipFree(p);"));
+        assert!(out.contains("// hipFree docs"));
+        assert!(out.contains("\"hipFree\""));
+        assert!(out.contains("my_hipFree_wrapper"));
+    }
+
+    #[test]
+    fn word_boundary_spares_substrings_but_not_strings() {
+        let p = TextPatcher::word_boundary(&[("cudaFree", "hipFree")]);
+        let src = "cudaFree(p); log(\"cudaFree\"); my_cudaFree_wrapper(p); cudaFreeHost(q);";
+        let (out, n) = p.apply(src);
+        assert_eq!(n, 2); // call + string literal
+        assert!(out.contains("hipFree(p);"));
+        assert!(out.contains("\"hipFree\"")); // string still rewritten!
+        assert!(out.contains("my_cudaFree_wrapper")); // substring spared
+        assert!(out.contains("cudaFreeHost")); // longer identifier spared
+    }
+
+    #[test]
+    fn multiple_dictionary_entries() {
+        let p = TextPatcher::word_boundary(CUDA_HIP_DICT);
+        let src = "cudaMalloc(&p, n); cudaMemcpy(d, s, n); cudaFree(p);";
+        let (out, n) = p.apply(src);
+        assert_eq!(n, 3);
+        assert!(out.contains("hipMalloc"));
+        assert!(out.contains("hipMemcpy"));
+        assert!(out.contains("hipFree"));
+    }
+
+    #[test]
+    fn word_boundary_at_text_edges() {
+        let p = TextPatcher::word_boundary(&[("abc", "xyz")]);
+        assert_eq!(p.apply("abc").0, "xyz");
+        assert_eq!(p.apply("abc def abc").0, "xyz def xyz");
+        assert_eq!(p.apply("abcd").0, "abcd");
+        assert_eq!(p.apply("dabc").0, "dabc");
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = TextPatcher::word_boundary(&[("a", "b")]);
+        assert_eq!(p.apply("").0, "");
+    }
+}

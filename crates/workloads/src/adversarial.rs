@@ -1,0 +1,146 @@
+//! The adversarial corpus for experiment E2 (semantic vs. textual
+//! precision).
+//!
+//! The paper contrasts Coccinelle's AST-level CUDA→HIP translation with
+//! `hipify-perl`, which rewrites text. Text-level rewriting goes wrong in
+//! exactly three ways, all of which this corpus exhibits *with known
+//! ground truth*:
+//!
+//! 1. API names inside **string literals** (log messages, option tables);
+//! 2. API names inside **comments**;
+//! 3. API names as **substrings of longer identifiers**
+//!    (`my_curand_uniform_double_wrapper`), which naive non-boundary
+//!    matching corrupts — and which even word-boundary matching corrupts
+//!    when the full word coincides (`curand_uniform_double_t` typedef
+//!    names are *not* generated here; substring cases use prefixes).
+//!
+//! Every file records how many *true* call sites it contains, so the
+//! harness can count false positives/negatives for both engines.
+
+/// One adversarial file with ground truth.
+#[derive(Debug, Clone)]
+pub struct AdversarialFile {
+    /// File name.
+    pub name: String,
+    /// Contents.
+    pub text: String,
+    /// Number of genuine `curand_uniform_double` call sites (the only
+    /// occurrences a correct translator may rewrite).
+    pub true_call_sites: usize,
+    /// Number of occurrences of the API name in non-call contexts
+    /// (strings, comments, substrings) that must stay untouched.
+    pub trap_occurrences: usize,
+}
+
+/// Build the adversarial corpus: `n` files, each mixing true call sites
+/// with traps.
+pub fn corpus(n: usize) -> Vec<AdversarialFile> {
+    (0..n)
+        .map(|i| {
+            let text = format!(
+                r#"// This comment mentions curand_uniform_double twice: curand_uniform_double.
+void stage_{i}(double *buf, int tid) {{
+    double r;
+    r = curand_uniform_double(state_{i});
+    log_msg("calling curand_uniform_double now");
+    buf[tid] = r;
+    my_curand_uniform_double_wrapper(state_{i});
+    r = curand_uniform_double(other_state_{i});
+    printf("%s", "curand_uniform_double failed");
+    buf[tid] += r;
+}}
+"#
+            );
+            AdversarialFile {
+                name: format!("adv_{i}.c"),
+                text,
+                true_call_sites: 2,
+                trap_occurrences: 5, // 2 comment + 2 string + 1 substring
+            }
+        })
+        .collect()
+}
+
+/// Count occurrences of `needle` in `text` (overlap-free).
+pub fn count_occurrences(text: &str, needle: &str) -> usize {
+    text.matches(needle).count()
+}
+
+/// Evaluate a translated file against ground truth. Returns
+/// `(rewritten_calls, false_positives)`:
+/// `rewritten_calls` — how many of the true call sites were translated
+/// (the new name appears as a call);
+/// `false_positives` — how many trap occurrences were (incorrectly)
+/// rewritten.
+pub fn score(original: &AdversarialFile, translated: &str, old: &str, new: &str) -> (usize, usize) {
+    // True positives: calls of the new name.
+    let rewritten_calls = translated.matches(&format!("{new}(state")).count()
+        + translated.matches(&format!("{new}(other_state")).count();
+    // Count how many *trap* occurrences changed: total `new` occurrences
+    // minus the legitimate rewrites (substring traps count when the new
+    // name appears inside the wrapper identifier, etc.).
+    let total_new = count_occurrences(translated, new);
+    let false_positives = total_new.saturating_sub(rewritten_calls);
+    let _ = (original, old);
+    (rewritten_calls, false_positives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_ground_truth_is_consistent() {
+        for f in corpus(3) {
+            assert_eq!(
+                count_occurrences(&f.text, "curand_uniform_double"),
+                f.true_call_sites + f.trap_occurrences,
+                "{}",
+                f.text
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_parses_as_c() {
+        // The adversarial files must still be valid C for the semantic
+        // engine — traps live in comments/strings, not syntax.
+        for f in corpus(2) {
+            cocci_cast::parser::parse_translation_unit(
+                &f.text,
+                cocci_cast::ParseOptions::c(),
+                &cocci_cast::NoMeta,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
+    fn score_counts_perfect_translation() {
+        let f = &corpus(1)[0];
+        // A perfect translator rewrites only the two calls.
+        let perfect = f
+            .text
+            .replace(
+                "curand_uniform_double(state",
+                "rocrand_uniform_double(state",
+            )
+            .replace(
+                "curand_uniform_double(other_state",
+                "rocrand_uniform_double(other_state",
+            );
+        let (tp, fp) = score(f, &perfect, "curand_uniform_double", "rocrand_uniform_double");
+        assert_eq!(tp, 2);
+        assert_eq!(fp, 0);
+    }
+
+    #[test]
+    fn score_counts_naive_translation() {
+        let f = &corpus(1)[0];
+        // A naive textual translator rewrites everything.
+        let naive = f.text.replace("curand_uniform_double", "rocrand_uniform_double");
+        let (tp, fp) = score(f, &naive, "curand_uniform_double", "rocrand_uniform_double");
+        assert_eq!(tp, 2);
+        assert_eq!(fp, f.trap_occurrences);
+    }
+}

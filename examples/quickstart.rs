@@ -1,0 +1,54 @@
+//! Quickstart: parse a semantic patch, apply it to a C buffer, inspect
+//! the result.
+//!
+//! ```text
+//! cargo run -p cocci-examples --bin quickstart
+//! ```
+
+use cocci_core::Patcher;
+use cocci_examples::section;
+use cocci_smpl::parse_semantic_patch;
+
+const PATCH: &str = r#"
+@fix@
+expression x;
+@@
+- deprecated_sum(x, x)
++ 2 * modern_scale(x)
+"#;
+
+const TARGET: &str = r#"#include <math.h>
+
+double energy(double v) {
+    double e = deprecated_sum(v, v);
+    double f = deprecated_sum(v + 1.0, v + 1.0);
+    double keep = deprecated_sum(v, 2.0);
+    return e + f + keep;
+}
+"#;
+
+fn main() {
+    section("semantic patch");
+    println!("{}", PATCH.trim());
+
+    section("target");
+    print!("{TARGET}");
+
+    let patch = parse_semantic_patch(PATCH).expect("patch parses");
+    let mut patcher = Patcher::new(&patch).expect("patch compiles");
+    let out = patcher
+        .apply("energy.c", TARGET)
+        .expect("apply succeeds")
+        .expect("the target contains two matches");
+
+    section("result");
+    print!("{out}");
+
+    // The expression metavariable `x` forces both arguments to be the
+    // SAME expression: `deprecated_sum(v, 2.0)` is untouched.
+    assert!(out.contains("2 * modern_scale(v)"));
+    assert!(out.contains("2 * modern_scale(v + 1.0)"));
+    assert!(out.contains("deprecated_sum(v, 2.0)"));
+    section("ok");
+    println!("metavariable equality constraint respected; 2 of 3 call sites rewritten");
+}

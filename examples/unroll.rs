@@ -1,0 +1,99 @@
+//! Removal of explicit loop unrolling (UC5): the paper's scenario of an
+//! inherited codebase full of script-generated 4×-unrolled loops whose
+//! generator is lost. The safe `p1`/`r1` rule pair normalizes the body
+//! statements and collapses them only when they were truly identical
+//! modulo the index offset, replacing manual unrolling with
+//! `#pragma omp unroll partial(4)`.
+//!
+//! ```text
+//! cargo run -p cocci-examples --bin unroll --release
+//! ```
+
+use cocci_core::apply_to_files;
+use cocci_examples::{section, timed};
+use cocci_smpl::parse_semantic_patch;
+use cocci_workloads::gen::{unrolled_codebase, CodebaseSpec};
+
+const PATCH: &str = r#"
+@p1@
+type T;
+identifier i,l;
+constant k={4};
+statement A,B,C,D;
+@@
+for (T i=0; i+k-1 < l; i+=k)
+{
+\( A \& i+0 \) \( B \&
+- i+1
++ i+0
+\) \( C \&
+- i+2
++ i+0
+\) \( D \&
+- i+3
++ i+0
+\)
+}
+
+@r1@
+type T;
+identifier i,l;
+constant k={4};
+statement p1.A;
+@@
++ #pragma omp unroll partial(4)
+for (T i=0; i
+- +k-1
+< l ;
+- i+=k
++ ++i
+)
+{
+A
+- A A A
+}
+"#;
+
+fn main() {
+    let spec = CodebaseSpec {
+        files: 12,
+        functions_per_file: 10,
+        seed: 7,
+    };
+    let files = unrolled_codebase(&spec, 4);
+    let loops = spec.files * spec.functions_per_file;
+    section("workload");
+    println!(
+        "{} files, {loops} hand-unrolled loops (factor 4)",
+        files.len()
+    );
+
+    let patch = parse_semantic_patch(PATCH).expect("patch parses");
+    let inputs: Vec<(String, String)> =
+        files.iter().map(|f| (f.name.clone(), f.text.clone())).collect();
+
+    let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0));
+    let pragmas: usize = outcomes
+        .iter()
+        .filter_map(|o| o.output.as_deref())
+        .map(|t| t.matches("#pragma omp unroll partial(4)").count())
+        .sum();
+    let leftovers: usize = outcomes
+        .iter()
+        .filter_map(|o| o.output.as_deref())
+        .map(|t| t.matches("[i+1]").count())
+        .sum();
+    section("result");
+    println!("{pragmas}/{loops} loops re-rolled in {secs:.3}s; {leftovers} leftover unrolled statements");
+    assert_eq!(pragmas, loops, "every generated loop must re-roll");
+    assert_eq!(leftovers, 0);
+
+    section("before/after (first loop)");
+    let before = &inputs[0].1;
+    let after = outcomes[0].output.as_deref().unwrap();
+    println!(
+        "--- before ---\n{}\n--- after ---\n{}",
+        &before[..before.find("}\n\n").map(|i| i + 2).unwrap_or(before.len())],
+        &after[..after.find("}\n\n").map(|i| i + 2).unwrap_or(after.len())]
+    );
+}

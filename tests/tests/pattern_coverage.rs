@@ -1,0 +1,228 @@
+//! Coverage tests for pattern constructs not exercised by the paper's
+//! use cases: ternary patterns, initializer lists, kernel-launch dots,
+//! expression disjunction with rewrites, switch/case matching, labels,
+//! and C++ range-for patterns.
+
+use cocci_core::Patcher;
+use cocci_smpl::parse_semantic_patch;
+
+fn apply(patch: &str, target: &str) -> Option<String> {
+    let sp = parse_semantic_patch(patch).unwrap_or_else(|e| panic!("patch parse: {e}"));
+    let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("compile: {e}"));
+    p.apply("t.c", target).unwrap_or_else(|e| panic!("apply: {e}"))
+}
+
+#[test]
+fn ternary_pattern() {
+    let patch = r#"
+@@
+expression a, b;
+@@
+- a > b ? a : b
++ max(a, b)
+"#;
+    let out = apply(patch, "void f(void) { m = x > y ? x : y; }\n").unwrap();
+    assert!(out.contains("m = max(x, y);"), "{out}");
+    // Non-max ternaries untouched.
+    assert!(apply(patch, "void f(void) { m = x > y ? y : x; }\n").is_none());
+}
+
+#[test]
+fn initializer_list_pattern() {
+    let patch = r#"
+@@
+expression a, b;
+@@
+- dim3 grid = {a, b};
++ dim3 grid = make_dim3(a, b);
+"#;
+    let out = apply(
+        patch,
+        "void f(void) { dim3 grid = {nx, ny}; use(grid); }\n",
+    )
+    .unwrap();
+    assert!(out.contains("dim3 grid = make_dim3(nx, ny);"), "{out}");
+}
+
+#[test]
+fn kernel_launch_with_dots_config() {
+    // `k<<<...>>>(...)`: any launch configuration, any arguments.
+    let patch = r#"
+#spatch --c++
+@@
+identifier k =~ "^legacy_";
+@@
+- k<<<...>>>(...);
++ launch_shim();
+"#;
+    let src = "void f(void) {\n    legacy_sum<<<g, b>>>(n, x);\n    modern_sum<<<g, b>>>(n, x);\n}\n";
+    let out = apply(patch, src).unwrap();
+    assert!(out.contains("launch_shim();"), "{out}");
+    assert!(out.contains("modern_sum<<<g, b>>>(n, x);"), "{out}");
+}
+
+#[test]
+fn expression_disjunction_with_rewrite() {
+    let patch = r#"
+@@
+expression x;
+@@
+- report( \( x == 0 \| 0 == x \) );
++ report_zero(x);
+"#;
+    let out = apply(
+        patch,
+        "void f(void) { report(n == 0); report(0 == m); report(k == 1); }\n",
+    )
+    .unwrap();
+    assert!(out.contains("report_zero(n);"), "{out}");
+    assert!(out.contains("report_zero(m);"), "{out}");
+    assert!(out.contains("report(k == 1);"), "{out}");
+}
+
+#[test]
+fn switch_case_value_pattern() {
+    let patch = r#"
+@@
+expression s;
+@@
+switch (s) {
+case 0:
+- legacy_zero();
++ fast_zero();
+break;
+...
+}
+"#;
+    let src = "void f(int mode) {\n    switch (mode) {\n    case 0:\n        legacy_zero();\n        break;\n    default:\n        other();\n    }\n}\n";
+    let out = apply(patch, src).unwrap();
+    assert!(out.contains("fast_zero();"), "{out}");
+    assert!(out.contains("other();"), "{out}");
+}
+
+#[test]
+fn label_and_goto_pattern() {
+    let patch = r#"
+@@
+identifier lbl;
+@@
+- goto lbl;
++ return cleanup();
+"#;
+    let out = apply(
+        patch,
+        "int f(int n) { if (n) goto out; work(); out: return done(); }\n",
+    )
+    .unwrap();
+    assert!(out.contains("return cleanup();"), "{out}");
+}
+
+#[test]
+fn range_for_body_rewrite() {
+    let patch = r#"
+#spatch --c++
+@@
+type T;
+identifier v;
+expression c;
+@@
+for (T &v : c) {
+- v = v * v;
++ v = square(v);
+}
+"#;
+    let src = "void f(void) {\n    for (double &x : values) {\n        x = x * x;\n    }\n}\n";
+    let out = apply(patch, src).unwrap();
+    assert!(out.contains("x = square(x);"), "{out}");
+}
+
+#[test]
+fn postfix_and_prefix_incdec() {
+    let patch = r#"
+@@
+identifier i;
+@@
+- i++;
++ advance(&i);
+"#;
+    let out = apply(patch, "void f(void) { n++; ++m; }\n").unwrap();
+    assert!(out.contains("advance(&n);"), "{out}");
+    assert!(out.contains("++m;"), "{out}");
+}
+
+#[test]
+fn nested_member_chain() {
+    let patch = r#"
+@@
+expression p;
+@@
+- p->hdr.magic
++ header_magic(p)
+"#;
+    let out = apply(
+        patch,
+        "int ok(struct pkt *q) { return q->hdr.magic == 0xCAFE; }\n",
+    )
+    .unwrap();
+    assert!(out.contains("header_magic(q) == 0xCAFE"), "{out}");
+}
+
+#[test]
+fn comma_operator_expression() {
+    let patch = r#"
+@@
+expression a, b;
+@@
+- swap_prep(a), swap_commit(b);
++ swap(a, b);
+"#;
+    let out = apply(patch, "void f(void) { swap_prep(x), swap_commit(y); }\n").unwrap();
+    assert!(out.contains("swap(x, y);"), "{out}");
+}
+
+#[test]
+fn hex_and_suffix_literals_compare_by_value() {
+    let patch = r#"
+@@
+expression e;
+@@
+- mask(e, 255)
++ mask_byte(e)
+"#;
+    // 0xff written differently in source still matches (value equality).
+    let out = apply(patch, "void f(void) { y = mask(x, 0xFF); }\n").unwrap();
+    assert!(out.contains("mask_byte(x)"), "{out}");
+    let out2 = apply(patch, "void f(void) { y = mask(x, 255u); }\n").unwrap();
+    assert!(out2.contains("mask_byte(x)"), "{out2}");
+}
+
+#[test]
+fn multiple_rules_compose_on_one_function() {
+    // Three rules touching the same function: include, body, call.
+    let patch = r#"
+@inc@
+@@
+#include <omp.h>
++ #include <profiler.h>
+
+@body depends on inc@
+identifier f;
+statement list SL;
+@@
+void f(void)
+{
++ prof_enter();
+SL
+}
+
+@call depends on body@
+@@
+- finish();
++ prof_exit(); finish();
+"#;
+    let src = "#include <omp.h>\n\nvoid stage(void)\n{\n    work();\n    finish();\n}\n";
+    let out = apply(patch, src).unwrap();
+    assert!(out.contains("#include <profiler.h>"), "{out}");
+    assert!(out.contains("prof_enter();"), "{out}");
+    assert!(out.contains("prof_exit(); finish();"), "{out}");
+}
