@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point — everything runs offline; the workspace has zero
+# crates.io dependencies by design (see Cargo.toml), so a network-less
+# builder is the *supported* configuration, not a degraded one.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== tier-1: release build =="
+cargo build --release --workspace --locked
+
+echo "== tier-1: test suite =="
+cargo test -q --workspace --locked
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "== E1 bench smoke (short samples, JSON to target/) =="
+BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench uc_matrix --locked
+test -s target/BENCH_uc_matrix.json
+echo "ok: target/BENCH_uc_matrix.json written"
+
+echo "CI green."

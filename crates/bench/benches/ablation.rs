@@ -10,11 +10,11 @@
 //!   function). Shows constraint checking is cheap relative to matching,
 //!   and *reduces* work by pruning candidates early.
 
+use cocci_bench::timing::{Harness, Throughput};
 use cocci_core::apply_to_files;
 use cocci_smpl::parse_semantic_patch;
 use cocci_workloads::gen::{librsb_codebase, unrolled_codebase, CodebaseSpec};
 use cocci_workloads::patches::{UC11_PRAGMA_INJECT, UC5_UNROLL_P0};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 /// `p0` rewritten with the constant arithmetic already folded: matches
 /// the same loops without exercising the isomorphism machinery.
@@ -57,7 +57,7 @@ T i(...)
 + #pragma GCC pop_options
 "#;
 
-fn iso_ablation(c: &mut Criterion) {
+fn iso_ablation(h: &mut Harness) {
     let spec = CodebaseSpec {
         files: 4,
         functions_per_file: 8,
@@ -83,17 +83,15 @@ fn iso_ablation(c: &mut Criterion) {
         assert_eq!(n, spec.files * spec.functions_per_file);
     }
 
-    let mut group = c.benchmark_group("ablation_iso");
-    group.bench_function("const-fold-iso", |b| {
-        b.iter(|| apply_to_files(&with_iso, &inputs, 1))
+    h.bench("ablation_iso", "const-fold-iso", Throughput::None, || {
+        apply_to_files(&with_iso, &inputs, 1)
     });
-    group.bench_function("literal", |b| {
-        b.iter(|| apply_to_files(&literal, &inputs, 1))
+    h.bench("ablation_iso", "literal", Throughput::None, || {
+        apply_to_files(&literal, &inputs, 1)
     });
-    group.finish();
 }
 
-fn regex_ablation(c: &mut Criterion) {
+fn regex_ablation(h: &mut Harness) {
     let spec = CodebaseSpec {
         files: 4,
         functions_per_file: 24,
@@ -108,19 +106,20 @@ fn regex_ablation(c: &mut Criterion) {
     let constrained = parse_semantic_patch(UC11_PRAGMA_INJECT).unwrap();
     let unconstrained = parse_semantic_patch(PRAGMA_INJECT_UNCONSTRAINED).unwrap();
 
-    let mut group = c.benchmark_group("ablation_regex");
-    group.bench_function("regex-constrained", |b| {
-        b.iter(|| apply_to_files(&constrained, &inputs, 1))
+    h.bench(
+        "ablation_regex",
+        "regex-constrained",
+        Throughput::None,
+        || apply_to_files(&constrained, &inputs, 1),
+    );
+    h.bench("ablation_regex", "unconstrained", Throughput::None, || {
+        apply_to_files(&unconstrained, &inputs, 1)
     });
-    group.bench_function("unconstrained", |b| {
-        b.iter(|| apply_to_files(&unconstrained, &inputs, 1))
-    });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = iso_ablation, regex_ablation
+fn main() {
+    let mut h = Harness::new("ablation").sample_size(15);
+    iso_ablation(&mut h);
+    regex_ablation(&mut h);
+    h.finish().expect("write BENCH_ablation.json");
 }
-criterion_main!(benches);

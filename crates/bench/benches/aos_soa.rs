@@ -5,29 +5,27 @@
 //! criterion is the *shape* — SoA ≥ AoS with the gap widening once the
 //! AoS working set (10 doubles/particle vs 6 used) exceeds cache.
 
+use cocci_bench::timing::{Harness, Throughput};
 use cocci_workloads::kernels::{init_aos, init_soa, update_aos, update_soa};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn aos_vs_soa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aos_soa");
+fn main() {
+    let mut h = Harness::new("aos_soa").sample_size(30);
     for exp in [10u32, 14, 18] {
         let n = 1usize << exp;
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("aos", n), &n, |b, &n| {
-            let mut particles = init_aos(n);
-            b.iter(|| update_aos(&mut particles, 1e-6));
-        });
-        group.bench_with_input(BenchmarkId::new("soa", n), &n, |b, &n| {
-            let mut particles = init_soa(n);
-            b.iter(|| update_soa(&mut particles, 1e-6));
-        });
+        let mut particles = init_aos(n);
+        h.bench(
+            "aos_soa",
+            &format!("aos/{n}"),
+            Throughput::Elements(n as u64),
+            || update_aos(&mut particles, 1e-6),
+        );
+        let mut particles = init_soa(n);
+        h.bench(
+            "aos_soa",
+            &format!("soa/{n}"),
+            Throughput::Elements(n as u64),
+            || update_soa(&mut particles, 1e-6),
+        );
     }
-    group.finish();
+    h.finish().expect("write BENCH_aos_soa.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = aos_vs_soa
-}
-criterion_main!(benches);

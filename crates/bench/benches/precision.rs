@@ -15,12 +15,12 @@
 //! reports throughput, which is expected to *favour* the textual tools —
 //! the trade-off the paper's approach buys precision with.
 
+use cocci_bench::timing::{Harness, Throughput};
 use cocci_core::Patcher;
 use cocci_smpl::parse_semantic_patch;
 use cocci_textpatch::{Mode, TextPatcher, CUDA_HIP_DICT};
 use cocci_workloads::adversarial;
 use cocci_workloads::patches::UC7_CUDA_HIP;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const OLD: &str = "curand_uniform_double";
 const NEW: &str = "rocrand_uniform_double";
@@ -53,7 +53,10 @@ fn print_precision_table() {
         naive = (naive.0 + tp, naive.1 + fp, naive.2 + expected);
     }
 
-    eprintln!("\nE2 precision table (adversarial corpus, {} files):", corpus.len());
+    eprintln!(
+        "\nE2 precision table (adversarial corpus, {} files):",
+        corpus.len()
+    );
     eprintln!(
         "{:<12} {:>10} {:>10} {:>16}",
         "engine", "rewritten", "expected", "false positives"
@@ -71,48 +74,39 @@ fn print_precision_table() {
     assert!(naive.1 > word.1, "naive baseline should hit more traps");
 }
 
-fn precision(c: &mut Criterion) {
+fn main() {
     print_precision_table();
 
     let corpus = adversarial::corpus(8);
     let bytes: usize = corpus.iter().map(|f| f.text.len()).sum();
     let patch = parse_semantic_patch(UC7_CUDA_HIP).unwrap();
 
-    let mut group = c.benchmark_group("precision");
-    group.throughput(Throughput::Bytes(bytes as u64));
-    group.bench_function("semantic", |b| {
-        b.iter(|| {
+    let mut h = Harness::new("precision").sample_size(20);
+    h.bench(
+        "precision",
+        "semantic",
+        Throughput::Bytes(bytes as u64),
+        || {
             let mut patcher = Patcher::new(&patch).unwrap();
             corpus
                 .iter()
                 .map(|f| patcher.apply(&f.name, &f.text).unwrap().is_some() as usize)
                 .sum::<usize>()
-        })
-    });
-    group.bench_function("text-word", |b| {
-        let tp = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::WordBoundary);
-        b.iter(|| {
-            corpus
-                .iter()
-                .map(|f| tp.apply(&f.text).1)
-                .sum::<usize>()
-        })
-    });
-    group.bench_function("text-naive", |b| {
-        let tp = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::Naive);
-        b.iter(|| {
-            corpus
-                .iter()
-                .map(|f| tp.apply(&f.text).1)
-                .sum::<usize>()
-        })
-    });
-    group.finish();
+        },
+    );
+    let tp = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::WordBoundary);
+    h.bench(
+        "precision",
+        "text-word",
+        Throughput::Bytes(bytes as u64),
+        || corpus.iter().map(|f| tp.apply(&f.text).1).sum::<usize>(),
+    );
+    let tp = TextPatcher::with_mode(CUDA_HIP_DICT, Mode::Naive);
+    h.bench(
+        "precision",
+        "text-naive",
+        Throughput::Bytes(bytes as u64),
+        || corpus.iter().map(|f| tp.apply(&f.text).1).sum::<usize>(),
+    );
+    h.finish().expect("write BENCH_precision.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = precision
-}
-criterion_main!(benches);

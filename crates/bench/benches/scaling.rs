@@ -8,15 +8,14 @@
 //! * `threads` — multi-file driver over a fixed corpus with 1..=8
 //!   workers, expecting near-linear speedup until core count.
 
+use cocci_bench::timing::{Harness, Throughput};
 use cocci_core::apply_to_files;
 use cocci_smpl::parse_semantic_patch;
 use cocci_workloads::gen::sized_codebase;
 use cocci_workloads::patches::UC1_LIKWID;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn size_sweep(c: &mut Criterion) {
+fn size_sweep(h: &mut Harness) {
     let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
-    let mut group = c.benchmark_group("scaling_size");
     for loops in [4usize, 16, 64, 256] {
         let files = sized_codebase(2, 4, loops, 0xE3);
         let inputs: Vec<(String, String)> = files
@@ -24,17 +23,16 @@ fn size_sweep(c: &mut Criterion) {
             .map(|f| (f.name.clone(), f.text.clone()))
             .collect();
         let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(loops),
-            &inputs,
-            |b, inputs| b.iter(|| apply_to_files(&patch, inputs, 1)),
+        h.bench(
+            "scaling_size",
+            &loops.to_string(),
+            Throughput::Bytes(bytes as u64),
+            || apply_to_files(&patch, &inputs, 1),
         );
     }
-    group.finish();
 }
 
-fn thread_sweep(c: &mut Criterion) {
+fn thread_sweep(h: &mut Harness) {
     let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
     let files = sized_codebase(32, 8, 32, 0xE3);
     let inputs: Vec<(String, String)> = files
@@ -47,21 +45,21 @@ fn thread_sweep(c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(8);
-    let mut group = c.benchmark_group("scaling_threads");
-    group.throughput(Throughput::Bytes(bytes as u64));
     let mut t = 1usize;
     while t <= max {
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &threads| {
-            b.iter(|| apply_to_files(&patch, &inputs, threads))
-        });
+        h.bench(
+            "scaling_threads",
+            &t.to_string(),
+            Throughput::Bytes(bytes as u64),
+            || apply_to_files(&patch, &inputs, t),
+        );
         t *= 2;
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(12);
-    targets = size_sweep, thread_sweep
+fn main() {
+    let mut h = Harness::new("scaling").sample_size(12);
+    size_sweep(&mut h);
+    thread_sweep(&mut h);
+    h.finish().expect("write BENCH_scaling.json");
 }
-criterion_main!(benches);

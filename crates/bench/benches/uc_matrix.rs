@@ -7,13 +7,13 @@
 //! table gains a cost column.
 
 use cocci_bench::corpus_for;
+use cocci_bench::timing::{Harness, Throughput};
 use cocci_core::apply_to_files;
 use cocci_smpl::parse_semantic_patch;
 use cocci_workloads::patches;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn uc_matrix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uc_matrix");
+fn main() {
+    let mut h = Harness::new("uc_matrix").sample_size(20);
     for (uc, patch_text) in patches::ALL {
         let corpus = corpus_for(uc);
         let patch = parse_semantic_patch(patch_text).expect(uc);
@@ -22,21 +22,11 @@ fn uc_matrix(c: &mut Criterion) {
             .map(|f| (f.name.clone(), f.text.clone()))
             .collect();
         let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
-        group.throughput(Throughput::Bytes(bytes as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(uc), &inputs, |b, inputs| {
-            b.iter(|| {
-                let outcomes = apply_to_files(&patch, inputs, 1);
-                assert!(outcomes.iter().any(|o| o.output.is_some()));
-                outcomes
-            })
+        h.bench("uc_matrix", uc, Throughput::Bytes(bytes as u64), || {
+            let outcomes = apply_to_files(&patch, &inputs, 1);
+            assert!(outcomes.iter().any(|o| o.output.is_some()));
+            outcomes
         });
     }
-    group.finish();
+    h.finish().expect("write BENCH_uc_matrix.json");
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = uc_matrix
-}
-criterion_main!(benches);

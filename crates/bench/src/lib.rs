@@ -1,7 +1,8 @@
-//! `cocci-bench`: shared fixtures for the experiment benchmarks.
+//! `cocci-bench`: shared fixtures and the in-house timing harness for
+//! the experiment benchmarks.
 //!
-//! Each Criterion bench target regenerates one experiment from
-//! DESIGN.md's index:
+//! Each bench target (`harness = false`, built on [`timing::Harness`])
+//! regenerates one experiment from DESIGN.md's index:
 //!
 //! | bench       | experiment | what it reports |
 //! |-------------|------------|-----------------|
@@ -9,6 +10,8 @@
 //! | `precision` | E2         | semantic vs textual throughput, FP/FN table |
 //! | `scaling`   | E3         | throughput vs codebase size and threads |
 //! | `aos_soa`   | E4         | AoS vs SoA particle-update throughput |
+
+pub mod timing;
 
 use cocci_workloads::gen::{self, CodebaseSpec, GeneratedFile};
 
@@ -69,8 +72,7 @@ mod tests {
     fn e1_matrix_all_use_cases_fire() {
         for (uc, patch_text) in patches::ALL {
             let corpus = corpus_for(uc);
-            let patch = parse_semantic_patch(patch_text)
-                .unwrap_or_else(|e| panic!("{uc}: {e}"));
+            let patch = parse_semantic_patch(patch_text).unwrap_or_else(|e| panic!("{uc}: {e}"));
             let inputs: Vec<(String, String)> = corpus
                 .iter()
                 .map(|f| (f.name.clone(), f.text.clone()))

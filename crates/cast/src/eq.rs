@@ -20,12 +20,20 @@ pub fn expr_eq(a: &Expr, b: &Expr) -> bool {
         (StrLit { raw: x, .. }, StrLit { raw: y, .. }) => x == y,
         (CharLit { raw: x, .. }, CharLit { raw: y, .. }) => x == y,
         (
-            Unary { op: o1, expr: e1, .. },
-            Unary { op: o2, expr: e2, .. },
+            Unary {
+                op: o1, expr: e1, ..
+            },
+            Unary {
+                op: o2, expr: e2, ..
+            },
         ) => o1 == o2 && expr_eq(e1, e2),
         (
-            PostIncDec { expr: e1, inc: i1, .. },
-            PostIncDec { expr: e2, inc: i2, .. },
+            PostIncDec {
+                expr: e1, inc: i1, ..
+            },
+            PostIncDec {
+                expr: e2, inc: i2, ..
+            },
         ) => i1 == i2 && expr_eq(e1, e2),
         (
             Binary {
@@ -71,10 +79,14 @@ pub fn expr_eq(a: &Expr, b: &Expr) -> bool {
         ) => expr_eq(c1, c2) && expr_eq(t1, t2) && expr_eq(e1, e2),
         (
             Call {
-                callee: c1, args: a1, ..
+                callee: c1,
+                args: a1,
+                ..
             },
             Call {
-                callee: c2, args: a2, ..
+                callee: c2,
+                args: a2,
+                ..
             },
         ) => expr_eq(c1, c2) && exprs_eq(a1, a2),
         (
@@ -117,15 +129,25 @@ pub fn expr_eq(a: &Expr, b: &Expr) -> bool {
                 ..
             },
         ) => ar1 == ar2 && f1.name == f2.name && expr_eq(b1, b2),
-        (Cast { ty: t1, expr: e1, .. }, Cast { ty: t2, expr: e2, .. }) => {
-            type_eq(t1, t2) && expr_eq(e1, e2)
-        }
+        (
+            Cast {
+                ty: t1, expr: e1, ..
+            },
+            Cast {
+                ty: t2, expr: e2, ..
+            },
+        ) => type_eq(t1, t2) && expr_eq(e1, e2),
         (Sizeof { arg: a1, .. }, Sizeof { arg: a2, .. }) => a1 == a2,
         (InitList { elems: e1, .. }, InitList { elems: e2, .. }) => exprs_eq(e1, e2),
         (Dots { .. }, Dots { .. }) => true,
-        (PosAnn { inner: i1, pos: p1, .. }, PosAnn { inner: i2, pos: p2, .. }) => {
-            p1 == p2 && expr_eq(i1, i2)
-        }
+        (
+            PosAnn {
+                inner: i1, pos: p1, ..
+            },
+            PosAnn {
+                inner: i2, pos: p2, ..
+            },
+        ) => p1 == p2 && expr_eq(i1, i2),
         _ => false,
     }
 }
@@ -162,8 +184,14 @@ pub fn type_eq(a: &Type, b: &Type) -> bool {
         ) => k1 == k2 && n1 == n2,
         (Ptr(i1), Ptr(i2)) | (Ref(i1), Ref(i2)) => type_eq(i1, i2),
         (
-            Qualified { quals: q1, inner: i1 },
-            Qualified { quals: q2, inner: i2 },
+            Qualified {
+                quals: q1,
+                inner: i1,
+            },
+            Qualified {
+                quals: q2,
+                inner: i2,
+            },
         ) => q1 == q2 && type_eq(i1, i2),
         (Meta { name: n1 }, Meta { name: n2 }) => n1 == n2,
         _ => false,
@@ -199,12 +227,22 @@ pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
                     _ => false,
                 }
         }
-        (While { cond: c1, body: b1, .. }, While { cond: c2, body: b2, .. }) => {
-            expr_eq(c1, c2) && stmt_eq(b1, b2)
-        }
-        (DoWhile { cond: c1, body: b1, .. }, DoWhile { cond: c2, body: b2, .. }) => {
-            expr_eq(c1, c2) && stmt_eq(b1, b2)
-        }
+        (
+            While {
+                cond: c1, body: b1, ..
+            },
+            While {
+                cond: c2, body: b2, ..
+            },
+        ) => expr_eq(c1, c2) && stmt_eq(b1, b2),
+        (
+            DoWhile {
+                cond: c1, body: b1, ..
+            },
+            DoWhile {
+                cond: c2, body: b2, ..
+            },
+        ) => expr_eq(c1, c2) && stmt_eq(b1, b2),
         (
             For {
                 init: i1,
@@ -258,10 +296,14 @@ pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
         (Goto { label: l1, .. }, Goto { label: l2, .. }) => l1.name == l2.name,
         (
             Label {
-                label: l1, stmt: s1, ..
+                label: l1,
+                stmt: s1,
+                ..
             },
             Label {
-                label: l2, stmt: s2, ..
+                label: l2,
+                stmt: s2,
+                ..
             },
         ) => l1.name == l2.name && stmt_eq(s1, s2),
         (
@@ -278,10 +320,14 @@ pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
         ) => expr_eq(e1, e2) && stmt_eq(b1, b2),
         (
             Case {
-                value: v1, stmt: s1, ..
+                value: v1,
+                stmt: s1,
+                ..
             },
             Case {
-                value: v2, stmt: s2, ..
+                value: v2,
+                stmt: s2,
+                ..
             },
         ) => opt_expr_eq(v1.as_ref(), v2.as_ref()) && stmt_eq(s1, s2),
         (Directive(d1), Directive(d2)) => d1.kind == d2.kind && d1.payload == d2.payload,

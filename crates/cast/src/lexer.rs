@@ -103,8 +103,9 @@ impl<'a> Lexer<'a> {
                     // Line continuation in normal code: whitespace.
                     self.pos += 2;
                 }
-                b'\\' if self.mode == LexMode::Smpl
-                    && matches!(self.peek2(), b'(' | b')' | b'|' | b'&') =>
+                b'\\'
+                    if self.mode == LexMode::Smpl
+                        && matches!(self.peek2(), b'(' | b')' | b'|' | b'&') =>
                 {
                     let p = match self.peek2() {
                         b'(' => Punct::DisjOpen,
@@ -322,12 +323,7 @@ impl<'a> Lexer<'a> {
             (b'<', ..) => (Lt, 1),
             (b'>', ..) => (Gt, 1),
             (b'@', ..) if self.mode == LexMode::Smpl => (At, 1),
-            _ => {
-                return Err(self.err(
-                    start,
-                    format!("unexpected character `{}`", a as char),
-                ))
-            }
+            _ => return Err(self.err(start, format!("unexpected character `{}`", a as char))),
         };
         self.punct(p, start, len);
         Ok(())
@@ -349,20 +345,19 @@ mod tests {
 
     #[test]
     fn basic_tokens() {
-        assert_eq!(
-            texts("int x = 42;"),
-            vec!["int", "x", "=", "42", ";"]
-        );
+        assert_eq!(texts("int x = 42;"), vec!["int", "x", "=", "42", ";"]);
     }
 
     #[test]
     fn operators_maximal_munch() {
-        assert_eq!(texts("a<<=b>>=c<<<d>>>e"), vec![
-            "a", "<<=", "b", ">>=", "c", "<<<", "d", ">>>", "e"
-        ]);
-        assert_eq!(texts("i+=1; j++; k--;"), vec![
-            "i", "+=", "1", ";", "j", "++", ";", "k", "--", ";"
-        ]);
+        assert_eq!(
+            texts("a<<=b>>=c<<<d>>>e"),
+            vec!["a", "<<=", "b", ">>=", "c", "<<<", "d", ">>>", "e"]
+        );
+        assert_eq!(
+            texts("i+=1; j++; k--;"),
+            vec!["i", "+=", "1", ";", "j", "++", ";", "k", "--", ";"]
+        );
     }
 
     #[test]

@@ -177,11 +177,41 @@ pub fn parse_expression(
 
 /// Builtin type names recognized without registration.
 const BUILTIN_TYPES: &[&str] = &[
-    "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "bool",
-    "size_t", "ssize_t", "ptrdiff_t", "intptr_t", "uintptr_t", "int8_t", "int16_t", "int32_t",
-    "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t", "wchar_t", "FILE", "va_list",
-    "dim3", "cudaStream_t", "cudaError_t", "hipStream_t", "hipError_t", "__half",
-    "rocblas_half", "curandState_t", "auto",
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "signed",
+    "unsigned",
+    "bool",
+    "size_t",
+    "ssize_t",
+    "ptrdiff_t",
+    "intptr_t",
+    "uintptr_t",
+    "int8_t",
+    "int16_t",
+    "int32_t",
+    "int64_t",
+    "uint8_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+    "wchar_t",
+    "FILE",
+    "va_list",
+    "dim3",
+    "cudaStream_t",
+    "cudaError_t",
+    "hipStream_t",
+    "hipError_t",
+    "__half",
+    "rocblas_half",
+    "curandState_t",
+    "auto",
 ];
 
 struct Parser<'a> {
@@ -328,7 +358,10 @@ impl<'a> Parser<'a> {
     }
 
     fn is_qualifier(name: &str) -> bool {
-        matches!(name, "const" | "volatile" | "restrict" | "__restrict__" | "__restrict")
+        matches!(
+            name,
+            "const" | "volatile" | "restrict" | "__restrict__" | "__restrict"
+        )
     }
 
     /// Does a declaration plausibly start at the current position?
@@ -363,11 +396,7 @@ impl<'a> Parser<'a> {
                 && matches!(
                     t2.kind,
                     TokenKind::Punct(
-                        Punct::Semi
-                            | Punct::Eq
-                            | Punct::Comma
-                            | Punct::LBracket
-                            | Punct::LParen
+                        Punct::Semi | Punct::Eq | Punct::Comma | Punct::LBracket | Punct::LParen
                     )
                 )
             {
@@ -562,8 +591,9 @@ impl<'a> Parser<'a> {
                         return false;
                     }
                 }
-                TokenKind::Punct(Punct::Semi | Punct::LBrace | Punct::RParen)
-                | TokenKind::Eof => return false,
+                TokenKind::Punct(Punct::Semi | Punct::LBrace | Punct::RParen) | TokenKind::Eof => {
+                    return false
+                }
                 TokenKind::Punct(
                     Punct::PlusPlus | Punct::MinusMinus | Punct::AmpAmp | Punct::PipePipe,
                 ) => return false,
@@ -1012,23 +1042,22 @@ impl<'a> Parser<'a> {
                 continue;
             }
             let ty = self.full_type()?;
-            let (name, span) = if self.peek().kind == TokenKind::Ident
-                && !is_keyword(self.text(self.peek()))
-            {
-                let id = self.ident()?;
-                let mut sp = ty.span.merge(id.span);
-                // Array suffix on parameter.
-                while self.peek().is(Punct::LBracket) {
-                    self.bump();
-                    if !self.peek().is(Punct::RBracket) {
-                        self.assign_expr()?;
+            let (name, span) =
+                if self.peek().kind == TokenKind::Ident && !is_keyword(self.text(self.peek())) {
+                    let id = self.ident()?;
+                    let mut sp = ty.span.merge(id.span);
+                    // Array suffix on parameter.
+                    while self.peek().is(Punct::LBracket) {
+                        self.bump();
+                        if !self.peek().is(Punct::RBracket) {
+                            self.assign_expr()?;
+                        }
+                        sp = sp.merge(self.expect(Punct::RBracket)?.span);
                     }
-                    sp = sp.merge(self.expect(Punct::RBracket)?.span);
-                }
-                (Some(id), sp)
-            } else {
-                (None, ty.span)
-            };
+                    (Some(id), sp)
+                } else {
+                    (None, ty.span)
+                };
             params.push(Param {
                 ty,
                 name,
@@ -1275,18 +1304,14 @@ impl<'a> Parser<'a> {
         if self.opts.pattern && self.semi_optional_here() {
             return Ok(self.toks[self.pos.saturating_sub(1)].span);
         }
-        Err(self.err_here(format!(
-            "expected `;`, found {}",
-            self.describe_current()
-        )))
+        Err(self.err_here(format!("expected `;`, found {}", self.describe_current())))
     }
 
     fn semi_optional_here(&self) -> bool {
         matches!(
             self.peek().kind,
-            TokenKind::Punct(
-                Punct::DisjPipe | Punct::ConjAmp | Punct::DisjClose | Punct::RBrace
-            ) | TokenKind::Eof
+            TokenKind::Punct(Punct::DisjPipe | Punct::ConjAmp | Punct::DisjClose | Punct::RBrace)
+                | TokenKind::Eof
         )
     }
 
@@ -1947,9 +1972,7 @@ impl<'a> Parser<'a> {
 /// Parse a C integer literal (decimal/hex/octal/binary, suffixes
 /// stripped).
 pub fn parse_int(raw: &str) -> Option<i128> {
-    let s = raw
-        .trim_end_matches(['u', 'U', 'l', 'L'])
-        .replace('_', "");
+    let s = raw.trim_end_matches(['u', 'U', 'l', 'L']).replace('_', "");
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         i128::from_str_radix(hex, 16).ok()
     } else if let Some(bin) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {

@@ -94,7 +94,11 @@ fn ty(s: &mut String, t: &Type) {
                 s.push_str(ta);
             }
         }
-        TypeKind::Record { keyword, name, raw_body } => {
+        TypeKind::Record {
+            keyword,
+            name,
+            raw_body,
+        } => {
             s.push_str(keyword);
             if let Some(n) = name {
                 s.push(' ');
@@ -219,17 +223,23 @@ fn stmt(s: &mut String, st: &Stmt) {
         Stmt::Goto { label, .. } => {
             let _ = write!(s, "goto {};", label.name);
         }
-        Stmt::Label { label, stmt: st2, .. } => {
+        Stmt::Label {
+            label, stmt: st2, ..
+        } => {
             let _ = write!(s, "{}: ", label.name);
             stmt(s, st2);
         }
-        Stmt::Switch { scrutinee, body, .. } => {
+        Stmt::Switch {
+            scrutinee, body, ..
+        } => {
             s.push_str("switch (");
             expr(s, scrutinee);
             s.push_str(") ");
             stmt(s, body);
         }
-        Stmt::Case { value, stmt: st2, .. } => {
+        Stmt::Case {
+            value, stmt: st2, ..
+        } => {
             match value {
                 Some(v) => {
                     s.push_str("case ");
@@ -372,7 +382,9 @@ fn expr(s: &mut String, e: &Expr) {
             s.push_str(if *arrow { "->" } else { "." });
             s.push_str(&field.name);
         }
-        Expr::Cast { ty: t, expr: e2, .. } => {
+        Expr::Cast {
+            ty: t, expr: e2, ..
+        } => {
             s.push('(');
             ty(s, t);
             s.push(')');

@@ -210,12 +210,61 @@ impl fmt::Display for TokenKind {
 /// (`expression`, `statement`, …) which are only keywords inside rule
 /// headers.
 pub const KEYWORDS: &[&str] = &[
-    "auto", "break", "case", "char", "const", "constexpr", "continue", "default", "do", "double",
-    "else", "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long", "register",
-    "restrict", "return", "short", "signed", "sizeof", "static", "struct", "switch", "typedef",
-    "union", "unsigned", "void", "volatile", "while", "bool", "true", "false", "class", "public",
-    "private", "protected", "template", "typename", "namespace", "using", "new", "delete", "this",
-    "operator", "virtual", "override", "final", "nullptr", "decltype",
+    "auto",
+    "break",
+    "case",
+    "char",
+    "const",
+    "constexpr",
+    "continue",
+    "default",
+    "do",
+    "double",
+    "else",
+    "enum",
+    "extern",
+    "float",
+    "for",
+    "goto",
+    "if",
+    "inline",
+    "int",
+    "long",
+    "register",
+    "restrict",
+    "return",
+    "short",
+    "signed",
+    "sizeof",
+    "static",
+    "struct",
+    "switch",
+    "typedef",
+    "union",
+    "unsigned",
+    "void",
+    "volatile",
+    "while",
+    "bool",
+    "true",
+    "false",
+    "class",
+    "public",
+    "private",
+    "protected",
+    "template",
+    "typename",
+    "namespace",
+    "using",
+    "new",
+    "delete",
+    "this",
+    "operator",
+    "virtual",
+    "override",
+    "final",
+    "nullptr",
+    "decltype",
 ];
 
 /// Whether `s` is a C/C++ keyword.
@@ -225,12 +274,36 @@ pub fn is_keyword(s: &str) -> bool {
 
 /// Builtin type-ish keywords that may begin a declaration specifier.
 pub const TYPE_KEYWORDS: &[&str] = &[
-    "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "bool",
-    "const", "volatile", "restrict", "struct", "union", "enum", "auto", "constexpr",
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "signed",
+    "unsigned",
+    "bool",
+    "const",
+    "volatile",
+    "restrict",
+    "struct",
+    "union",
+    "enum",
+    "auto",
+    "constexpr",
 ];
 
 /// Storage/function specifiers that may prefix a declaration.
-pub const DECL_SPECIFIERS: &[&str] = &["static", "extern", "inline", "register", "typedef", "virtual", "constexpr"];
+pub const DECL_SPECIFIERS: &[&str] = &[
+    "static",
+    "extern",
+    "inline",
+    "register",
+    "typedef",
+    "virtual",
+    "constexpr",
+];
 
 #[cfg(test)]
 mod tests {

@@ -81,7 +81,8 @@ fn parses_attributes() {
 
 #[test]
 fn parses_target_clones_attribute() {
-    let t = tu("__attribute__((target_clones(\"avx2\",\"default\"))) void k(double *a) { a[0] = 1; }");
+    let t =
+        tu("__attribute__((target_clones(\"avx2\",\"default\"))) void k(double *a) { a[0] = 1; }");
     match &t.items[0] {
         Item::Function(f) => {
             let item = &f.attrs[0].items[0];
@@ -94,9 +95,11 @@ fn parses_target_clones_attribute() {
 
 #[test]
 fn parses_cuda_kernel_launch() {
-    let t = tu_cpp("void launch(int n, double *a) {\n\
+    let t = tu_cpp(
+        "void launch(int n, double *a) {\n\
                     saxpy<<<grid, block, 0, stream>>>(n, a);\n\
-                    }");
+                    }",
+    );
     match &t.items[0] {
         Item::Function(f) => match &f.body.stmts[0] {
             Stmt::Expr { expr, .. } => match expr {
@@ -131,14 +134,12 @@ fn parses_multi_index_subscript() {
 
 #[test]
 fn parses_range_for() {
-    let stmts = parse_statements(
-        "for (double &x : arr) x = 0;",
-        ParseOptions::cpp(),
-        &NoMeta,
-    )
-    .unwrap();
+    let stmts =
+        parse_statements("for (double &x : arr) x = 0;", ParseOptions::cpp(), &NoMeta).unwrap();
     match &stmts[0] {
-        Stmt::RangeFor { ty, by_ref, var, .. } => {
+        Stmt::RangeFor {
+            ty, by_ref, var, ..
+        } => {
             assert_eq!(ty.base_name(), Some("double"));
             assert!(*by_ref);
             assert_eq!(var.name, "x");
@@ -155,7 +156,11 @@ fn parses_struct_definition_and_typedef() {
     assert_eq!(t.items.len(), 3);
     match &t.items[0] {
         Item::Decl(d) => match &d.ty.kind {
-            TypeKind::Record { keyword, name, raw_body } => {
+            TypeKind::Record {
+                keyword,
+                name,
+                raw_body,
+            } => {
                 assert_eq!(keyword, "struct");
                 assert_eq!(name.as_deref(), Some("particle"));
                 assert!(raw_body.contains("double x"));
@@ -189,7 +194,11 @@ fn parses_unrolled_loop() {
     .unwrap();
     match &stmts[0] {
         Stmt::For {
-            init, cond, step, body, ..
+            init,
+            cond,
+            step,
+            body,
+            ..
         } => {
             assert!(matches!(init.as_deref(), Some(ForInit::Decl(_))));
             assert!(cond.is_some());
@@ -258,13 +267,7 @@ fn parses_pointer_heavy_decls() {
 #[test]
 fn parses_casts_vs_parens() {
     let e = parse_expression("(double)n * 2", ParseOptions::c(), &NoMeta).unwrap();
-    assert!(matches!(
-        e,
-        Expr::Binary {
-            op: BinOp::Mul,
-            ..
-        }
-    ));
+    assert!(matches!(e, Expr::Binary { op: BinOp::Mul, .. }));
     let e2 = parse_expression("(n) * 2", ParseOptions::c(), &NoMeta).unwrap();
     // (n) is not a known type → multiplication, not cast-deref.
     assert!(matches!(e2, Expr::Binary { op: BinOp::Mul, .. }));
@@ -286,8 +289,10 @@ fn parses_ternary_comma_assignment_chain() {
 
 #[test]
 fn parses_namespace_and_extern_c() {
-    let t = tu_cpp("namespace blas { double nrm2(int n, const double *x); }\n\
-                    extern \"C\" { void c_api(void); }");
+    let t = tu_cpp(
+        "namespace blas { double nrm2(int n, const double *x); }\n\
+                    extern \"C\" { void c_api(void); }",
+    );
     assert!(matches!(&t.items[0], Item::Namespace { .. }));
     assert!(matches!(&t.items[1], Item::ExternBlock { .. }));
 }
@@ -374,12 +379,7 @@ fn pattern_function_with_metavars() {
 #[test]
 fn pattern_dots_in_statements_and_args() {
     let meta = Table(vec![]);
-    let stmts = parse_statements(
-        "{ ... f(...); ... }",
-        ParseOptions::pattern(),
-        &meta,
-    )
-    .unwrap();
+    let stmts = parse_statements("{ ... f(...); ... }", ParseOptions::pattern(), &meta).unwrap();
     match &stmts[0] {
         Stmt::Block(b) => {
             assert!(matches!(b.stmts[0], Stmt::Dots { .. }));

@@ -180,7 +180,9 @@ mod tests {
         let d = unified_diff("f.c", "a\nc\n", "a\nb\nc\n", 0);
         assert!(d.contains("+b"));
         // No deletion lines (the `---` header does not count).
-        assert!(!d.lines().any(|l| l.starts_with('-') && !l.starts_with("---")));
+        assert!(!d
+            .lines()
+            .any(|l| l.starts_with('-') && !l.starts_with("---")));
     }
 
     #[test]
@@ -192,7 +194,9 @@ mod tests {
     #[test]
     fn distant_changes_get_separate_hunks() {
         let a: String = (0..40).map(|i| format!("line{i}\n")).collect();
-        let b = a.replace("line3\n", "LINE3\n").replace("line36\n", "LINE36\n");
+        let b = a
+            .replace("line3\n", "LINE3\n")
+            .replace("line36\n", "LINE36\n");
         let d = unified_diff("f.c", &a, &b, 2);
         assert_eq!(d.matches("@@").count() / 2 * 2, d.matches("@@").count());
         assert!(d.matches("@@ -").count() >= 2, "{d}");

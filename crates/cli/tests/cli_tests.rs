@@ -106,6 +106,120 @@ fn bad_patch_is_reported() {
 }
 
 #[test]
+fn output_flag_writes_patched_file_elsewhere() {
+    let dir = tmpdir("oflag");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    let out_file = dir.join("patched.c");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    fs::write(&file, "void f(void) {\n    old_api(7);\n}\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["-o"])
+        .arg(&out_file)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Original untouched, -o target holds the rewrite.
+    assert!(fs::read_to_string(&file).unwrap().contains("old_api(7);"));
+    let patched = fs::read_to_string(&out_file).unwrap();
+    assert!(patched.contains("new_api(7);"), "{patched}");
+    assert!(!patched.contains("old_api"), "{patched}");
+}
+
+#[test]
+fn usage_errors_exit_code_2() {
+    // No arguments at all.
+    let out = spatch().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // --sp-file without any target files.
+    let dir = tmpdir("nofiles");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let out = spatch().args(["--sp-file"]).arg(&patch).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Unknown option.
+    let out = spatch().args(["--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // Unreadable patch file.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(dir.join("missing.cocci"))
+        .arg(dir.join("also-missing.c"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn whole_directory_diff_then_in_place_roundtrip() {
+    // The workflow the paper describes: review the diff across a tree,
+    // then enact it. Exercises both modes over the same temp directory.
+    let dir = tmpdir("tree");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let mut files = Vec::new();
+    for i in 0..3 {
+        let f = dir.join(format!("mod{i}.c"));
+        fs::write(
+            &f,
+            format!("void stage{i}(void) {{\n    old_api({i});\n    keep({i});\n}}\n"),
+        )
+        .unwrap();
+        files.push(f);
+    }
+    // One file that must not match (and must not be rewritten).
+    let untouched = dir.join("other.c");
+    fs::write(&untouched, "void other(void) { keep(9); }\n").unwrap();
+    files.push(untouched.clone());
+
+    // Pass 1: diff mode shows every change, touches nothing.
+    let mut cmd = spatch();
+    cmd.args(["--sp-file"]).arg(&patch);
+    for f in &files {
+        cmd.arg(f);
+    }
+    let out = cmd.output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for i in 0..3 {
+        assert!(stdout.contains(&format!("-    old_api({i});")), "{stdout}");
+        assert!(stdout.contains(&format!("+    new_api({i});")), "{stdout}");
+    }
+    for f in &files {
+        assert!(!fs::read_to_string(f).unwrap().contains("new_api"));
+    }
+
+    // Pass 2: --in-place enacts exactly the reviewed diff.
+    let mut cmd = spatch();
+    cmd.args(["--sp-file"])
+        .arg(&patch)
+        .args(["--in-place", "--quiet"]);
+    for f in &files {
+        cmd.arg(f);
+    }
+    let out = cmd.output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    for (i, f) in files.iter().take(3).enumerate() {
+        let text = fs::read_to_string(f).unwrap();
+        assert!(text.contains(&format!("new_api({i});")), "{text}");
+        assert!(text.contains(&format!("keep({i});")), "{text}");
+    }
+    assert_eq!(
+        fs::read_to_string(&untouched).unwrap(),
+        "void other(void) { keep(9); }\n"
+    );
+}
+
+#[test]
 fn no_match_exits_zero() {
     let dir = tmpdir("nomatch");
     let patch = dir.join("p.cocci");

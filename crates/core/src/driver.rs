@@ -2,14 +2,14 @@
 //!
 //! Applying one semantic patch to N files is embarrassingly parallel —
 //! the per-file pipeline shares nothing but the (read-only) patch. The
-//! driver follows the hpc-parallel guide idioms: crossbeam scoped threads
-//! pulling file indices from an atomic work counter, results collected
-//! under a `parking_lot` mutex; no locks are held while patching.
+//! driver follows the hpc-parallel guide idioms: scoped threads pulling
+//! file indices from an atomic work counter, results collected under a
+//! mutex; no locks are held while patching.
 
 use crate::orchestrate::Patcher;
 use cocci_smpl::SemanticPatch;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Result of patching one file.
 #[derive(Debug, Clone)]
@@ -44,9 +44,9 @@ pub fn apply_to_files(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<FileOutcome>>> = Mutex::new(vec![None; files.len()]);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 // One Patcher per worker: script-interpreter globals are
                 // per-application state and must not be shared.
                 let mut patcher = match Patcher::new(patch) {
@@ -59,7 +59,7 @@ pub fn apply_to_files(
                             if i >= files.len() {
                                 return;
                             }
-                            results.lock()[i] = Some(FileOutcome {
+                            results.lock().unwrap()[i] = Some(FileOutcome {
                                 name: files[i].0.clone(),
                                 output: None,
                                 error: Some(e.to_string()),
@@ -88,15 +88,15 @@ pub fn apply_to_files(
                             matches: 0,
                         },
                     };
-                    results.lock()[i] = Some(outcome);
+                    results.lock().unwrap()[i] = Some(outcome);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_inner()
+        .expect("worker thread panicked")
         .into_iter()
         .map(|o| o.expect("every file processed"))
         .collect()

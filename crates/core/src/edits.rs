@@ -93,7 +93,9 @@ impl EditSet {
     /// Whether `span` overlaps any recorded non-insertion edit.
     pub fn overlaps(&self, span: Span) -> bool {
         self.edits.iter().any(|e| {
-            !e.span.is_empty() && !span.is_empty() && e.span.start < span.end
+            !e.span.is_empty()
+                && !span.is_empty()
+                && e.span.start < span.end
                 && span.start < e.span.end
         })
     }

@@ -89,9 +89,7 @@ impl Value {
             }
             Value::Type(t) => slice(t.span).unwrap_or_else(|| render::render_type(t)),
             Value::Params(ps) => {
-                let merged = ps
-                    .iter()
-                    .fold(Span::SYNTHETIC, |acc, p| acc.merge(p.span));
+                let merged = ps.iter().fold(Span::SYNTHETIC, |acc, p| acc.merge(p.span));
                 slice(merged).unwrap_or_else(|| {
                     ps.iter()
                         .map(render::render_param)
@@ -246,7 +244,10 @@ mod tests {
     fn text_and_int_render() {
         assert_eq!(Value::Text("hipMalloc".into()).render(""), "hipMalloc");
         assert_eq!(Value::Int(42).render(""), "42");
-        assert_eq!(Value::Pragma("omp parallel".into()).render(""), "omp parallel");
+        assert_eq!(
+            Value::Pragma("omp parallel".into()).render(""),
+            "omp parallel"
+        );
     }
 
     #[test]
@@ -261,10 +262,13 @@ mod tests {
     #[test]
     fn exported_env_chain() {
         let mut env = Env::new();
-        env.bind("fn", Value::Ident {
-            name: "cudaMalloc".into(),
-            span: Span::SYNTHETIC,
-        });
+        env.bind(
+            "fn",
+            Value::Ident {
+                name: "cudaMalloc".into(),
+                span: Span::SYNTHETIC,
+            },
+        );
         let mut ex = ExportedEnv::new();
         ex.absorb("cfe", &env);
         assert_eq!(ex.get("cfe", "fn").unwrap().render(""), "cudaMalloc");

@@ -367,12 +367,9 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
                     bind_or_check(ctx, st, &id.name, Value::Int(v))
                 }
                 None => match src_e {
-                    Expr::StrLit { raw, .. } | Expr::FloatLit { raw, .. } => bind_or_check(
-                        ctx,
-                        st,
-                        &id.name,
-                        Value::Text(raw.clone()),
-                    ),
+                    Expr::StrLit { raw, .. } | Expr::FloatLit { raw, .. } => {
+                        bind_or_check(ctx, st, &id.name, Value::Text(raw.clone()))
+                    }
                     _ => false,
                 },
             },
@@ -703,12 +700,7 @@ pub fn match_directive(
     ok
 }
 
-fn match_pragma_words(
-    ctx: &MatchCtx,
-    pats: &[&str],
-    srcs: &[&str],
-    st: &mut MatchState,
-) -> bool {
+fn match_pragma_words(ctx: &MatchCtx, pats: &[&str], srcs: &[&str], st: &mut MatchState) -> bool {
     let Some((p0, rest)) = pats.split_first() else {
         return srcs.is_empty();
     };
@@ -901,7 +893,9 @@ pub fn match_stmt(ctx: &MatchCtx, pat: &Stmt, src: &Stmt, st: &mut MatchState) -
         },
         Stmt::Label { label, stmt, .. } => match src {
             Stmt::Label {
-                label: sl, stmt: ss, ..
+                label: sl,
+                stmt: ss,
+                ..
             } => match_ident(ctx, label, sl, st) && match_stmt(ctx, stmt, ss, st),
             _ => false,
         },
@@ -917,8 +911,13 @@ pub fn match_stmt(ctx: &MatchCtx, pat: &Stmt, src: &Stmt, st: &mut MatchState) -
         },
         Stmt::Case { value, stmt, .. } => match src {
             Stmt::Case {
-                value: sv, stmt: ss, ..
-            } => match_opt_expr(ctx, value.as_ref(), sv.as_ref(), st) && match_stmt(ctx, stmt, ss, st),
+                value: sv,
+                stmt: ss,
+                ..
+            } => {
+                match_opt_expr(ctx, value.as_ref(), sv.as_ref(), st)
+                    && match_stmt(ctx, stmt, ss, st)
+            }
             _ => false,
         },
         Stmt::Directive(pd) => match src {
@@ -1185,9 +1184,7 @@ pub fn match_stmt_seq(
             // Bound: must match that exact run; else try runs
             // (greedy — a statement-list metavariable usually captures
             // "the whole body").
-            if let Some(Value::StmtList(bound)) =
-                st.env.get(name).map(|v| v.structural().clone())
-            {
+            if let Some(Value::StmtList(bound)) = st.env.get(name).map(|v| v.structural().clone()) {
                 if bound.len() > srcs.len() {
                     return false;
                 }
@@ -1270,9 +1267,7 @@ pub fn match_params(
         };
         if p0.meta_list {
             let name = p0.name.as_ref().map(|n| n.name.clone()).unwrap_or_default();
-            if let Some(Value::Params(bound)) =
-                st.env.get(&name).map(|v| v.structural().clone())
-            {
+            if let Some(Value::Params(bound)) = st.env.get(&name).map(|v| v.structural().clone()) {
                 if bound.len() > srcs.len() {
                     return false;
                 }
@@ -1426,9 +1421,7 @@ pub fn match_item(ctx: &MatchCtx, pat: &Item, src: &Item, st: &mut MatchState) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cocci_cast::parser::{
-        parse_expression, parse_statements, NoMeta, ParseOptions,
-    };
+    use cocci_cast::parser::{parse_expression, parse_statements, NoMeta, ParseOptions};
     use cocci_smpl::{Constraint, MetaDecl, MetaDeclKind};
 
     fn decls(list: &[(&str, MetaDeclKind)]) -> Vec<MetaDecl> {
@@ -1507,8 +1500,14 @@ mod tests {
 
     #[test]
     fn const_fold_isomorphism() {
-        let ds = decls(&[("i", MetaDeclKind::Identifier), ("l", MetaDeclKind::Identifier)]);
-        let mut with_k = decls(&[("i", MetaDeclKind::Identifier), ("l", MetaDeclKind::Identifier)]);
+        let ds = decls(&[
+            ("i", MetaDeclKind::Identifier),
+            ("l", MetaDeclKind::Identifier),
+        ]);
+        let mut with_k = decls(&[
+            ("i", MetaDeclKind::Identifier),
+            ("l", MetaDeclKind::Identifier),
+        ]);
         with_k.push(MetaDecl {
             name: "k".into(),
             kind: MetaDeclKind::Constant,
@@ -1630,12 +1629,8 @@ mod tests {
     #[test]
     fn stmt_seq_with_dots() {
         let ds = decls(&[("x", MetaDeclKind::Expression)]);
-        let pats = parse_statements(
-            "a(); ... b(x);",
-            ParseOptions::pattern(),
-            &DeclsLookup(&ds),
-        )
-        .unwrap();
+        let pats =
+            parse_statements("a(); ... b(x);", ParseOptions::pattern(), &DeclsLookup(&ds)).unwrap();
         let src_text = "{ a(); mid1(); mid2(); b(42); after(); }";
         let srcs = parse_statements(src_text, ParseOptions::c(), &NoMeta).unwrap();
         let Stmt::Block(b) = &srcs[0] else { panic!() };
@@ -1646,7 +1641,9 @@ mod tests {
             regexes: &regexes,
         };
         let mut st = MatchState::default();
-        assert!(match_stmt_seq(&ctx, &pats, &b.stmts, false, b.span, &mut st));
+        assert!(match_stmt_seq(
+            &ctx, &pats, &b.stmts, false, b.span, &mut st
+        ));
         assert_eq!(st.env.get("x").unwrap().render(src_text), "42");
     }
 
@@ -1675,7 +1672,9 @@ mod tests {
             regexes: &regexes,
         };
         let mut st2 = MatchState::default();
-        assert!(!match_stmt_seq(&ctx2, &pats, &b2.stmts, true, b2.span, &mut st2));
+        assert!(!match_stmt_seq(
+            &ctx2, &pats, &b2.stmts, true, b2.span, &mut st2
+        ));
     }
 
     #[test]
@@ -1728,16 +1727,23 @@ mod tests {
         // dots form
         let pat = mk("omp ...");
         let mut st = MatchState::default();
-        assert!(match_directive(&ctx, &pat, &mk("omp parallel for"), &mut st));
+        assert!(match_directive(
+            &ctx,
+            &pat,
+            &mk("omp parallel for"),
+            &mut st
+        ));
         assert!(!match_directive(&ctx, &pat, &mk("acc kernels"), &mut st));
         // pragmainfo capture
         let pat2 = mk("acc pi");
         let mut st2 = MatchState::default();
-        assert!(match_directive(&ctx, &pat2, &mk("acc kernels copy(a)"), &mut st2));
-        assert_eq!(
-            st2.env.get("pi").unwrap().render(""),
-            "kernels copy(a)"
-        );
+        assert!(match_directive(
+            &ctx,
+            &pat2,
+            &mk("acc kernels copy(a)"),
+            &mut st2
+        ));
+        assert_eq!(st2.env.get("pi").unwrap().render(""), "kernels copy(a)");
     }
 
     #[test]

@@ -89,10 +89,7 @@ impl Patcher {
                             &mv.constraint
                         {
                             let compiled = Regex::new(re).map_err(|e| {
-                                aerr(format!(
-                                    "bad regex for metavariable `{}`: {e}",
-                                    mv.name
-                                ))
+                                aerr(format!("bad regex for metavariable `{}`: {e}", mv.name))
                             })?;
                             map.insert(mv.name.clone(), compiled);
                         }
@@ -158,7 +155,11 @@ impl Patcher {
                     let tu = parse_translation_unit(&current, opts, &NoMeta).map_err(|e| {
                         aerr(format!(
                             "{name}: cannot parse target{}: {e}",
-                            if changed { " (after transformation)" } else { "" }
+                            if changed {
+                                " (after transformation)"
+                            } else {
+                                ""
+                            }
                         ))
                     })?;
                     let (all_matches, new_streams) =
@@ -176,9 +177,7 @@ impl Patcher {
                         let mut claimed: Vec<Span> = Vec::new();
                         for m in &all_matches {
                             let root = match_root(m);
-                            if !root.is_synthetic()
-                                && claimed.iter().any(|c| overlaps(*c, root))
-                            {
+                            if !root.is_synthetic() && claimed.iter().any(|c| overlaps(*c, root)) {
                                 continue;
                             }
                             rewrite::emit_edits(&t.body, m, &current, &mut edits)
@@ -480,8 +479,7 @@ pub fn find_matches(
             // Single-statement patterns also match at nested
             // sub-statement positions (unbraced `if`/loop branches),
             // which block-list windows never visit.
-            if pats.len() == 1
-                && !matches!(pats[0], Stmt::Dots { .. } | Stmt::MetaStmtList { .. })
+            if pats.len() == 1 && !matches!(pats[0], Stmt::Dots { .. } | Stmt::MetaStmtList { .. })
             {
                 let mut nested_stmts: Vec<&Stmt> = Vec::new();
                 visit::walk_functions(tu, &mut |f| {
@@ -516,9 +514,7 @@ pub fn find_matches(
                     .map(|it| match it {
                         Item::Directive(d) => Stmt::Directive(d.clone()),
                         Item::Decl(d) => Stmt::Decl(d.clone()),
-                        other => Stmt::Empty {
-                            span: other.span(),
-                        },
+                        other => Stmt::Empty { span: other.span() },
                     })
                     .collect();
                 collect_seq_matches(ctx, pats, &pseudo, tu.span, seed, &mut out);

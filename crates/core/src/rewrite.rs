@@ -316,9 +316,8 @@ impl<'a> Rewriter<'a> {
                 .any(|sp| g.anchor > sp.start && g.anchor < sp.end)
         };
 
-        let is_replacement_target = |i: usize| {
-            self.all_minus(spans[i]) && !self.body.span_has_interior_plus(spans[i])
-        };
+        let is_replacement_target =
+            |i: usize| self.all_minus(spans[i]) && !self.body.span_has_interior_plus(spans[i]);
 
         // Pass A: pair groups with adjacent all-minus elements.
         let mut replaced_elems: Vec<usize> = Vec::new();
@@ -338,10 +337,9 @@ impl<'a> Rewriter<'a> {
                 .enumerate()
                 .find(|(_, sp)| sp.start >= g.anchor)
                 .map(|(i, _)| i);
-            let target = [preceding, following]
-                .into_iter()
-                .flatten()
-                .find(|&i| is_replacement_target(i) && deletable(i) && !replaced_elems.contains(&i));
+            let target = [preceding, following].into_iter().flatten().find(|&i| {
+                is_replacement_target(i) && deletable(i) && !replaced_elems.contains(&i)
+            });
             if let Some(i) = target {
                 if let Some(src_span) = self.st.src_for(spans[i]) {
                     let indent = line_indent(self.src, src_span.start);
@@ -448,9 +446,7 @@ impl<'a> Rewriter<'a> {
 
     fn rewrite_stmt(&self, s: &Stmt, edits: &mut EditSet) -> Result<(), String> {
         match s {
-            Stmt::Block(b) => {
-                self.rewrite_stmt_list(&b.stmts, Some(b.span), edits)
-            }
+            Stmt::Block(b) => self.rewrite_stmt_list(&b.stmts, Some(b.span), edits),
             Stmt::For {
                 body: fbody,
                 header_span,
@@ -640,9 +636,7 @@ impl<'a> Rewriter<'a> {
             if b.is_empty() {
                 return Ok(());
             }
-            let bspan = b
-                .iter()
-                .fold(Span::SYNTHETIC, |acc, s| acc.merge(s.span()));
+            let bspan = b.iter().fold(Span::SYNTHETIC, |acc, s| acc.merge(s.span()));
             if !self.body.span_has_minus(bspan)
                 && !self
                     .body

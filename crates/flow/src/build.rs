@@ -251,13 +251,17 @@ impl Builder {
                 None
             }
             Stmt::Goto { label, span } => {
-                let n = self.g.add(NodeKind::Stmt, format!("goto {}", label.name), *span);
+                let n = self
+                    .g
+                    .add(NodeKind::Stmt, format!("goto {}", label.name), *span);
                 self.g.edge(pred, n, kind);
                 self.pending_gotos.push((n, label.name.clone()));
                 None
             }
             Stmt::Label { label, stmt, span } => {
-                let n = self.g.add(NodeKind::Join, format!("{}:", label.name), *span);
+                let n = self
+                    .g
+                    .add(NodeKind::Join, format!("{}:", label.name), *span);
                 self.g.edge(pred, n, kind);
                 self.labels.insert(label.name.clone(), n);
                 self.stmt(stmt, n, EdgeKind::Seq)

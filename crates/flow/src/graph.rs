@@ -85,7 +85,10 @@ impl Cfg {
     }
 
     pub(crate) fn edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
-        if !self.succs[from.index()].iter().any(|&(t, k)| t == to && k == kind) {
+        if !self.succs[from.index()]
+            .iter()
+            .any(|&(t, k)| t == to && k == kind)
+        {
             self.succs[from.index()].push((to, kind));
             self.preds[to.index()].push((from, kind));
         }

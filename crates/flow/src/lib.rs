@@ -244,9 +244,8 @@ mod tests {
 
     #[test]
     fn continue_edge() {
-        let cfg = cfg_of(
-            "void f(int n) { for (int i = 0; i < n; ++i) { if (i % 2) continue; g(i); } }",
-        );
+        let cfg =
+            cfg_of("void f(int n) { for (int i = 0; i < n; ++i) { if (i % 2) continue; g(i); } }");
         let loops = natural_loops(&cfg);
         assert_eq!(loops.len(), 1);
         let reach = reachable(&cfg);

@@ -14,7 +14,10 @@ pub(crate) enum Inst {
     /// Any byte except newline.
     Any,
     /// Character class.
-    Class { items: Vec<ClassItem>, negated: bool },
+    Class {
+        items: Vec<ClassItem>,
+        negated: bool,
+    },
     /// Unconditional jump.
     Jmp(usize),
     /// Fork execution: try `a` first (priority), then `b`.

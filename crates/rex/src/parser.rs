@@ -156,9 +156,7 @@ impl<'a> Parser<'a> {
 
     fn check_repeatable(&self, node: &Node) -> Result<(), ParseError> {
         match node {
-            Node::Empty | Node::StartAnchor | Node::EndAnchor => {
-                Err(self.err("nothing to repeat"))
-            }
+            Node::Empty | Node::StartAnchor | Node::EndAnchor => Err(self.err("nothing to repeat")),
             _ => Ok(()),
         }
     }

@@ -160,11 +160,7 @@ impl Interp {
         }
     }
 
-    fn eval(
-        &self,
-        e: &ExprNode,
-        locals: &BTreeMap<String, Value>,
-    ) -> Result<Value, ScriptError> {
+    fn eval(&self, e: &ExprNode, locals: &BTreeMap<String, Value>) -> Result<Value, ScriptError> {
         match e {
             ExprNode::Str(s) => Ok(Value::Str(s.clone())),
             ExprNode::Int(i) => Ok(Value::Int(*i)),
@@ -202,9 +198,9 @@ impl Interp {
                         })
                     }
                     Value::Str(s) => match i {
-                        Value::Int(idx) if idx >= 0 && (idx as usize) < s.len() => Ok(Value::Str(
-                            s[idx as usize..idx as usize + 1].to_string(),
-                        )),
+                        Value::Int(idx) if idx >= 0 && (idx as usize) < s.len() => {
+                            Ok(Value::Str(s[idx as usize..idx as usize + 1].to_string()))
+                        }
                         _ => Err(serr("bad string index")),
                     },
                     other => Err(serr(format!("cannot index {other:?}"))),
@@ -429,9 +425,7 @@ impl P {
     fn stmt(&mut self) -> Result<StmtNode, ScriptError> {
         // Lookahead for `name = …` / `coccinelle.name = …` assignment.
         if let Some(Tok::Name(n)) = self.peek().cloned() {
-            if n == "coccinelle"
-                && self.toks.get(self.pos + 1) == Some(&Tok::Punct('.'))
-            {
+            if n == "coccinelle" && self.toks.get(self.pos + 1) == Some(&Tok::Punct('.')) {
                 if let (Some(Tok::Name(field)), Some(&Tok::Punct('='))) = (
                     self.toks.get(self.pos + 2).cloned(),
                     self.toks.get(self.pos + 3),
@@ -482,9 +476,7 @@ impl P {
             } else if self.eat('.') {
                 let field = match self.bump() {
                     Some(Tok::Name(n)) => n,
-                    other => {
-                        return Err(serr(format!("expected attribute name, found {other:?}")))
-                    }
+                    other => return Err(serr(format!("expected attribute name, found {other:?}"))),
                 };
                 if self.eat('(') {
                     let args = self.args()?;
@@ -595,10 +587,8 @@ mod tests {
     #[test]
     fn initialize_dict_then_lookup() {
         let mut it = Interp::new();
-        it.run_block(
-            "C2HF = { \"curand_uniform_double\":\n  \"rocrand_uniform_double\" }",
-        )
-        .unwrap();
+        it.run_block("C2HF = { \"curand_uniform_double\":\n  \"rocrand_uniform_double\" }")
+            .unwrap();
         let out = it
             .run_script(
                 "coccinelle.nf = cocci.make_ident(C2HF[fn]);",
@@ -669,10 +659,8 @@ mod tests {
     #[test]
     fn comments_and_continuations() {
         let mut it = Interp::new();
-        it.run_block(
-            "# leading comment\nT = { \"__half\": \\\n \"rocblas_half\" } // trailing\n",
-        )
-        .unwrap();
+        it.run_block("# leading comment\nT = { \"__half\": \\\n \"rocblas_half\" } // trailing\n")
+            .unwrap();
         match it.global("T").unwrap() {
             Value::Dict(d) => assert_eq!(d.get("__half").unwrap().render(), "rocblas_half"),
             other => panic!("{other:?}"),

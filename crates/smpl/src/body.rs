@@ -19,8 +19,7 @@
 use crate::MetaDecl;
 use cocci_cast::lexer::{lex, LexMode};
 use cocci_cast::parser::{
-    parse_expression, parse_statements, parse_translation_unit, MetaKind, MetaLookup,
-    ParseOptions,
+    parse_expression, parse_statements, parse_translation_unit, MetaKind, MetaLookup, ParseOptions,
 };
 use cocci_cast::{Expr, Item, Lang, Stmt, Token, TokenKind};
 
@@ -191,10 +190,7 @@ impl RuleBody {
 
     /// Index of the line containing body offset `off`.
     pub fn line_of_offset(&self, off: u32) -> usize {
-        match self
-            .lines
-            .binary_search_by(|l| l.start.cmp(&off))
-        {
+        match self.lines.binary_search_by(|l| l.start.cmp(&off)) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         }

@@ -270,10 +270,7 @@ A
                 assert_eq!(t.metavars.len(), 8);
                 let k = t.metavar("k").unwrap();
                 assert_eq!(k.kind, MetaDeclKind::Constant);
-                assert_eq!(
-                    k.constraint,
-                    Some(Constraint::Set(vec!["4".to_string()]))
-                );
+                assert_eq!(k.constraint, Some(Constraint::Set(vec!["4".to_string()])));
                 assert_eq!(t.metavar("C").unwrap().kind, MetaDeclKind::Statement);
             }
             other => panic!("{other:?}"),
@@ -338,10 +335,7 @@ T f(PL) { ... }
             Rule::Transform(t) => {
                 assert_eq!(t.name.as_deref(), Some("d"));
                 assert_eq!(t.depends, Some(DepExpr::Rule("c".into())));
-                assert_eq!(
-                    t.metavar("T").unwrap().inherited_from.as_deref(),
-                    Some("c")
-                );
+                assert_eq!(t.metavar("T").unwrap().inherited_from.as_deref(), Some("c"));
             }
             other => panic!("{other:?}"),
         }

@@ -20,7 +20,11 @@ pub struct SmplError {
 
 impl fmt::Display for SmplError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "semantic patch error (line {}): {}", self.line, self.message)
+        write!(
+            f,
+            "semantic patch error (line {}): {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -57,7 +61,10 @@ pub fn parse_semantic_patch(src: &str) -> Result<SemanticPatch, SmplError> {
                 i += 1;
                 continue;
             }
-            return Err(err(i + 1, format!("unexpected line outside rule: `{trimmed}`")));
+            return Err(err(
+                i + 1,
+                format!("unexpected line outside rule: `{trimmed}`"),
+            ));
         }
         if !trimmed.starts_with('@') {
             return Err(err(
@@ -108,10 +115,18 @@ pub fn parse_semantic_patch(src: &str) -> Result<SemanticPatch, SmplError> {
             i += 1;
         }
         let mut body_lines: Vec<&str> = lines[body_first..i].to_vec();
-        while body_lines.last().map(|l| l.trim().is_empty()).unwrap_or(false) {
+        while body_lines
+            .last()
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(false)
+        {
             body_lines.pop();
         }
-        while body_lines.first().map(|l| l.trim().is_empty()).unwrap_or(false) {
+        while body_lines
+            .first()
+            .map(|l| l.trim().is_empty())
+            .unwrap_or(false)
+        {
             body_lines.remove(0);
         }
         let body_text = body_lines.join("\n");
@@ -142,8 +157,7 @@ pub fn parse_semantic_patch(src: &str) -> Result<SemanticPatch, SmplError> {
             let lang_tag = words.next().unwrap_or("cocci").to_string();
             let tail: Vec<&str> = words.collect();
             let (name, depends) = parse_name_and_depends(&tail, header_line_idx + 1)?;
-            let (inputs, outputs) =
-                parse_script_interface(&meta_text, header_line_idx + 1)?;
+            let (inputs, outputs) = parse_script_interface(&meta_text, header_line_idx + 1)?;
             rules.push(Rule::Script(ScriptRule {
                 name,
                 lang: lang_tag,
@@ -308,9 +322,12 @@ fn parse_one_decl(decl: &str, line: usize, out: &mut Vec<MetaDecl>) -> Result<()
 
     if let MetaDeclKind::FreshIdentifier(_) = kind {
         // `name = "lit" ## ref ## "lit" …`
-        let (name_part, def) = rest
-            .split_once('=')
-            .ok_or_else(|| err(line, format!("fresh identifier without definition: `{decl}`")))?;
+        let (name_part, def) = rest.split_once('=').ok_or_else(|| {
+            err(
+                line,
+                format!("fresh identifier without definition: `{decl}`"),
+            )
+        })?;
         let name = name_part.trim().to_string();
         let mut parts = Vec::new();
         for piece in def.split("##") {
@@ -405,9 +422,9 @@ fn parse_script_interface(
         if let Some((local, remote)) = decl.split_once("<<") {
             let local = local.trim().to_string();
             let remote = remote.trim();
-            let (rule, var) = remote.split_once('.').ok_or_else(|| {
-                err(line, format!("script input must be `rule.var`: `{decl}`"))
-            })?;
+            let (rule, var) = remote
+                .split_once('.')
+                .ok_or_else(|| err(line, format!("script input must be `rule.var`: `{decl}`")))?;
             inputs.push((local, rule.trim().to_string(), var.trim().to_string()));
         } else {
             let name = decl.to_string();

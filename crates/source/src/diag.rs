@@ -114,9 +114,7 @@ impl Diagnostics {
 
     /// Whether any error-severity diagnostic was recorded.
     pub fn has_errors(&self) -> bool {
-        self.items
-            .iter()
-            .any(|d| d.kind == DiagnosticKind::Error)
+        self.items.iter().any(|d| d.kind == DiagnosticKind::Error)
     }
 
     /// All recorded diagnostics in order.

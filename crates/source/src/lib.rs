@@ -115,7 +115,8 @@ impl SourceMap {
     /// Register a file and return its handle.
     pub fn add_file(&mut self, name: impl Into<String>, text: impl Into<Arc<str>>) -> FileId {
         let id = FileId(self.files.len() as u32);
-        self.files.push(SourceFile::new(id, name.into(), text.into()));
+        self.files
+            .push(SourceFile::new(id, name.into(), text.into()));
         id
     }
 

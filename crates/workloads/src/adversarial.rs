@@ -129,7 +129,12 @@ mod tests {
                 "curand_uniform_double(other_state",
                 "rocrand_uniform_double(other_state",
             );
-        let (tp, fp) = score(f, &perfect, "curand_uniform_double", "rocrand_uniform_double");
+        let (tp, fp) = score(
+            f,
+            &perfect,
+            "curand_uniform_double",
+            "rocrand_uniform_double",
+        );
         assert_eq!(tp, 2);
         assert_eq!(fp, 0);
     }
@@ -138,7 +143,9 @@ mod tests {
     fn score_counts_naive_translation() {
         let f = &corpus(1)[0];
         // A naive textual translator rewrites everything.
-        let naive = f.text.replace("curand_uniform_double", "rocrand_uniform_double");
+        let naive = f
+            .text
+            .replace("curand_uniform_double", "rocrand_uniform_double");
         let (tp, fp) = score(f, &naive, "curand_uniform_double", "rocrand_uniform_double");
         assert_eq!(tp, 2);
         assert_eq!(fp, f.trap_occurrences);

@@ -22,6 +22,7 @@ pub mod adversarial;
 pub mod gen;
 pub mod kernels;
 pub mod patches;
+pub mod rng;
 
 pub use gen::{CodebaseSpec, GeneratedFile};
 

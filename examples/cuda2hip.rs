@@ -82,8 +82,10 @@ fn main() {
     println!("{} CUDA files, {total_loc} LoC", files.len());
 
     let patch = parse_semantic_patch(PATCH).expect("patch parses");
-    let inputs: Vec<(String, String)> =
-        files.iter().map(|f| (f.name.clone(), f.text.clone())).collect();
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|f| (f.name.clone(), f.text.clone()))
+        .collect();
 
     section("semantic engine");
     let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0));

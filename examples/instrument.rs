@@ -33,8 +33,10 @@ fn main() {
         seed: 99,
     };
     let files = omp_codebase(&spec);
-    let inputs: Vec<(String, String)> =
-        files.iter().map(|f| (f.name.clone(), f.text.clone())).collect();
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|f| (f.name.clone(), f.text.clone()))
+        .collect();
     let regions: usize = inputs
         .iter()
         .map(|(_, t)| t.matches("#pragma omp parallel").count())

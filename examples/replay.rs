@@ -42,8 +42,7 @@ void gpu_stage(int n, double *buf) {
 fn replay(base: &str, stack: &[(&str, &str)]) -> String {
     let mut text = base.to_string();
     for (name, patch_text) in stack {
-        let patch = parse_semantic_patch(patch_text)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let patch = parse_semantic_patch(patch_text).unwrap_or_else(|e| panic!("{name}: {e}"));
         let mut patcher = Patcher::new(&patch).unwrap();
         if let Some(next) = patcher
             .apply(name, &text)

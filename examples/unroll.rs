@@ -69,8 +69,10 @@ fn main() {
     );
 
     let patch = parse_semantic_patch(PATCH).expect("patch parses");
-    let inputs: Vec<(String, String)> =
-        files.iter().map(|f| (f.name.clone(), f.text.clone())).collect();
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|f| (f.name.clone(), f.text.clone()))
+        .collect();
 
     let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0));
     let pragmas: usize = outcomes
@@ -84,7 +86,9 @@ fn main() {
         .map(|t| t.matches("[i+1]").count())
         .sum();
     section("result");
-    println!("{pragmas}/{loops} loops re-rolled in {secs:.3}s; {leftovers} leftover unrolled statements");
+    println!(
+        "{pragmas}/{loops} loops re-rolled in {secs:.3}s; {leftovers} leftover unrolled statements"
+    );
     assert_eq!(pragmas, loops, "every generated loop must re-roll");
     assert_eq!(leftovers, 0);
 

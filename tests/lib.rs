@@ -1,1 +1,189 @@
-//! shared helpers
+//! Shared helpers for the integration-test crate, chiefly a minimal
+//! in-house property-test harness.
+//!
+//! The environment builds offline with zero crates.io dependencies, so
+//! `proptest` is replaced by this module: a [`Runner`] drives a property
+//! closure over many cases fed from the workspace's own deterministic
+//! [`SplitMix64`] PRNG, and a small library of generator functions
+//! produces the structured inputs the properties need (identifiers,
+//! bounded strings, well-formed C expression texts).
+//!
+//! Failures reproduce exactly: the runner derives its stream from the
+//! property's name (or `COCCI_PROP_SEED`), and on panic reports the seed
+//! and case index before propagating, so a failing case can be replayed
+//! with `COCCI_PROP_SEED=<seed> cargo test <property>`.
+
+pub use cocci_workloads::rng::SplitMix64;
+
+/// Number of cases each property runs by default (proptest's default
+/// config in the seed used 128 for the heavyweight parser properties).
+pub const DEFAULT_CASES: usize = 128;
+
+/// Drives one property over many PRNG-fed cases.
+pub struct Runner {
+    name: &'static str,
+    cases: usize,
+    seed: u64,
+}
+
+impl Runner {
+    /// A runner for the property `name`, seeded from the name (stable
+    /// across runs) unless `COCCI_PROP_SEED` overrides it.
+    pub fn new(name: &'static str) -> Self {
+        let seed = std::env::var("COCCI_PROP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| fnv1a(name.as_bytes()));
+        Runner {
+            name,
+            cases: DEFAULT_CASES,
+            seed,
+        }
+    }
+
+    /// Override the case count.
+    pub fn cases(mut self, n: usize) -> Self {
+        self.cases = n;
+        self
+    }
+
+    /// Run `property` for every case. The closure draws its inputs from
+    /// the provided PRNG and signals failure by panicking (use the std
+    /// `assert!` family); the seed and case index are reported for
+    /// replay before the panic propagates.
+    pub fn run(self, property: impl Fn(&mut SplitMix64)) {
+        for case in 0..self.cases {
+            // One independent stream per case so a failure does not
+            // depend on how many draws earlier cases made.
+            let mut rng = SplitMix64::seed_from_u64(self.seed.wrapping_add(case as u64));
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+            if let Err(panic) = result {
+                eprintln!(
+                    "property {} failed at case {case}/{} (COCCI_PROP_SEED={})",
+                    self.name, self.cases, self.seed
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-property seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---- generator helpers ----
+
+/// One element of `options`, uniformly.
+pub fn pick<'a, T: ?Sized>(rng: &mut SplitMix64, options: &'a [&'a T]) -> &'a T {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// A string of `len` chars drawn from `alphabet`.
+pub fn string_from(rng: &mut SplitMix64, alphabet: &str, len: usize) -> String {
+    let chars: Vec<char> = alphabet.chars().collect();
+    (0..len)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+/// A string whose length is uniform in `min..=max`, chars from `alphabet`.
+pub fn string_of_len(rng: &mut SplitMix64, alphabet: &str, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..max + 1);
+    string_from(rng, alphabet, len)
+}
+
+/// A C identifier: `[a-z_][a-z0-9_]{0,6}`.
+pub fn ident_soup_word(rng: &mut SplitMix64) -> String {
+    let mut s = string_from(rng, "abcdefghijklmnopqrstuvwxyz_", 1);
+    s.push_str(&string_of_len(
+        rng,
+        "abcdefghijklmnopqrstuvwxyz0123456789_",
+        0,
+        6,
+    ));
+    s
+}
+
+/// One of a fixed pool of plausible C identifiers (mirrors the seed's
+/// `arb_ident` strategy).
+pub fn arb_ident(rng: &mut SplitMix64) -> String {
+    pick(rng, &["alpha", "beta", "buf", "n", "idx"]).to_string()
+}
+
+/// A well-formed C expression as text, by construction. `depth` bounds
+/// the recursion (the seed's strategy used depth 4).
+pub fn arb_expr_text(rng: &mut SplitMix64, depth: usize) -> String {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            arb_ident(rng)
+        } else {
+            rng.gen_range(0..1000).to_string()
+        };
+    }
+    match rng.gen_range(0..7) {
+        0 => format!(
+            "{} + {}",
+            arb_expr_text(rng, depth - 1),
+            arb_expr_text(rng, depth - 1)
+        ),
+        1 => format!(
+            "{} * {}",
+            arb_expr_text(rng, depth - 1),
+            arb_expr_text(rng, depth - 1)
+        ),
+        2 => format!(
+            "{}[{}]",
+            arb_expr_text(rng, depth - 1),
+            arb_expr_text(rng, depth - 1)
+        ),
+        3 => format!(
+            "f({}, {})",
+            arb_expr_text(rng, depth - 1),
+            arb_expr_text(rng, depth - 1)
+        ),
+        4 => format!("-{}", arb_expr_text(rng, depth - 1)),
+        5 => format!("({})", arb_expr_text(rng, depth - 1)),
+        _ => format!(
+            "{} ? {} : {}",
+            arb_expr_text(rng, depth - 1),
+            arb_expr_text(rng, depth - 1),
+            arb_expr_text(rng, depth - 1)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_reaches_every_case_with_fresh_stream() {
+        let count = std::cell::Cell::new(0usize);
+        Runner::new("runner_smoke").cases(16).run(|rng| {
+            let _ = rng.next_u64();
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 16);
+    }
+
+    #[test]
+    fn generators_stay_in_spec() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        for _ in 0..200 {
+            let w = ident_soup_word(&mut rng);
+            assert!((1..=7).contains(&w.len()), "{w:?}");
+            assert!(w.chars().next().unwrap().is_ascii_lowercase() || w.starts_with('_'));
+            let s = string_of_len(&mut rng, "ab", 2, 5);
+            assert!((2..=5).contains(&s.len()));
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}

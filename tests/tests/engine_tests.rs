@@ -9,7 +9,8 @@ use cocci_smpl::parse_semantic_patch;
 fn apply(patch: &str, target: &str) -> Option<String> {
     let sp = parse_semantic_patch(patch).unwrap_or_else(|e| panic!("patch parse: {e}"));
     let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("compile: {e}"));
-    p.apply("t.c", target).unwrap_or_else(|e| panic!("apply: {e}"))
+    p.apply("t.c", target)
+        .unwrap_or_else(|e| panic!("apply: {e}"))
 }
 
 // ---- orchestration ----
@@ -116,7 +117,8 @@ type T;
 - T v;
 + T v = 0;
 "#;
-    let src = "void f(void) {\n    double amount;\n    double other;\n    deprecated_use(amount);\n}\n";
+    let src =
+        "void f(void) {\n    double amount;\n    double other;\n    deprecated_use(amount);\n}\n";
     let out = apply(patch, src).unwrap();
     assert!(out.contains("double amount = 0;"), "{out}");
     assert!(out.contains("double other;"), "{out}");
@@ -234,7 +236,10 @@ identifier f, x, y;
 "#;
     let same = "double combine(double a, double b);\n";
     let out = apply(patch, same).unwrap();
-    assert!(out.contains("double combine(double a, double b, double z);"), "{out}");
+    assert!(
+        out.contains("double combine(double a, double b, double z);"),
+        "{out}"
+    );
     // Mixed types must not match a single type metavariable.
     let mixed = "double combine(double a, float b);\n";
     assert!(apply(patch, mixed).is_none());
@@ -269,11 +274,7 @@ expression list el;
 - f(el);
 + traced(f, el);
 "#;
-    let out = apply(
-        patch,
-        "void g(void) { compute(1); debug_log(2); }\n",
-    )
-    .unwrap();
+    let out = apply(patch, "void g(void) { compute(1); debug_log(2); }\n").unwrap();
     assert!(out.contains("traced(compute, 1);"), "{out}");
     assert!(out.contains("debug_log(2);"), "{out}");
 }
@@ -345,11 +346,7 @@ do {
 + spin_new(e);
 } while (e);
 "#;
-    let out = apply(
-        patch,
-        "void f(int n) { do { spin_old(n); } while (n); }\n",
-    )
-    .unwrap();
+    let out = apply(patch, "void f(int n) { do { spin_old(n); } while (n); }\n").unwrap();
     assert!(out.contains("spin_new(n);"), "{out}");
 }
 

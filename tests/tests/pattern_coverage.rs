@@ -9,7 +9,8 @@ use cocci_smpl::parse_semantic_patch;
 fn apply(patch: &str, target: &str) -> Option<String> {
     let sp = parse_semantic_patch(patch).unwrap_or_else(|e| panic!("patch parse: {e}"));
     let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("compile: {e}"));
-    p.apply("t.c", target).unwrap_or_else(|e| panic!("apply: {e}"))
+    p.apply("t.c", target)
+        .unwrap_or_else(|e| panic!("apply: {e}"))
 }
 
 #[test]
@@ -36,11 +37,7 @@ expression a, b;
 - dim3 grid = {a, b};
 + dim3 grid = make_dim3(a, b);
 "#;
-    let out = apply(
-        patch,
-        "void f(void) { dim3 grid = {nx, ny}; use(grid); }\n",
-    )
-    .unwrap();
+    let out = apply(patch, "void f(void) { dim3 grid = {nx, ny}; use(grid); }\n").unwrap();
     assert!(out.contains("dim3 grid = make_dim3(nx, ny);"), "{out}");
 }
 
@@ -55,7 +52,8 @@ identifier k =~ "^legacy_";
 - k<<<...>>>(...);
 + launch_shim();
 "#;
-    let src = "void f(void) {\n    legacy_sum<<<g, b>>>(n, x);\n    modern_sum<<<g, b>>>(n, x);\n}\n";
+    let src =
+        "void f(void) {\n    legacy_sum<<<g, b>>>(n, x);\n    modern_sum<<<g, b>>>(n, x);\n}\n";
     let out = apply(patch, src).unwrap();
     assert!(out.contains("launch_shim();"), "{out}");
     assert!(out.contains("modern_sum<<<g, b>>>(n, x);"), "{out}");

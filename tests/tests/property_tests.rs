@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests over the core invariants, driven by the
+//! in-house harness in `cocci_tests` (see `tests/lib.rs`):
 //!
 //! * lexer: token spans partition the input (ordered, non-overlapping),
 //!   and lexing is total on valid token soup;
@@ -18,122 +19,139 @@ use cocci_cast::{lex, LexMode, TokenKind};
 use cocci_core::{EditSet, Patcher};
 use cocci_smpl::parse_semantic_patch;
 use cocci_source::Span;
-use proptest::prelude::*;
+use cocci_tests::{arb_expr_text, ident_soup_word, string_of_len, Runner};
 
-// ---- generators ----
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("alpha".to_string()),
-        Just("beta".to_string()),
-        Just("buf".to_string()),
-        Just("n".to_string()),
-        Just("idx".to_string()),
-    ]
-}
+// ---- lexer ----
 
-/// Generate a well-formed C expression as text by construction.
-fn arb_expr_text() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        arb_ident(),
-        (0u32..1000).prop_map(|v| v.to_string()),
-    ];
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} + {b}")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a} * {b}")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}[{b}]")),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("f({a}, {b})")),
-            inner.clone().prop_map(|a| format!("-{a}")),
-            inner.clone().prop_map(|a| format!("({a})")),
-            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| format!("{a} ? {b} : {c}")),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    // ---- lexer ----
-
-    #[test]
-    fn lexer_spans_partition_input(src in arb_expr_text()) {
+#[test]
+fn lexer_spans_partition_input() {
+    Runner::new("lexer_spans_partition_input").run(|rng| {
+        let src = arb_expr_text(rng, 4);
         let toks = lex(&src, LexMode::C).unwrap();
         let mut prev_end = 0u32;
         for t in &toks {
-            if t.kind == TokenKind::Eof { break; }
-            prop_assert!(t.span.start >= prev_end, "overlap at {:?}", t.span);
-            prop_assert!(t.span.end > t.span.start);
+            if t.kind == TokenKind::Eof {
+                break;
+            }
+            assert!(
+                t.span.start >= prev_end,
+                "overlap at {:?} in {src:?}",
+                t.span
+            );
+            assert!(t.span.end > t.span.start);
             // Gap text must be whitespace only.
             let gap = &src[prev_end as usize..t.span.start as usize];
-            prop_assert!(gap.chars().all(char::is_whitespace), "gap {gap:?}");
+            assert!(gap.chars().all(char::is_whitespace), "gap {gap:?}");
             prev_end = t.span.end;
         }
-    }
+    });
+}
 
-    #[test]
-    fn lexer_total_on_ascii_word_soup(words in proptest::collection::vec("[a-z_][a-z0-9_]{0,6}", 0..20)) {
+#[test]
+fn lexer_total_on_ascii_word_soup() {
+    Runner::new("lexer_total_on_ascii_word_soup").run(|rng| {
+        let words: Vec<String> = (0..rng.gen_range(0..20))
+            .map(|_| ident_soup_word(rng))
+            .collect();
         let src = words.join(" ");
         let toks = lex(&src, LexMode::C).unwrap();
         // One token per word plus EOF.
-        prop_assert_eq!(toks.len(), words.len() + 1);
-    }
+        assert_eq!(toks.len(), words.len() + 1, "{src:?}");
+    });
+}
 
-    // ---- parse/render round-trip ----
+// ---- parse/render round-trip ----
 
-    #[test]
-    fn parse_render_roundtrip(src in arb_expr_text()) {
+#[test]
+fn parse_render_roundtrip() {
+    Runner::new("parse_render_roundtrip").run(|rng| {
+        let src = arb_expr_text(rng, 4);
         let e1 = parse_expression(&src, ParseOptions::cpp(), &NoMeta).unwrap();
         let rendered = render_expr(&e1);
         let e2 = parse_expression(&rendered, ParseOptions::cpp(), &NoMeta)
             .unwrap_or_else(|err| panic!("re-parse of {rendered:?} failed: {err}"));
-        prop_assert!(expr_eq(&e1, &e2), "{src:?} -> {rendered:?} not structurally equal");
+        assert!(
+            expr_eq(&e1, &e2),
+            "{src:?} -> {rendered:?} not structurally equal"
+        );
         // Idempotence of rendering.
-        prop_assert_eq!(rendered.clone(), render_expr(&e2));
-    }
+        assert_eq!(rendered, render_expr(&e2));
+    });
+}
 
-    // ---- regex ----
+// ---- regex ----
 
-    #[test]
-    fn regex_literal_agrees_with_contains(
-        needle in "[a-z]{1,6}",
-        hay in "[a-z_ ]{0,30}",
-    ) {
+#[test]
+fn regex_literal_agrees_with_contains() {
+    Runner::new("regex_literal_agrees_with_contains").run(|rng| {
+        let needle = string_of_len(rng, LOWER, 1, 6);
+        let hay = string_of_len(rng, "abcdefghijklmnopqrstuvwxyz_ ", 0, 30);
         let re = cocci_rex::Regex::new(&needle).unwrap();
-        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
-    }
+        assert_eq!(
+            re.is_match(&hay),
+            hay.contains(&needle),
+            "{needle:?} in {hay:?}"
+        );
+    });
+}
 
-    #[test]
-    fn regex_never_panics(pattern in "[a-z().|*+?\\[\\]{}0-9,^$-]{0,15}", hay in "[a-z0-9]{0,20}") {
+#[test]
+fn regex_never_panics() {
+    Runner::new("regex_never_panics").run(|rng| {
+        let pattern = string_of_len(
+            rng,
+            "abcdefghijklmnopqrstuvwxyz().|*+?[]{}0123456789,^$-",
+            0,
+            15,
+        );
+        let hay = string_of_len(rng, "abcdefghijklmnopqrstuvwxyz0123456789", 0, 20);
         if let Ok(re) = cocci_rex::Regex::new(&pattern) {
             let _ = re.is_match(&hay);
         }
-    }
+    });
+}
 
-    #[test]
-    fn regex_alternation_is_union(a in "[a-z]{1,4}", b in "[a-z]{1,4}", hay in "[a-z]{0,12}") {
+#[test]
+fn regex_alternation_is_union() {
+    Runner::new("regex_alternation_is_union").run(|rng| {
+        let a = string_of_len(rng, LOWER, 1, 4);
+        let b = string_of_len(rng, LOWER, 1, 4);
+        let hay = string_of_len(rng, LOWER, 0, 12);
         let re = cocci_rex::Regex::new(&format!("{a}|{b}")).unwrap();
-        prop_assert_eq!(re.is_match(&hay), hay.contains(&a) || hay.contains(&b));
-    }
+        assert_eq!(
+            re.is_match(&hay),
+            hay.contains(&a) || hay.contains(&b),
+            "{a}|{b} on {hay:?}"
+        );
+    });
+}
 
-    // ---- edit sets ----
+// ---- edit sets ----
 
-    #[test]
-    fn disjoint_edits_apply_in_any_order(
-        src in "[a-z]{30,60}",
-        cuts in proptest::collection::vec((0usize..10, 0usize..3), 1..5),
-    ) {
+#[test]
+fn disjoint_edits_apply_in_any_order() {
+    Runner::new("disjoint_edits_apply_in_any_order").run(|rng| {
+        let src = string_of_len(rng, LOWER, 30, 60);
+        let cuts: Vec<(usize, usize)> = (0..rng.gen_range(1..5))
+            .map(|_| (rng.gen_range(0..10), rng.gen_range(0..3)))
+            .collect();
         // Build disjoint spans deterministically from the cut list.
         let mut spans: Vec<(u32, u32)> = Vec::new();
         let mut pos = 0usize;
         for (gap, len) in cuts {
             let start = pos + gap;
             let end = (start + len).min(src.len());
-            if start >= src.len() || start >= end { break; }
+            if start >= src.len() || start >= end {
+                break;
+            }
             spans.push((start as u32, end as u32));
             pos = end + 1;
         }
-        prop_assume!(!spans.is_empty());
+        if spans.is_empty() {
+            return; // vacuous case, like prop_assume! discarding
+        }
 
         let mut forward = EditSet::new();
         for (s, e) in &spans {
@@ -143,56 +161,69 @@ proptest! {
         for (s, e) in spans.iter().rev() {
             backward.replace(Span::new(*s, *e), "X");
         }
-        prop_assert_eq!(forward.apply(&src).unwrap(), backward.apply(&src).unwrap());
-    }
+        assert_eq!(forward.apply(&src).unwrap(), backward.apply(&src).unwrap());
+    });
+}
 
-    #[test]
-    fn edit_output_length_is_predictable(src in "[a-z]{10,40}") {
+#[test]
+fn edit_output_length_is_predictable() {
+    Runner::new("edit_output_length_is_predictable").run(|rng| {
+        let src = string_of_len(rng, LOWER, 10, 40);
         let mut es = EditSet::new();
         es.delete(Span::new(2, 5));
         es.insert(7, "abc");
         let out = es.apply(&src).unwrap();
-        prop_assert_eq!(out.len(), src.len() - 3 + 3);
-    }
+        assert_eq!(out.len(), src.len() - 3 + 3);
+    });
+}
 
-    // ---- engine ----
+// ---- engine ----
 
-    #[test]
-    fn rename_patch_rewrites_every_call_site(calls in 1usize..8, decoys in 0usize..5) {
-        let mut body = String::new();
-        for i in 0..calls {
-            body.push_str(&format!("    old_fn({i});\n"));
-        }
-        for i in 0..decoys {
-            body.push_str(&format!("    other_fn({i});\n"));
-        }
-        let src = format!("void g(void) {{\n{body}}}\n");
-        let patch = parse_semantic_patch(
-            "@@\nexpression e;\n@@\n- old_fn(e)\n+ new_fn(e)\n",
-        ).unwrap();
-        let mut p = Patcher::new(&patch).unwrap();
-        let out = p.apply("t.c", &src).unwrap().expect("must match");
-        prop_assert_eq!(out.matches("new_fn(").count(), calls);
-        prop_assert_eq!(out.matches("old_fn(").count(), 0);
-        prop_assert_eq!(out.matches("other_fn(").count(), decoys);
-        // Idempotence: nothing left to match.
-        let again = p.apply("t.c", &out).unwrap();
-        prop_assert!(again.is_none());
-    }
+#[test]
+fn rename_patch_rewrites_every_call_site() {
+    Runner::new("rename_patch_rewrites_every_call_site")
+        .cases(48)
+        .run(|rng| {
+            let calls = rng.gen_range(1..8);
+            let decoys = rng.gen_range(0..5);
+            let mut body = String::new();
+            for i in 0..calls {
+                body.push_str(&format!("    old_fn({i});\n"));
+            }
+            for i in 0..decoys {
+                body.push_str(&format!("    other_fn({i});\n"));
+            }
+            let src = format!("void g(void) {{\n{body}}}\n");
+            let patch =
+                parse_semantic_patch("@@\nexpression e;\n@@\n- old_fn(e)\n+ new_fn(e)\n").unwrap();
+            let mut p = Patcher::new(&patch).unwrap();
+            let out = p.apply("t.c", &src).unwrap().expect("must match");
+            assert_eq!(out.matches("new_fn(").count(), calls);
+            assert_eq!(out.matches("old_fn(").count(), 0);
+            assert_eq!(out.matches("other_fn(").count(), decoys);
+            // Idempotence: nothing left to match.
+            let again = p.apply("t.c", &out).unwrap();
+            assert!(again.is_none());
+        });
+}
 
-    #[test]
-    fn patched_output_still_parses(calls in 1usize..6) {
-        let mut body = String::new();
-        for i in 0..calls {
-            body.push_str(&format!("    acc[{i}] = old_fn(acc[{i}]);\n"));
-        }
-        let src = format!("void g(double *acc) {{\n{body}}}\n");
-        let patch = parse_semantic_patch(
-            "@@\nexpression e;\n@@\n- old_fn(e)\n+ scale(e, 2.0)\n",
-        ).unwrap();
-        let mut p = Patcher::new(&patch).unwrap();
-        let out = p.apply("t.c", &src).unwrap().expect("must match");
-        cocci_cast::parser::parse_translation_unit(&out, ParseOptions::c(), &NoMeta)
-            .unwrap_or_else(|e| panic!("output no longer parses: {e}\n{out}"));
-    }
+#[test]
+fn patched_output_still_parses() {
+    Runner::new("patched_output_still_parses")
+        .cases(48)
+        .run(|rng| {
+            let calls = rng.gen_range(1..6);
+            let mut body = String::new();
+            for i in 0..calls {
+                body.push_str(&format!("    acc[{i}] = old_fn(acc[{i}]);\n"));
+            }
+            let src = format!("void g(double *acc) {{\n{body}}}\n");
+            let patch =
+                parse_semantic_patch("@@\nexpression e;\n@@\n- old_fn(e)\n+ scale(e, 2.0)\n")
+                    .unwrap();
+            let mut p = Patcher::new(&patch).unwrap();
+            let out = p.apply("t.c", &src).unwrap().expect("must match");
+            cocci_cast::parser::parse_translation_unit(&out, ParseOptions::c(), &NoMeta)
+                .unwrap_or_else(|e| panic!("output no longer parses: {e}\n{out}"));
+        });
 }

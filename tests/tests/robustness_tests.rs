@@ -17,10 +17,8 @@ fn unparsable_target_is_an_error_not_a_panic() {
 
 #[test]
 fn bad_regex_constraint_fails_at_compile_time() {
-    let patch = parse_semantic_patch(
-        "@@\nidentifier f =~ \"unclosed(\";\n@@\n- f();\n+ g();\n",
-    )
-    .unwrap();
+    let patch =
+        parse_semantic_patch("@@\nidentifier f =~ \"unclosed(\";\n@@\n- f();\n+ g();\n").unwrap();
     let err = match Patcher::new(&patch) {
         Err(e) => e,
         Ok(_) => panic!("expected compile error"),
@@ -62,17 +60,15 @@ fn overlapping_matches_resolve_first_wins() {
 fn finalize_block_runs_after_rules() {
     // A finalize block that would fail proves it ran; one that is fine
     // must not disturb the result.
-    let ok = parse_semantic_patch(
-        "@@ @@\n- a();\n+ b();\n\n@finalize:python@ @@\nmsg = \"done\"\n",
-    )
-    .unwrap();
+    let ok =
+        parse_semantic_patch("@@ @@\n- a();\n+ b();\n\n@finalize:python@ @@\nmsg = \"done\"\n")
+            .unwrap();
     let mut p = Patcher::new(&ok).unwrap();
     assert!(p.apply("t.c", "void f(void) { a(); }\n").unwrap().is_some());
 
-    let bad = parse_semantic_patch(
-        "@@ @@\n- a();\n+ b();\n\n@finalize:python@ @@\nboom = missing\n",
-    )
-    .unwrap();
+    let bad =
+        parse_semantic_patch("@@ @@\n- a();\n+ b();\n\n@finalize:python@ @@\nboom = missing\n")
+            .unwrap();
     let mut p2 = Patcher::new(&bad).unwrap();
     assert!(p2.apply("t.c", "void f(void) { a(); }\n").is_err());
 }
@@ -185,10 +181,8 @@ fn large_file_many_matches() {
 
 #[test]
 fn driver_compile_error_reported_per_file() {
-    let patch = parse_semantic_patch(
-        "@@\nidentifier f =~ \"bad(regex\";\n@@\n- f();\n+ g();\n",
-    )
-    .unwrap();
+    let patch =
+        parse_semantic_patch("@@\nidentifier f =~ \"bad(regex\";\n@@\n- f();\n+ g();\n").unwrap();
     let files = vec![("a.c".to_string(), "void f(void) {}\n".to_string())];
     let outcomes = apply_to_files(&patch, &files, 1);
     assert!(outcomes[0].error.as_deref().unwrap_or("").contains("regex"));

@@ -4,13 +4,17 @@
 //! the enacted transformation.
 
 use cocci_core::Patcher;
+use cocci_examples::timed;
 use cocci_smpl::parse_semantic_patch;
 
 fn apply(patch: &str, target: &str) -> String {
     let sp = parse_semantic_patch(patch).unwrap_or_else(|e| panic!("patch parse: {e}"));
     let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("patch compile: {e}"));
-    p.apply("target.c", target)
-        .unwrap_or_else(|e| panic!("apply: {e}"))
+    // `timed` comes from the cocci-examples library crate; routing every
+    // use-case apply through it keeps the examples' public API exercised
+    // from the test crate (the packaging contract of `examples/lib.rs`).
+    let (out, _secs) = timed(|| p.apply("target.c", target));
+    out.unwrap_or_else(|e| panic!("apply: {e}"))
         .unwrap_or_else(|| panic!("patch did not change the target:\n{target}"))
 }
 
@@ -99,10 +103,21 @@ void unrelated_helper(int n) {
 }
 "#;
     let out = apply(VARIANT_PATCH, target);
-    assert!(out.contains("double avx512_kernel_dot (const double *a, const double *b, int n)"), "{out}");
+    assert!(
+        out.contains("double avx512_kernel_dot (const double *a, const double *b, int n)"),
+        "{out}"
+    );
     assert!(out.contains("double avx10_kernel_dot"), "{out}");
-    assert!(out.contains("#pragma omp declare variant(avx512_kernel_dot) match(device={isa(\"core-avx512\")})"), "{out}");
-    assert!(out.contains("#pragma omp declare variant(avx10_kernel_dot)"), "{out}");
+    assert!(
+        out.contains(
+            "#pragma omp declare variant(avx512_kernel_dot) match(device={isa(\"core-avx512\")})"
+        ),
+        "{out}"
+    );
+    assert!(
+        out.contains("#pragma omp declare variant(avx10_kernel_dot)"),
+        "{out}"
+    );
     // Clones appear before the base function.
     let clone = out.find("avx512_kernel_dot (").unwrap();
     let base = out.find("double kernel_dot(").unwrap();
@@ -194,7 +209,10 @@ double dot(const double *a, const double *b, int n) {
     assert!(!out.contains("avx2_impl"), "{out}");
     assert!(!out.contains("__attribute__"), "{out}");
     // The default implementation's body survives.
-    assert!(out.contains("double dot(const double *a, const double *b, int n)"), "{out}");
+    assert!(
+        out.contains("double dot(const double *a, const double *b, int n)"),
+        "{out}"
+    );
     assert!(out.contains("s += a[i] * b[i];"), "{out}");
 }
 
@@ -489,7 +507,10 @@ fn uc9_openacc_to_openmp() {
 }
 "#;
     let out = apply(ACC_OMP_PATCH, target);
-    assert!(out.contains("#pragma omp target teams parallel loop"), "{out}");
+    assert!(
+        out.contains("#pragma omp target teams parallel loop"),
+        "{out}"
+    );
     assert!(!out.contains("#pragma acc"), "{out}");
     // The loop itself is untouched.
     assert!(out.contains("a[i] = 2.0 * a[i];"), "{out}");
@@ -578,8 +599,12 @@ int rsb__BCSR_spmv_other_kernel(const void *a) {
 "#;
     let out = apply(PRAGMA_INJECT_PATCH, target);
     let push = out.find("#pragma GCC push_options").unwrap();
-    let opt = out.find("#pragma GCC optimize \"-O3\", \"-fno-tree-loop-vectorize\"").unwrap();
-    let affected = out.find("rsb__BCSR_spmv_sasa_double_complex_C__tN").unwrap();
+    let opt = out
+        .find("#pragma GCC optimize \"-O3\", \"-fno-tree-loop-vectorize\"")
+        .unwrap();
+    let affected = out
+        .find("rsb__BCSR_spmv_sasa_double_complex_C__tN")
+        .unwrap();
     let pop = out.find("#pragma GCC pop_options").unwrap();
     let unaffected = out.find("rsb__BCSR_spmv_other_kernel").unwrap();
     assert!(push < opt && opt < affected && affected < pop, "{out}");
