@@ -24,4 +24,10 @@ BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench uc_matrix --locked
 test -s target/BENCH_uc_matrix.json
 echo "ok: target/BENCH_uc_matrix.json written"
 
+echo "== prefilter bench smoke (hit-rate trend, JSON to target/) =="
+BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench prefilter --locked
+test -s target/BENCH_prefilter.json
+grep -q prefilter_hit_rate target/BENCH_prefilter.json
+echo "ok: target/BENCH_prefilter.json written (hit rates recorded)"
+
 echo "CI green."

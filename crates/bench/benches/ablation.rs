@@ -74,7 +74,7 @@ fn iso_ablation(h: &mut Harness) {
 
     // Both must transform every loop.
     for patch in [&with_iso, &literal] {
-        let outcomes = apply_to_files(patch, &inputs, 1);
+        let outcomes = apply_to_files(patch, &inputs, 1).unwrap();
         let n: usize = outcomes
             .iter()
             .filter_map(|o| o.output.as_deref())
@@ -84,10 +84,10 @@ fn iso_ablation(h: &mut Harness) {
     }
 
     h.bench("ablation_iso", "const-fold-iso", Throughput::None, || {
-        apply_to_files(&with_iso, &inputs, 1)
+        apply_to_files(&with_iso, &inputs, 1).unwrap()
     });
     h.bench("ablation_iso", "literal", Throughput::None, || {
-        apply_to_files(&literal, &inputs, 1)
+        apply_to_files(&literal, &inputs, 1).unwrap()
     });
 }
 
@@ -110,10 +110,10 @@ fn regex_ablation(h: &mut Harness) {
         "ablation_regex",
         "regex-constrained",
         Throughput::None,
-        || apply_to_files(&constrained, &inputs, 1),
+        || apply_to_files(&constrained, &inputs, 1).unwrap(),
     );
     h.bench("ablation_regex", "unconstrained", Throughput::None, || {
-        apply_to_files(&unconstrained, &inputs, 1)
+        apply_to_files(&unconstrained, &inputs, 1).unwrap()
     });
 }
 

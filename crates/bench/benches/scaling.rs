@@ -27,7 +27,7 @@ fn size_sweep(h: &mut Harness) {
             "scaling_size",
             &loops.to_string(),
             Throughput::Bytes(bytes as u64),
-            || apply_to_files(&patch, &inputs, 1),
+            || apply_to_files(&patch, &inputs, 1).unwrap(),
         );
     }
 }
@@ -51,7 +51,7 @@ fn thread_sweep(h: &mut Harness) {
             "scaling_threads",
             &t.to_string(),
             Throughput::Bytes(bytes as u64),
-            || apply_to_files(&patch, &inputs, t),
+            || apply_to_files(&patch, &inputs, t).unwrap(),
         );
         t *= 2;
     }

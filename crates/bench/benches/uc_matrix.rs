@@ -23,7 +23,7 @@ fn main() {
             .collect();
         let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
         h.bench("uc_matrix", uc, Throughput::Bytes(bytes as u64), || {
-            let outcomes = apply_to_files(&patch, &inputs, 1);
+            let outcomes = apply_to_files(&patch, &inputs, 1).unwrap();
             assert!(outcomes.iter().any(|o| o.output.is_some()));
             outcomes
         });

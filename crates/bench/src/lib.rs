@@ -77,7 +77,7 @@ mod tests {
                 .iter()
                 .map(|f| (f.name.clone(), f.text.clone()))
                 .collect();
-            let outcomes = apply_to_files(&patch, &inputs, 2);
+            let outcomes = apply_to_files(&patch, &inputs, 2).unwrap();
             let changed = outcomes.iter().filter(|o| o.output.is_some()).count();
             assert!(changed > 0, "{uc}: no file transformed");
             for o in &outcomes {

@@ -36,6 +36,12 @@ struct Record {
     samples_s: Vec<f64>,
 }
 
+struct Metric {
+    group: String,
+    id: String,
+    value: f64,
+}
+
 impl Record {
     fn min(&self) -> f64 {
         self.samples_s.iter().copied().fold(f64::INFINITY, f64::min)
@@ -64,6 +70,7 @@ pub struct Harness {
     warmup: usize,
     out_dir: PathBuf,
     records: Vec<Record>,
+    metrics: Vec<Metric>,
 }
 
 impl Harness {
@@ -92,7 +99,19 @@ impl Harness {
             warmup: 2,
             out_dir,
             records: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Record a scalar, non-timed metric under `group/id` (a hit rate, a
+    /// count, a ratio). Metrics land in the JSON next to the timing
+    /// records so trend tracking sees them too.
+    pub fn metric(&mut self, group: &str, id: &str, value: f64) {
+        self.metrics.push(Metric {
+            group: group.to_string(),
+            id: id.to_string(),
+            value,
+        });
     }
 
     /// Set the per-benchmark sample count (unless `$BENCH_SAMPLES`
@@ -174,6 +193,10 @@ impl Harness {
             );
         }
 
+        for m in &self.metrics {
+            eprintln!("{:<18} {:<12} {:>38.4}  (metric)", m.group, m.id, m.value);
+        }
+
         let path = self.out_dir.join(format!("BENCH_{}.json", self.experiment));
         std::fs::create_dir_all(&self.out_dir)?;
         std::fs::write(&path, self.to_json())?;
@@ -222,6 +245,19 @@ impl Harness {
                 let _ = write!(out, "{s:e}");
             }
             out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"group\": {}, \"id\": {}, \"value\": {:e}}}",
+                json_str(&m.group),
+                json_str(&m.id),
+                m.value
+            );
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -273,6 +309,7 @@ mod tests {
             runs += 1;
             runs
         });
+        h.metric("g", "hit_rate", 0.75);
         assert!(runs >= 3, "warmup + samples ran");
         let path = h.finish().unwrap();
         let json = std::fs::read_to_string(&path).unwrap();
@@ -280,6 +317,8 @@ mod tests {
         assert!(json.contains("\"group\": \"g\""));
         assert!(json.contains("\"bytes\": 1024"));
         assert!(json.contains("\"median_s\""));
+        assert!(json.contains("\"id\": \"hit_rate\""));
+        assert!(json.contains("\"value\": 7.5e-1"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -2,82 +2,102 @@
 //! mirroring Coccinelle's `spatch` usage:
 //!
 //! ```text
-//! spatch --sp-file patch.cocci file1.c file2.c ...
+//! spatch --sp-file patch.cocci file1.c src/ ...
 //!
 //! Options:
-//!   --sp-file <FILE>   semantic patch to apply (required)
-//!   --in-place         rewrite files on disk instead of printing a diff
-//!   -o <FILE>          write the single patched file here
-//!   -j <N>             worker threads (default: all cores)
-//!   --quiet            suppress per-file match reports
+//!   --sp-file <FILE>    semantic patch to apply (required)
+//!   --in-place          rewrite files on disk instead of printing a diff
+//!   -o <FILE>           write the single patched file here
+//!   -j, --jobs <N>      worker threads (default: all cores)
+//!   --report <FILE>     write a machine-readable JSON apply report
+//!   --ignore <PAT>      extra .gitignore-style exclusion (repeatable)
+//!   --no-prefilter      disable the literal-atom pre-scan
+//!   --quiet             suppress per-file match reports
 //! ```
 //!
-//! Without `--in-place`/`-o`, a unified diff of every changed file is
-//! printed to stdout — the traditional spatch workflow of reviewing the
-//! change before enacting it.
+//! Targets may be files **or directories**: directories are walked
+//! recursively (C/C++/CUDA extensions, honouring each root's
+//! `.gitignore` plus `--ignore` patterns) and streamed through the
+//! engine in bounded-memory batches — a GADGET-scale tree is one
+//! command. Without `--in-place`/`-o`, a unified diff of every changed
+//! file is printed to stdout — the traditional spatch workflow of
+//! reviewing the change before enacting it.
 
 mod diff;
 
-use cocci_core::apply_to_files;
+use cocci_core::corpus::{apply_to_corpus, CorpusOptions, WalkSource};
 use cocci_smpl::parse_semantic_patch;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     sp_file: PathBuf,
-    files: Vec<PathBuf>,
+    targets: Vec<PathBuf>,
     in_place: bool,
     output: Option<PathBuf>,
     threads: usize,
     quiet: bool,
+    report: Option<PathBuf>,
+    ignore: Vec<String>,
+    no_prefilter: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spatch --sp-file <patch.cocci> [--in-place] [-o FILE] [-j N] [--quiet] <files...>"
+        "usage: spatch --sp-file <patch.cocci> [--in-place] [-o FILE] [-j N] [--report FILE] \
+         [--ignore PAT]... [--no-prefilter] [--quiet] <files-or-dirs...>"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
     let mut sp_file = None;
-    let mut files = Vec::new();
+    let mut targets = Vec::new();
     let mut in_place = false;
     let mut output = None;
     let mut threads = 0usize;
     let mut quiet = false;
+    let mut report = None;
+    let mut ignore = Vec::new();
+    let mut no_prefilter = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--sp-file" => sp_file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--in-place" => in_place = true,
             "-o" => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "-j" => {
+            "-j" | "--jobs" => {
                 threads = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--report" => report = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--ignore" => ignore.push(it.next().unwrap_or_else(|| usage())),
+            "--no-prefilter" => no_prefilter = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 eprintln!("unknown option: {other}");
                 usage();
             }
-            other => files.push(PathBuf::from(other)),
+            other => targets.push(PathBuf::from(other)),
         }
     }
     let Some(sp_file) = sp_file else { usage() };
-    if files.is_empty() {
+    if targets.is_empty() {
         usage();
     }
     Args {
         sp_file,
-        files,
+        targets,
         in_place,
         output,
         threads,
         quiet,
+        report,
+        ignore,
+        no_prefilter,
     }
 }
 
@@ -98,54 +118,103 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut inputs = Vec::new();
-    for f in &args.files {
-        match std::fs::read_to_string(f) {
-            Ok(t) => inputs.push((f.display().to_string(), t)),
-            Err(e) => {
-                eprintln!("spatch: cannot read {}: {e}", f.display());
-                return ExitCode::from(2);
-            }
-        }
-    }
+    let mut source = WalkSource::discover(&args.targets, &args.ignore);
+    let opts = CorpusOptions {
+        threads: args.threads,
+        no_prefilter: args.no_prefilter,
+        ..Default::default()
+    };
 
-    let outcomes = apply_to_files(&patch, &inputs, args.threads);
-
-    let mut failures = 0usize;
+    // The sink runs while each batch's text is still in memory: print the
+    // diff / rewrite the file immediately, then let the text drop. Write
+    // failures are collected so the report can be corrected afterwards
+    // (the driver outcome says "changed", but the change never landed).
     let mut changed = 0usize;
-    for (outcome, (name, original)) in outcomes.iter().zip(&inputs) {
-        if let Some(err) = &outcome.error {
-            eprintln!("spatch: {name}: {err}");
-            failures += 1;
-            continue;
+    let mut write_errors: Vec<(String, String)> = Vec::new();
+    let run = apply_to_corpus(&patch, &mut source, &opts, |name, original, outcome| {
+        if outcome.error.is_some() {
+            return; // reported once from the report below
         }
         let Some(new_text) = &outcome.output else {
             if !args.quiet {
-                eprintln!("spatch: {name}: no match");
+                let what = if outcome.pruned {
+                    "no match (pruned)"
+                } else if outcome.matches > 0 {
+                    "matched, no edits"
+                } else {
+                    "no match"
+                };
+                eprintln!("spatch: {name}: {what}");
             }
-            continue;
+            return;
         };
         changed += 1;
         if args.in_place {
             if let Err(e) = std::fs::write(name, new_text) {
-                eprintln!("spatch: cannot write {name}: {e}");
-                failures += 1;
+                write_errors.push((name.to_string(), format!("cannot write: {e}")));
+                changed -= 1;
             } else if !args.quiet {
                 eprintln!("spatch: {name}: rewritten ({} matches)", outcome.matches);
             }
         } else if let Some(out) = &args.output {
             if let Err(e) = std::fs::write(out, new_text) {
-                eprintln!("spatch: cannot write {}: {e}", out.display());
-                failures += 1;
+                write_errors.push((
+                    name.to_string(),
+                    format!("cannot write {}: {e}", out.display()),
+                ));
+                changed -= 1;
             }
         } else {
             print!("{}", diff::unified_diff(name, original, new_text, 3));
         }
+    });
+
+    let mut report = match run {
+        Ok(r) => r,
+        Err(e) => {
+            // Patch compile error: run-level, reported exactly once.
+            eprintln!("spatch: {}: {e}", args.sp_file.display());
+            return ExitCode::from(2);
+        }
+    };
+    report.patch = args.sp_file.display().to_string();
+
+    // A file whose rewrite failed to land is an error, not a change —
+    // downgrade its report entry before anything consumes it.
+    for (name, msg) in write_errors {
+        if let Some(f) = report.files.iter_mut().find(|f| f.name == name) {
+            f.status = cocci_core::FileStatus::Error;
+            f.error = Some(msg);
+        }
+    }
+
+    // Every failed file — parse/rewrite/write errors and unreadable paths
+    // alike — is in the report exactly once; report them from there.
+    let mut failures = 0usize;
+    for f in &report.files {
+        if f.status == cocci_core::FileStatus::Error {
+            eprintln!(
+                "spatch: {}: {}",
+                f.name,
+                f.error.as_deref().unwrap_or("unknown error")
+            );
+            failures += 1;
+        }
+    }
+
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("spatch: cannot write report {}: {e}", path.display());
+            failures += 1;
+        } else if !args.quiet {
+            eprintln!("spatch: report written to {}", path.display());
+        }
     }
     if !args.quiet {
         eprintln!(
-            "spatch: {changed}/{} file(s) transformed, {failures} failure(s)",
-            inputs.len()
+            "spatch: {changed}/{} file(s) transformed, {failures} failure(s) ({})",
+            report.files.len(),
+            report.summary()
         );
     }
     if failures > 0 {

@@ -73,7 +73,9 @@ fn reports_parse_errors_and_fails() {
     let patch = dir.join("p.cocci");
     let file = dir.join("broken.c");
     fs::write(&patch, RENAME_PATCH).unwrap();
-    fs::write(&file, "void f( {\n").unwrap();
+    // Contains the pattern's atoms (so the prefilter does not prune it)
+    // but does not parse.
+    fs::write(&file, "void f( {\n    old_api(1);\n").unwrap();
 
     let out = spatch()
         .args(["--sp-file"])
@@ -217,6 +219,179 @@ fn whole_directory_diff_then_in_place_roundtrip() {
         fs::read_to_string(&untouched).unwrap(),
         "void other(void) { keep(9); }\n"
     );
+}
+
+#[test]
+fn directory_mode_walks_ignores_and_reports() {
+    use cocci_core::{ApplyReport, FileStatus};
+
+    // A nested tree: two matching files at different depths, one
+    // non-matching (prefilter-prunable) file, one ignored directory, one
+    // ignored-by-pattern file, and one non-source file.
+    let dir = tmpdir("dirmode");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let tree = dir.join("tree");
+    fs::create_dir_all(tree.join("sub/deep")).unwrap();
+    fs::create_dir_all(tree.join("build")).unwrap();
+    fs::write(tree.join(".gitignore"), "build/\n*.skip.c\n").unwrap();
+    fs::write(tree.join("top.c"), "void t(void) { old_api(1); }\n").unwrap();
+    fs::write(
+        tree.join("sub/deep/leaf.c"),
+        "void l(void) { old_api(2); }\n",
+    )
+    .unwrap();
+    fs::write(tree.join("sub/other.c"), "void o(void) { keep(3); }\n").unwrap();
+    fs::write(tree.join("sub/x.skip.c"), "void s(void) { old_api(4); }\n").unwrap();
+    fs::write(tree.join("build/gen.c"), "void g(void) { old_api(5); }\n").unwrap();
+    fs::write(tree.join("notes.md"), "not C at all {{{\n").unwrap();
+
+    let report_path = dir.join("report.json");
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--in-place", "--quiet", "--report"])
+        .arg(&report_path)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Both matching files rewritten, at every depth.
+    assert!(fs::read_to_string(tree.join("top.c"))
+        .unwrap()
+        .contains("new_api(1);"));
+    assert!(fs::read_to_string(tree.join("sub/deep/leaf.c"))
+        .unwrap()
+        .contains("new_api(2);"));
+    // Ignored / non-matching / non-source files untouched.
+    for (path, marker) in [
+        ("sub/other.c", "keep(3);"),
+        ("sub/x.skip.c", "old_api(4);"),
+        ("build/gen.c", "old_api(5);"),
+    ] {
+        assert!(
+            fs::read_to_string(tree.join(path))
+                .unwrap()
+                .contains(marker),
+            "{path} was modified"
+        );
+    }
+
+    // The JSON report round-trips and accounts for exactly the walked
+    // files: 2 changed + 1 pruned (ignored/non-source files never appear).
+    let report = ApplyReport::from_json(&fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report.files.len(), 3, "{report:?}");
+    assert_eq!(report.count(FileStatus::Changed), 2);
+    assert_eq!(report.count(FileStatus::Pruned), 1);
+    assert_eq!(report.count(FileStatus::Error), 0);
+    assert!(report.prefilter);
+    let changed_names: Vec<&str> = report
+        .files
+        .iter()
+        .filter(|f| f.status == FileStatus::Changed)
+        .map(|f| f.name.as_str())
+        .collect();
+    assert!(changed_names.iter().any(|n| n.ends_with("top.c")));
+    assert!(changed_names.iter().any(|n| n.ends_with("leaf.c")));
+
+    // --no-prefilter processes the same set, now fully parsed.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--no-prefilter", "--quiet", "--report"])
+        .arg(&report_path)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let report = ApplyReport::from_json(&fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report.files.len(), 3);
+    assert_eq!(report.count(FileStatus::Pruned), 0);
+    assert_eq!(report.count(FileStatus::Unmatched), 3); // already rewritten
+    assert!(!report.prefilter);
+}
+
+#[test]
+fn uc_patch_across_generated_corpus_tree() {
+    use cocci_core::{ApplyReport, FileStatus};
+    use cocci_workloads::corpus::{write_corpus_tree, CorpusTreeSpec};
+    use cocci_workloads::patches::UC1_LIKWID;
+
+    // The acceptance scenario: one command applies a UC patch across a
+    // generated multi-directory tree, and the JSON report accounts for
+    // every walked file with a pruned/matched/changed/error outcome.
+    let dir = tmpdir("uccorpus");
+    let tree = dir.join("tree");
+    let spec = CorpusTreeSpec {
+        files_per_family: 3,
+        functions_per_file: 4,
+        seed: 0xACCE,
+    };
+    let stats = write_corpus_tree(&tree, &spec).unwrap();
+    let patch = dir.join("uc1.cocci");
+    fs::write(&patch, UC1_LIKWID).unwrap();
+    let report_path = dir.join("report.json");
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--in-place", "--quiet", "--jobs", "2", "--report"])
+        .arg(&report_path)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let report = ApplyReport::from_json(&fs::read_to_string(&report_path).unwrap()).unwrap();
+    // Every walkable file is accounted for, each with a classified outcome.
+    assert_eq!(report.files.len(), stats.walkable, "{report:?}");
+    assert_eq!(report.count(FileStatus::Error), 0, "{report:?}");
+    // Only the omp/ subtree can match UC1; the rest is pruned before
+    // parsing (cuda/kernel/raw families lack the patch's atoms).
+    assert_eq!(report.count(FileStatus::Changed), spec.files_per_family);
+    assert!(
+        report.count(FileStatus::Pruned) >= 2 * spec.files_per_family,
+        "{}",
+        report.summary()
+    );
+    // And the transformation really landed on disk.
+    let patched = fs::read_to_string(tree.join("omp/omp_0.c")).unwrap();
+    assert!(patched.contains("#include <likwid-marker.h>"), "{patched}");
+    assert!(
+        patched.contains("LIKWID_MARKER_START(__func__);"),
+        "{patched}"
+    );
+}
+
+#[test]
+fn extra_ignore_flag_excludes_subtrees() {
+    let dir = tmpdir("ignoreflag");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let tree = dir.join("tree");
+    fs::create_dir_all(tree.join("vendor")).unwrap();
+    fs::write(tree.join("mine.c"), "void m(void) { old_api(1); }\n").unwrap();
+    fs::write(
+        tree.join("vendor/theirs.c"),
+        "void v(void) { old_api(2); }\n",
+    )
+    .unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--in-place", "--quiet", "--ignore", "vendor/"])
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(fs::read_to_string(tree.join("mine.c"))
+        .unwrap()
+        .contains("new_api"));
+    assert!(fs::read_to_string(tree.join("vendor/theirs.c"))
+        .unwrap()
+        .contains("old_api"));
 }
 
 #[test]

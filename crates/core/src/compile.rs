@@ -1,0 +1,187 @@
+//! Compile-once patch artifacts, shared immutably across driver workers.
+//!
+//! [`CompiledPatch::compile`] runs every per-patch preparation step exactly
+//! once per run — `=~`/`!~` regex constraints are built via `cocci-rex`
+//! (compile errors surface here, as a *run-level* error, instead of once
+//! per file), the inherited-metavariable graph is resolved, and each
+//! transform rule's **prefilter** is extracted (the literal atoms a file
+//! must contain for the rule to possibly match, see
+//! [`cocci_smpl::prefilter`]). The result is immutable and is shared
+//! behind an [`Arc`] by every worker thread; per-application mutable state
+//! (script-interpreter globals, statistics) stays in
+//! [`Patcher`](crate::Patcher).
+
+use crate::orchestrate::ApplyError;
+use cocci_rex::Regex;
+use cocci_smpl::{prefilter, Constraint, Rule, SemanticPatch};
+use std::collections::{HashMap, HashSet};
+
+/// Per-rule compiled artifacts.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// Compiled `=~` / `!~` regexes keyed by metavariable name.
+    pub regexes: HashMap<String, Regex>,
+    /// Prefilter atoms — `Some` for transform rules (possibly empty =
+    /// "cannot prefilter"), `None` for script/initialize/finalize rules.
+    pub atoms: Option<Vec<String>>,
+}
+
+/// A semantic patch compiled once per run.
+#[derive(Debug, Clone)]
+pub struct CompiledPatch {
+    /// The parsed patch.
+    pub patch: SemanticPatch,
+    /// Compiled artifacts, one per rule (same indexing as `patch.rules`).
+    pub rules: Vec<CompiledRule>,
+    /// Rule names that later rules inherit from (metavariables or script
+    /// inputs) — only these export environments.
+    pub inherited_from: HashSet<String>,
+    /// Pruning is allowed: the patch consists solely of transform rules.
+    /// Script/initialize/finalize rules have per-file side effects (the
+    /// interpreter can print), so skipping the pipeline for a pruned file
+    /// would make prefiltered and unfiltered runs observably diverge.
+    prunable: bool,
+}
+
+impl CompiledPatch {
+    /// Compile `patch`: validate and build all regex constraints, resolve
+    /// the inheritance set, and extract per-rule prefilter atoms.
+    pub fn compile(patch: &SemanticPatch) -> Result<Self, ApplyError> {
+        let mut rules = Vec::with_capacity(patch.rules.len());
+        let mut inherited_from = HashSet::new();
+        let mut has_transform = false;
+        let mut has_script = false;
+        for rule in &patch.rules {
+            let mut regexes = HashMap::new();
+            let mut atoms = None;
+            match rule {
+                Rule::Transform(t) => {
+                    has_transform = true;
+                    for mv in &t.metavars {
+                        if let Some(Constraint::Regex(re)) | Some(Constraint::NotRegex(re)) =
+                            &mv.constraint
+                        {
+                            let compiled = Regex::new(re).map_err(|e| ApplyError {
+                                message: format!("bad regex for metavariable `{}`: {e}", mv.name),
+                            })?;
+                            regexes.insert(mv.name.clone(), compiled);
+                        }
+                        if let Some(from) = &mv.inherited_from {
+                            inherited_from.insert(from.clone());
+                        }
+                    }
+                    // Reuse the regexes compiled above (the prefilter only
+                    // reads their guaranteed literal factors).
+                    atoms = Some(prefilter::pattern_atoms(
+                        &t.body.pattern,
+                        &t.metavars,
+                        Some(&regexes),
+                    ));
+                }
+                Rule::Script(s) => {
+                    has_script = true;
+                    for (_, from, _) in &s.inputs {
+                        inherited_from.insert(from.clone());
+                    }
+                }
+                _ => has_script = true,
+            }
+            rules.push(CompiledRule { regexes, atoms });
+        }
+        Ok(CompiledPatch {
+            patch: patch.clone(),
+            rules,
+            inherited_from,
+            prunable: has_transform && !has_script,
+        })
+    }
+
+    /// Cheap substring pre-scan: can any transform rule of this patch
+    /// possibly match `text`? `false` is definitive (the full pipeline
+    /// would find zero matches and change nothing, and no script side
+    /// effects are lost — patches with script/initialize/finalize rules
+    /// always return `true`); `true` means "run the real matcher".
+    ///
+    /// Sound under sequential rule semantics: if every rule's prefilter
+    /// rejects the *original* text, no rule matches it, so the text is
+    /// never transformed and later rules keep seeing the original text.
+    pub fn may_match(&self, text: &str) -> bool {
+        if !self.prunable {
+            return true;
+        }
+        self.rules.iter().any(|r| match &r.atoms {
+            Some(atoms) => atoms.iter().all(|a| text.contains(a.as_str())),
+            None => false,
+        })
+    }
+
+    /// Prefilter atoms of rule `ri` (`None` for non-transform rules).
+    pub fn rule_atoms(&self, ri: usize) -> Option<&[String]> {
+        self.rules.get(ri).and_then(|r| r.atoms.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocci_smpl::parse_semantic_patch;
+
+    #[test]
+    fn compile_collects_regexes_and_atoms() {
+        let patch = parse_semantic_patch(
+            "@@\ntype T;\nidentifier f =~ \"kernel\";\nparameter list PL;\nstatement list SL;\n@@\nT f (PL) { SL }\n",
+        )
+        .unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.rules[0].regexes.contains_key("f"));
+        assert_eq!(c.rule_atoms(0).unwrap(), ["kernel"]);
+        assert!(c.may_match("void my_kernel_fn(int n) {}"));
+        assert!(!c.may_match("void helper(int n) {}"));
+    }
+
+    #[test]
+    fn compile_error_is_run_level() {
+        let patch =
+            parse_semantic_patch("@@\nidentifier f =~ \"bad(regex\";\n@@\n- f();\n+ g();\n")
+                .unwrap();
+        let err = CompiledPatch::compile(&patch).unwrap_err();
+        assert!(err.message.contains("regex"), "{err}");
+    }
+
+    #[test]
+    fn multi_rule_prefilter_is_any_rule() {
+        let patch =
+            parse_semantic_patch("@@ @@\n- alpha();\n+ a2();\n\n@@ @@\n- beta();\n+ b2();\n")
+                .unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.may_match("void f(void) { alpha(); }"));
+        assert!(c.may_match("void f(void) { beta(); }"));
+        assert!(!c.may_match("void f(void) { gamma(); }"));
+    }
+
+    #[test]
+    fn script_rules_disable_pruning() {
+        // Script/initialize rules have per-file side effects; a patch
+        // containing any must never prune, or prefiltered and unfiltered
+        // runs would observably diverge.
+        let patch = parse_semantic_patch(
+            "@initialize:python@ @@\nN = { \"a\": \"b\" }\n\n@@ @@\n- alpha();\n+ beta();\n",
+        )
+        .unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.may_match("void f(void) { gamma(); }"));
+    }
+
+    #[test]
+    fn unfilterable_rule_disables_pruning() {
+        // A pattern of pure metavariables has no required atoms, so the
+        // patch as a whole can never prune.
+        let patch = parse_semantic_patch(
+            "@@\nexpression e;\n@@\n- f(e);\n+ g(e);\n\n@@\nexpression x, y;\n@@\n- x = y;\n+ y = x;\n",
+        )
+        .unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert_eq!(c.rule_atoms(1).unwrap(), &[] as &[String]);
+        assert!(c.may_match("anything at all"));
+    }
+}

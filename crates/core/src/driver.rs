@@ -1,15 +1,25 @@
 //! Parallel multi-file driver.
 //!
 //! Applying one semantic patch to N files is embarrassingly parallel —
-//! the per-file pipeline shares nothing but the (read-only) patch. The
-//! driver follows the hpc-parallel guide idioms: scoped threads pulling
-//! file indices from an atomic work counter, results collected under a
-//! mutex; no locks are held while patching.
+//! the per-file pipeline shares nothing but the (read-only) compiled
+//! patch. The driver follows the hpc-parallel guide idioms: scoped
+//! threads pulling file indices from an atomic work counter, results
+//! collected under a mutex; no locks are held while patching.
+//!
+//! The patch is compiled **once** per run ([`CompiledPatch`]) and shared
+//! immutably by every worker; each worker only builds a cheap
+//! [`Patcher`] wrapper for its mutable per-application state. A compile
+//! error therefore surfaces exactly once, as the run-level `Err` of
+//! [`apply_to_files`], instead of being repeated for every file. With
+//! `prefilter` enabled, [`apply_batch`] skips lexing/parsing entirely for
+//! files that fail the patch's literal-atom pre-scan.
 
-use crate::orchestrate::Patcher;
+use crate::compile::CompiledPatch;
+use crate::orchestrate::{ApplyError, Patcher};
 use cocci_smpl::SemanticPatch;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Result of patching one file.
 #[derive(Debug, Clone)]
@@ -22,15 +32,33 @@ pub struct FileOutcome {
     pub error: Option<String>,
     /// Matches found across rules.
     pub matches: usize,
+    /// The prefilter skipped this file before lexing/parsing.
+    pub pruned: bool,
+    /// Wall-clock seconds this file took (prefilter scan included).
+    pub seconds: f64,
 }
 
 /// Apply `patch` to every `(name, text)` pair using `threads` worker
 /// threads (0 = number of available CPUs). Outcomes are returned in input
-/// order.
+/// order. A patch compile error is returned once, at run level.
 pub fn apply_to_files(
     patch: &SemanticPatch,
     files: &[(String, String)],
     threads: usize,
+) -> Result<Vec<FileOutcome>, ApplyError> {
+    let compiled = Arc::new(CompiledPatch::compile(patch)?);
+    Ok(apply_batch(&compiled, files, threads, false))
+}
+
+/// Apply an already-compiled patch to one in-memory batch of files.
+///
+/// With `prefilter`, files that cannot match (per
+/// [`CompiledPatch::may_match`]) are marked pruned without being parsed.
+pub fn apply_batch(
+    compiled: &Arc<CompiledPatch>,
+    files: &[(String, String)],
+    threads: usize,
+    prefilter: bool,
 ) -> Vec<FileOutcome> {
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -47,47 +75,17 @@ pub fn apply_to_files(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // One Patcher per worker: script-interpreter globals are
-                // per-application state and must not be shared.
-                let mut patcher = match Patcher::new(patch) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        // Compile error affects every file identically;
-                        // record it on whichever files this worker claims.
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= files.len() {
-                                return;
-                            }
-                            results.lock().unwrap()[i] = Some(FileOutcome {
-                                name: files[i].0.clone(),
-                                output: None,
-                                error: Some(e.to_string()),
-                                matches: 0,
-                            });
-                        }
-                    }
-                };
+                // One Patcher per worker over the shared compile:
+                // script-interpreter globals are per-application state and
+                // must not be shared, but the compiled patch is immutable.
+                let mut patcher = Patcher::from_compiled(Arc::clone(compiled));
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= files.len() {
                         return;
                     }
                     let (name, text) = &files[i];
-                    let outcome = match patcher.apply(name, text) {
-                        Ok(output) => FileOutcome {
-                            name: name.clone(),
-                            output,
-                            error: None,
-                            matches: patcher.last_stats.matches_per_rule.iter().sum(),
-                        },
-                        Err(e) => FileOutcome {
-                            name: name.clone(),
-                            output: None,
-                            error: Some(e.to_string()),
-                            matches: 0,
-                        },
-                    };
+                    let outcome = run_one(&mut patcher, compiled, name, text, prefilter);
                     results.lock().unwrap()[i] = Some(outcome);
                 }
             });
@@ -100,6 +98,45 @@ pub fn apply_to_files(
         .into_iter()
         .map(|o| o.expect("every file processed"))
         .collect()
+}
+
+/// Run the per-file pipeline (prefilter scan, then full apply) once.
+fn run_one(
+    patcher: &mut Patcher,
+    compiled: &CompiledPatch,
+    name: &str,
+    text: &str,
+    prefilter: bool,
+) -> FileOutcome {
+    let t0 = Instant::now();
+    if prefilter && !compiled.may_match(text) {
+        return FileOutcome {
+            name: name.to_string(),
+            output: None,
+            error: None,
+            matches: 0,
+            pruned: true,
+            seconds: t0.elapsed().as_secs_f64(),
+        };
+    }
+    match patcher.apply(name, text) {
+        Ok(output) => FileOutcome {
+            name: name.to_string(),
+            output,
+            error: None,
+            matches: patcher.last_stats.matches_per_rule.iter().sum(),
+            pruned: false,
+            seconds: t0.elapsed().as_secs_f64(),
+        },
+        Err(e) => FileOutcome {
+            name: name.to_string(),
+            output: None,
+            error: Some(e.to_string()),
+            matches: 0,
+            pruned: false,
+            seconds: t0.elapsed().as_secs_f64(),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +155,7 @@ mod tests {
                 )
             })
             .collect();
-        let outcomes = apply_to_files(&patch, &files, 4);
+        let outcomes = apply_to_files(&patch, &files, 4).unwrap();
         assert_eq!(outcomes.len(), 32);
         for o in &outcomes {
             assert!(o.error.is_none(), "{:?}", o.error);
@@ -134,7 +171,7 @@ mod tests {
         let files: Vec<(String, String)> = (0..8)
             .map(|i| (format!("f{i}.c"), "void g(void) { a(); }\n".to_string()))
             .collect();
-        let outcomes = apply_to_files(&patch, &files, 3);
+        let outcomes = apply_to_files(&patch, &files, 3).unwrap();
         for (i, o) in outcomes.iter().enumerate() {
             assert_eq!(o.name, format!("f{i}.c"));
         }
@@ -144,8 +181,50 @@ mod tests {
     fn unmatched_files_return_none() {
         let patch = parse_semantic_patch("@@ @@\n- nothing_here();\n+ x();\n").unwrap();
         let files = vec![("f.c".to_string(), "void g(void) { other(); }\n".to_string())];
-        let outcomes = apply_to_files(&patch, &files, 1);
+        let outcomes = apply_to_files(&patch, &files, 1).unwrap();
         assert!(outcomes[0].output.is_none());
         assert!(outcomes[0].error.is_none());
+        assert!(!outcomes[0].pruned);
+    }
+
+    #[test]
+    fn compile_error_surfaces_once_at_run_level() {
+        let patch =
+            parse_semantic_patch("@@\nidentifier f =~ \"bad(regex\";\n@@\n- f();\n+ g();\n")
+                .unwrap();
+        let files: Vec<(String, String)> = (0..16)
+            .map(|i| (format!("f{i}.c"), "void f(void) {}\n".to_string()))
+            .collect();
+        let err = apply_to_files(&patch, &files, 4).unwrap_err();
+        assert!(err.to_string().contains("regex"), "{err}");
+    }
+
+    #[test]
+    fn prefilter_prunes_without_parsing() {
+        let patch = parse_semantic_patch("@@ @@\n- old_api(1);\n+ new_api(1);\n").unwrap();
+        let compiled = Arc::new(CompiledPatch::compile(&patch).unwrap());
+        let files = vec![
+            ("hit.c".to_string(), "void f(void) { old_api(1); }\n".into()),
+            ("miss.c".to_string(), "void f(void) { other(); }\n".into()),
+            // Would be a parse error — the prefilter skips it before the
+            // parser ever sees it.
+            ("broken.c".to_string(), "void f( {".into()),
+        ];
+        let outcomes = apply_batch(&compiled, &files, 2, true);
+        assert!(outcomes[0].output.is_some() && !outcomes[0].pruned);
+        assert!(outcomes[1].pruned && outcomes[1].error.is_none());
+        assert!(outcomes[2].pruned && outcomes[2].error.is_none());
+        // Same batch without the prefilter: the broken file errors.
+        let outcomes = apply_batch(&compiled, &files, 2, false);
+        assert!(!outcomes[1].pruned);
+        assert!(outcomes[2].error.is_some());
+    }
+
+    #[test]
+    fn outcomes_carry_timings() {
+        let patch = parse_semantic_patch("@@ @@\n- a();\n+ b();\n").unwrap();
+        let files = vec![("f.c".to_string(), "void g(void) { a(); }\n".to_string())];
+        let outcomes = apply_to_files(&patch, &files, 1).unwrap();
+        assert!(outcomes[0].seconds > 0.0);
     }
 }

@@ -13,8 +13,12 @@
 //! 4. splice all edits into the original text ([`edits`]), yielding a
 //!    minimal diff.
 //!
-//! The [`driver`] module distributes step 1–4 over many files with
-//! crossbeam scoped threads.
+//! The patch is compiled **once** per run ([`compile::CompiledPatch`]:
+//! regex constraints, inheritance graph, per-rule prefilter atoms) and
+//! shared immutably across workers; the [`driver`] module distributes
+//! steps 1–4 over many files with scoped threads, and the [`corpus`]
+//! module streams whole directory trees through the driver in
+//! bounded-memory batches, emitting a machine-readable [`ApplyReport`].
 //!
 //! ```
 //! use cocci_core::Patcher;
@@ -26,15 +30,23 @@
 //! assert_eq!(out.unwrap(), "void f(void) { new_api(42); }\n");
 //! ```
 
+pub mod compile;
+pub mod corpus;
 pub mod driver;
 pub mod edits;
 pub mod env;
 pub mod matcher;
 pub mod orchestrate;
+pub mod report;
 pub mod rewrite;
 
-pub use driver::{apply_to_files, FileOutcome};
+pub use compile::CompiledPatch;
+pub use corpus::{
+    apply_to_corpus, BatchOptions, CorpusOptions, FileSource, IgnoreSet, MemorySource, WalkSource,
+};
+pub use driver::{apply_batch, apply_to_files, FileOutcome};
 pub use edits::{Edit, EditConflict, EditSet};
 pub use env::{Env, ExportedEnv, Value};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
+pub use report::{ApplyReport, FileReport, FileStatus};

@@ -16,6 +16,7 @@
 //! * the shared script interpreter: `@initialize@` blocks populate
 //!   globals, `@script@` rules compute new bindings per environment.
 
+use crate::compile::CompiledPatch;
 use crate::edits::EditSet;
 use crate::env::{Env, ExportedEnv, Value};
 use crate::matcher::{self, MatchCtx, MatchState};
@@ -23,15 +24,15 @@ use crate::rewrite;
 use cocci_cast::ast::*;
 use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
 use cocci_cast::visit;
-use cocci_rex::Regex;
 use cocci_script::{Interp, Value as ScriptValue};
 use cocci_smpl::{
     Constraint, DepExpr, FreshPart, MetaDeclKind, Pattern, Rule, ScriptRule, SemanticPatch,
     TransformRule,
 };
 use cocci_source::Span;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error applying a semantic patch.
 #[derive(Debug, Clone)]
@@ -64,55 +65,41 @@ pub struct ApplyStats {
 }
 
 /// Applies a parsed semantic patch to files.
+///
+/// The expensive, immutable per-patch artifacts (rule patterns, compiled
+/// regexes, prefilters) live in a shared [`CompiledPatch`]; a `Patcher`
+/// only adds the per-application mutable state (script-interpreter
+/// globals, statistics), so building one from an existing compile is
+/// cheap — the driver compiles once and hands every worker its own
+/// `Patcher` over the same `Arc`.
 pub struct Patcher {
-    patch: SemanticPatch,
-    /// Compiled regex constraints, per rule index.
-    regexes: Vec<HashMap<String, Regex>>,
-    /// Rule names that later rules inherit from (metavariables or script
-    /// inputs) — only these export environments.
-    inherited_from: HashSet<String>,
+    compiled: Arc<CompiledPatch>,
     /// Statistics of the most recent `apply` call.
     pub last_stats: ApplyStats,
 }
 
 impl Patcher {
-    /// Compile a semantic patch (regex constraints validated eagerly).
+    /// Compile a semantic patch (regex constraints validated eagerly) and
+    /// wrap it in a fresh `Patcher`. Prefer [`CompiledPatch::compile`] +
+    /// [`Patcher::from_compiled`] when applying to many files so the
+    /// compile happens once.
     pub fn new(patch: &SemanticPatch) -> Result<Self, ApplyError> {
-        let mut regexes = Vec::new();
-        let mut inherited_from = HashSet::new();
-        for rule in &patch.rules {
-            let mut map = HashMap::new();
-            match rule {
-                Rule::Transform(t) => {
-                    for mv in &t.metavars {
-                        if let Some(Constraint::Regex(re)) | Some(Constraint::NotRegex(re)) =
-                            &mv.constraint
-                        {
-                            let compiled = Regex::new(re).map_err(|e| {
-                                aerr(format!("bad regex for metavariable `{}`: {e}", mv.name))
-                            })?;
-                            map.insert(mv.name.clone(), compiled);
-                        }
-                        if let Some(from) = &mv.inherited_from {
-                            inherited_from.insert(from.clone());
-                        }
-                    }
-                }
-                Rule::Script(s) => {
-                    for (_, from, _) in &s.inputs {
-                        inherited_from.insert(from.clone());
-                    }
-                }
-                _ => {}
-            }
-            regexes.push(map);
-        }
-        Ok(Patcher {
-            patch: patch.clone(),
-            regexes,
-            inherited_from,
+        Ok(Self::from_compiled(Arc::new(CompiledPatch::compile(
+            patch,
+        )?)))
+    }
+
+    /// A patcher over an already-compiled patch (no per-worker recompile).
+    pub fn from_compiled(compiled: Arc<CompiledPatch>) -> Self {
+        Patcher {
+            compiled,
             last_stats: ApplyStats::default(),
-        })
+        }
+    }
+
+    /// The shared compiled patch.
+    pub fn compiled(&self) -> &CompiledPatch {
+        &self.compiled
     }
 
     /// Apply the patch to one file. Returns `Ok(Some(text))` when edits
@@ -120,7 +107,7 @@ impl Patcher {
     pub fn apply(&mut self, name: &str, src: &str) -> Result<Option<String>, ApplyError> {
         let opts = ParseOptions {
             pattern: false,
-            lang: self.patch.lang,
+            lang: self.compiled.patch.lang,
         };
         let mut current = src.to_string();
         let mut changed = false;
@@ -128,13 +115,15 @@ impl Patcher {
         let mut matched: HashSet<String> = HashSet::new();
         let mut streams: Vec<ExportedEnv> = vec![ExportedEnv::new()];
         let mut stats = ApplyStats {
-            matches_per_rule: vec![0; self.patch.rules.len()],
+            matches_per_rule: vec![0; self.compiled.patch.rules.len()],
             edits: 0,
         };
         let mut finalizers = Vec::new();
 
-        let rules: Vec<Rule> = self.patch.rules.clone();
-        for (ri, rule) in rules.iter().enumerate() {
+        // Clone the Arc handle (not the rules) so rule iteration does not
+        // conflict with the `&self` borrows of the helper methods.
+        let compiled = Arc::clone(&self.compiled);
+        for (ri, rule) in compiled.patch.rules.iter().enumerate() {
             match rule {
                 Rule::Initialize(b) => {
                     interp
@@ -283,7 +272,7 @@ impl Patcher {
         let exports_needed = t
             .name
             .as_ref()
-            .map(|n| self.inherited_from.contains(n))
+            .map(|n| self.compiled.inherited_from.contains(n))
             .unwrap_or(false);
         let has_inherited = t.metavars.iter().any(|m| m.inherited_from.is_some());
 
@@ -338,7 +327,7 @@ impl Patcher {
         let ctx = MatchCtx {
             src,
             decls: &t.metavars,
-            regexes: &self.regexes[ri],
+            regexes: &self.compiled.rules[ri].regexes,
         };
 
         let mut all_matches: Vec<MatchState> = Vec::new();

@@ -1,0 +1,577 @@
+//! Machine-readable apply reports.
+//!
+//! A corpus run produces an [`ApplyReport`]: one [`FileReport`] per file
+//! (outcome, match count, wall-clock seconds) plus run-level metadata.
+//! The report serializes to JSON ([`ApplyReport::to_json`]) for CI bots
+//! and round-trips back ([`ApplyReport::from_json`]) via a minimal
+//! in-house JSON parser — the workspace builds offline with zero
+//! crates.io dependencies, so there is no serde to lean on.
+
+use crate::driver::FileOutcome;
+use std::fmt;
+
+/// Classified outcome of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileStatus {
+    /// Skipped by the prefilter before lexing/parsing.
+    Pruned,
+    /// Fully processed, zero matches.
+    Unmatched,
+    /// Matched at least one rule but produced no edits (pure-match rules).
+    Matched,
+    /// Edits were produced; `FileOutcome::output` holds the new text.
+    Changed,
+    /// Failed (parse error, edit conflict, unreadable file).
+    Error,
+}
+
+impl FileStatus {
+    /// All statuses, in display order.
+    pub const ALL: [FileStatus; 5] = [
+        FileStatus::Pruned,
+        FileStatus::Unmatched,
+        FileStatus::Matched,
+        FileStatus::Changed,
+        FileStatus::Error,
+    ];
+
+    /// Stable string form used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FileStatus::Pruned => "pruned",
+            FileStatus::Unmatched => "unmatched",
+            FileStatus::Matched => "matched",
+            FileStatus::Changed => "changed",
+            FileStatus::Error => "error",
+        }
+    }
+
+    /// Parse the JSON string form.
+    pub fn parse(s: &str) -> Option<FileStatus> {
+        FileStatus::ALL.into_iter().find(|st| st.as_str() == s)
+    }
+}
+
+impl fmt::Display for FileStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-file entry of an apply report.
+#[derive(Debug, Clone)]
+pub struct FileReport {
+    /// File name/path as processed.
+    pub name: String,
+    /// Classified outcome.
+    pub status: FileStatus,
+    /// Matches found across rules (0 unless fully processed).
+    pub matches: usize,
+    /// Wall-clock seconds spent on this file.
+    pub seconds: f64,
+    /// Error message when `status` is [`FileStatus::Error`].
+    pub error: Option<String>,
+}
+
+impl FileReport {
+    /// Classify a driver outcome.
+    pub fn from_outcome(o: &FileOutcome) -> FileReport {
+        let status = if o.error.is_some() {
+            FileStatus::Error
+        } else if o.pruned {
+            FileStatus::Pruned
+        } else if o.output.is_some() {
+            FileStatus::Changed
+        } else if o.matches > 0 {
+            FileStatus::Matched
+        } else {
+            FileStatus::Unmatched
+        };
+        FileReport {
+            name: o.name.clone(),
+            status,
+            matches: o.matches,
+            seconds: o.seconds,
+            error: o.error.clone(),
+        }
+    }
+}
+
+/// A whole corpus run, ready for JSON serialization.
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Semantic-patch identifier (the `--sp-file` path, typically).
+    pub patch: String,
+    /// Worker threads used (0 = all cores at run time).
+    pub threads: usize,
+    /// Whether the prefilter was enabled.
+    pub prefilter: bool,
+    /// Total wall-clock seconds for the run.
+    pub total_seconds: f64,
+    /// Per-file entries, in processing order.
+    pub files: Vec<FileReport>,
+}
+
+impl ApplyReport {
+    /// Number of files with the given status.
+    pub fn count(&self, status: FileStatus) -> usize {
+        self.files.iter().filter(|f| f.status == status).count()
+    }
+
+    /// Fraction of files the prefilter pruned (0.0 when no files).
+    pub fn prune_rate(&self) -> f64 {
+        if self.files.is_empty() {
+            0.0
+        } else {
+            self.count(FileStatus::Pruned) as f64 / self.files.len() as f64
+        }
+    }
+
+    /// One-line human summary (`3 changed, 2 pruned, …`).
+    pub fn summary(&self) -> String {
+        let counts: Vec<String> = FileStatus::ALL
+            .into_iter()
+            .map(|s| format!("{} {s}", self.count(s)))
+            .collect();
+        format!("{} file(s): {}", self.files.len(), counts.join(", "))
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = write!(
+            out,
+            "  \"patch\": {},\n  \"threads\": {},\n  \"prefilter\": {},\n  \"total_seconds\": {:e},\n  \"counts\": {{",
+            json::escape(&self.patch),
+            self.threads,
+            self.prefilter,
+            self.total_seconds
+        );
+        for (i, s) in FileStatus::ALL.into_iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{s}\": {}",
+                if i == 0 { "" } else { ", " },
+                self.count(s)
+            );
+        }
+        out.push_str("},\n  \"files\": [");
+        for (i, f) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"status\": \"{}\", \"matches\": {}, \"seconds\": {:e}",
+                json::escape(&f.name),
+                f.status,
+                f.matches,
+                f.seconds
+            );
+            if let Some(e) = &f.error {
+                let _ = write!(out, ", \"error\": {}", json::escape(e));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a report back from its JSON form.
+    pub fn from_json(text: &str) -> Result<ApplyReport, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_object().ok_or("report: expected a JSON object")?;
+        let patch = obj
+            .get("patch")
+            .and_then(json::Value::as_str)
+            .ok_or("report: missing \"patch\"")?
+            .to_string();
+        let threads = obj
+            .get("threads")
+            .and_then(json::Value::as_f64)
+            .ok_or("report: missing \"threads\"")? as usize;
+        let prefilter = obj
+            .get("prefilter")
+            .and_then(json::Value::as_bool)
+            .ok_or("report: missing \"prefilter\"")?;
+        let total_seconds = obj
+            .get("total_seconds")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(0.0);
+        let mut files = Vec::new();
+        for fv in obj
+            .get("files")
+            .and_then(json::Value::as_array)
+            .ok_or("report: missing \"files\"")?
+        {
+            let fo = fv.as_object().ok_or("report: file entry not an object")?;
+            let name = fo
+                .get("name")
+                .and_then(json::Value::as_str)
+                .ok_or("report: file entry missing \"name\"")?
+                .to_string();
+            let status = fo
+                .get("status")
+                .and_then(json::Value::as_str)
+                .and_then(FileStatus::parse)
+                .ok_or("report: file entry has bad \"status\"")?;
+            let matches = fo
+                .get("matches")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(0.0) as usize;
+            let seconds = fo
+                .get("seconds")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(0.0);
+            let error = fo
+                .get("error")
+                .and_then(json::Value::as_str)
+                .map(str::to_string);
+            files.push(FileReport {
+                name,
+                status,
+                matches,
+                seconds,
+                error,
+            });
+        }
+        Ok(ApplyReport {
+            patch,
+            threads,
+            prefilter,
+            total_seconds,
+            files,
+        })
+    }
+}
+
+/// Minimal JSON reader/writer — just enough for apply reports and bench
+/// files; not a general-purpose implementation.
+pub mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (parsed as `f64`).
+        Num(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object (key order not preserved).
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// The string payload, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The boolean payload, if this is a boolean.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The members, if this is an object.
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    /// Escape `s` as a JSON string literal (quotes included).
+    pub fn escape(s: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Parse one JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("json: trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("json: expected `{}` at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("json: unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut map = BTreeMap::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    let val = parse_value(b, pos)?;
+                    map.insert(key, val);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(map));
+                        }
+                        _ => return Err(format!("json: expected `,` or `}}` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut arr = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    arr.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(arr));
+                        }
+                        _ => return Err(format!("json: expected `,` or `]` at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                s.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("json: bad number `{s}` at byte {start}"))
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("json: expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("json: unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("json: truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("json: bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let start = *pos;
+                    *pos += 1;
+                    while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                        *pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ApplyReport {
+        ApplyReport {
+            patch: "p.cocci".into(),
+            threads: 4,
+            prefilter: true,
+            total_seconds: 0.25,
+            files: vec![
+                FileReport {
+                    name: "a/b.c".into(),
+                    status: FileStatus::Changed,
+                    matches: 3,
+                    seconds: 1e-4,
+                    error: None,
+                },
+                FileReport {
+                    name: "a/skip.c".into(),
+                    status: FileStatus::Pruned,
+                    matches: 0,
+                    seconds: 2e-6,
+                    error: None,
+                },
+                FileReport {
+                    name: "bad.c".into(),
+                    status: FileStatus::Error,
+                    matches: 0,
+                    seconds: 5e-5,
+                    error: Some("cannot parse \"target\"".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let json = r.to_json();
+        let back = ApplyReport::from_json(&json).unwrap();
+        assert_eq!(back.patch, r.patch);
+        assert_eq!(back.threads, r.threads);
+        assert_eq!(back.prefilter, r.prefilter);
+        assert_eq!(back.files.len(), r.files.len());
+        for s in FileStatus::ALL {
+            assert_eq!(back.count(s), r.count(s), "{s}");
+        }
+        assert_eq!(back.files[0].matches, 3);
+        assert_eq!(
+            back.files[2].error.as_deref(),
+            Some("cannot parse \"target\"")
+        );
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let r = sample();
+        assert_eq!(r.count(FileStatus::Changed), 1);
+        assert_eq!(r.count(FileStatus::Unmatched), 0);
+        assert!((r.prune_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(r.summary().contains("3 file(s)"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_basics() {
+        let v = json::parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}"#).unwrap();
+        let o = v.as_object().unwrap();
+        let a = o.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[2].as_f64(), Some(-300.0));
+        assert_eq!(o.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(o.get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(o.get("d"), Some(&json::Value::Null));
+        assert!(json::parse("{\"unterminated\": ").is_err());
+        assert!(json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn status_string_round_trip() {
+        for s in FileStatus::ALL {
+            assert_eq!(FileStatus::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(FileStatus::parse("bogus"), None);
+    }
+}

@@ -45,6 +45,7 @@ use nfa::Program;
 pub struct Regex {
     pattern: String,
     prog: Program,
+    required: Vec<String>,
 }
 
 impl Regex {
@@ -53,15 +54,32 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Self, ParseError> {
         let node = parser::parse(pattern)?;
         let prog = Program::compile(&node);
+        let mut required = Vec::new();
+        let mut run = Vec::new();
+        collect_factors(&node, &mut run, &mut required);
+        flush_run(&mut run, &mut required);
+        required.sort();
+        required.dedup();
         Ok(Regex {
             pattern: pattern.to_string(),
             prog,
+            required,
         })
     }
 
     /// The original pattern text.
     pub fn as_str(&self) -> &str {
         &self.pattern
+    }
+
+    /// Literal factors every match necessarily contains, derived from the
+    /// AST (maximal literal runs outside alternations and `min = 0`
+    /// repeats). Any text matched by the pattern — and therefore any text
+    /// *containing* a match — contains each factor as a substring, which
+    /// makes these usable as a cheap pre-scan before running the NFA, or
+    /// as file-level prefilter atoms for `=~`-constrained metavariables.
+    pub fn required_literals(&self) -> &[String] {
+        &self.required
     }
 
     /// Unanchored search: does the pattern match anywhere in `text`?
@@ -80,6 +98,55 @@ impl Regex {
             .search(text.as_bytes())
             .map(|(s, e)| s == 0 && e == text.len())
             .unwrap_or(false)
+    }
+}
+
+/// Append the pending literal run to `out` (if non-empty and valid UTF-8).
+fn flush_run(run: &mut Vec<u8>, out: &mut Vec<String>) {
+    if run.is_empty() {
+        return;
+    }
+    if let Ok(s) = String::from_utf8(std::mem::take(run)) {
+        out.push(s);
+    } else {
+        run.clear();
+    }
+}
+
+/// Walk `node` in sequence context, growing the current literal run with
+/// guaranteed bytes and flushing it whenever contiguity can no longer be
+/// proven. Alternation contributes nothing (no single branch is
+/// guaranteed); a repeat with `min >= 1` contributes its body's factors.
+fn collect_factors(node: &Node, run: &mut Vec<u8>, out: &mut Vec<String>) {
+    match node {
+        Node::Byte(b) => run.push(*b),
+        Node::Class { items, negated } if !negated && items.len() == 1 => match items[0] {
+            // A one-byte class is as good as a literal.
+            ClassItem::Byte(b) => run.push(b),
+            ClassItem::Range(lo, hi) if lo == hi => run.push(lo),
+            _ => flush_run(run, out),
+        },
+        Node::Concat(children) => {
+            for c in children {
+                collect_factors(c, run, out);
+            }
+        }
+        Node::Repeat { node, min, .. } => {
+            flush_run(run, out);
+            if *min >= 1 {
+                let mut inner = Vec::new();
+                collect_factors(node, &mut inner, out);
+                flush_run(&mut inner, out);
+            }
+        }
+        // Anchors are zero-width but flushing around them is still sound
+        // (it only shortens factors, never invents them).
+        Node::Empty
+        | Node::AnyByte
+        | Node::Class { .. }
+        | Node::Alt(_)
+        | Node::StartAnchor
+        | Node::EndAnchor => flush_run(run, out),
     }
 }
 
@@ -211,6 +278,43 @@ mod tests {
         assert!(Regex::new("*a").is_err());
         assert!(Regex::new("a{2,1}").is_err());
         assert!(Regex::new("a\\").is_err());
+    }
+
+    #[test]
+    fn required_literals_plain_word() {
+        assert_eq!(re("kernel").required_literals(), ["kernel"]);
+        assert_eq!(
+            re("^rsb__BCSR_spmv_").required_literals(),
+            ["rsb__BCSR_spmv_"]
+        );
+    }
+
+    #[test]
+    fn required_literals_split_by_classes_and_repeats() {
+        let r = re("foo[0-9]+bar");
+        assert_eq!(r.required_literals(), ["bar", "foo"]);
+        // `min = 0` repeats guarantee nothing, `min >= 1` guarantee the body.
+        assert_eq!(re("a(xyz)*b").required_literals(), ["a", "b"]);
+        let plus = re("(xyz)+");
+        assert_eq!(plus.required_literals(), ["xyz"]);
+    }
+
+    #[test]
+    fn required_literals_skip_alternation() {
+        assert_eq!(re("pre(foo|bar)post").required_literals(), ["post", "pre"]);
+        assert!(re("foo|bar").required_literals().is_empty());
+    }
+
+    #[test]
+    fn required_literals_are_sound_on_matches() {
+        let r = re("rsb__BCSR_spmv_sasa_double_complex_[CH]__t[NTC]_r1_c1_uu_s[HS]_dE_uG");
+        let hay = "rsb__BCSR_spmv_sasa_double_complex_C__tN_r1_c1_uu_sH_dE_uG";
+        assert!(r.is_match(hay));
+        for lit in r.required_literals() {
+            assert!(hay.contains(lit.as_str()), "{lit:?} missing from match");
+        }
+        // One-byte classes count as literals.
+        assert_eq!(re("a[x]b").required_literals(), ["axb"]);
     }
 
     #[test]

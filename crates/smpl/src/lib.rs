@@ -31,6 +31,7 @@
 
 mod body;
 mod parse;
+pub mod prefilter;
 
 pub use body::{classify_body, Annot, BodyLine, Pattern, PlusGroup, RuleBody};
 pub use parse::{parse_semantic_patch, SmplError};

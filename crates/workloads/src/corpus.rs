@@ -1,0 +1,179 @@
+//! On-disk corpus trees for codebase-scale driver runs.
+//!
+//! [`corpus_tree`] assembles a *mixed* synthetic codebase — nested
+//! directories of OpenMP, CUDA, kernel and raw-loop files, plus
+//! non-source noise, ignored build artifacts, and a `.gitignore` — and
+//! [`write_corpus_tree`] materializes it under a root directory. This is
+//! what `spatch <dir>` end-to-end tests and the prefilter bench walk:
+//! only a subset of the tree matches any given use-case patch, so
+//! directory filtering, ignore handling, and prefilter pruning all have
+//! something to do.
+
+use crate::gen::{self, CodebaseSpec, GeneratedFile};
+use std::io;
+use std::path::Path;
+
+/// Size parameters for a generated corpus tree.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusTreeSpec {
+    /// Files per generator family (each family lives in its own subtree).
+    pub files_per_family: usize,
+    /// Functions per file.
+    pub functions_per_file: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusTreeSpec {
+    fn default() -> Self {
+        CorpusTreeSpec {
+            files_per_family: 8,
+            functions_per_file: 8,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// The `.gitignore` a generated tree carries at its root.
+pub const TREE_GITIGNORE: &str = "build/\n*.tmp\n";
+
+/// Generate the corpus tree in memory. File names are root-relative
+/// paths with `/` separators; the list includes the `.gitignore`, noise
+/// files, and build artifacts that a well-behaved walker must skip.
+pub fn corpus_tree(spec: &CorpusTreeSpec) -> Vec<GeneratedFile> {
+    let base = CodebaseSpec {
+        files: spec.files_per_family,
+        functions_per_file: spec.functions_per_file,
+        seed: spec.seed,
+    };
+    let mut out = Vec::new();
+    let mut add = |dir: &str, files: Vec<GeneratedFile>| {
+        out.extend(files.into_iter().map(|f| GeneratedFile {
+            name: format!("{dir}/{}", f.name),
+            text: f.text,
+        }));
+    };
+    // Source families, each in its own subtree (two of them nested two
+    // levels deep so the walk is not flat).
+    add("omp", gen::omp_codebase(&base));
+    add("gpu/cuda", gen::cuda_codebase(&base));
+    add("kernels", gen::kernel_codebase(&base));
+    add("cpp/search", gen::raw_loop_codebase(&base));
+    add("librsb", gen::librsb_codebase(&base));
+
+    // Root metadata and noise a walker must tolerate / skip.
+    out.push(GeneratedFile {
+        name: ".gitignore".into(),
+        text: TREE_GITIGNORE.into(),
+    });
+    out.push(GeneratedFile {
+        name: "docs/NOTES.md".into(),
+        text: "# synthetic corpus\nnot C at all {{{\n".into(),
+    });
+    out.push(GeneratedFile {
+        name: "build/generated.c".into(),
+        text: "void generated(void) { old_api(0); }\n".into(),
+    });
+    out.push(GeneratedFile {
+        name: "scratch.c.tmp".into(),
+        text: "void scratch(void) {\n".into(),
+    });
+    out
+}
+
+/// Statistics of a materialized tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusTreeStats {
+    /// Files written in total (noise and ignored files included).
+    pub written: usize,
+    /// Files a compliant walker should visit (C-family extension, not
+    /// under an ignored pattern, not a dotfile).
+    pub walkable: usize,
+}
+
+/// Write the tree under `root` (created if needed). Returns what was
+/// written and how much of it a compliant walker should pick up.
+pub fn write_corpus_tree(root: &Path, spec: &CorpusTreeSpec) -> io::Result<CorpusTreeStats> {
+    let files = corpus_tree(spec);
+    let mut stats = CorpusTreeStats {
+        written: 0,
+        walkable: 0,
+    };
+    for f in &files {
+        let path = root.join(&f.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, &f.text)?;
+        stats.written += 1;
+        if is_walkable(&f.name) {
+            stats.walkable += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Whether a generated root-relative path should be visited by a walker
+/// honouring [`TREE_GITIGNORE`] and the C-family extension filter.
+///
+/// Deliberately an *independent* re-statement of the walk rules (this
+/// crate cannot depend on `cocci-core`): tests compare walker results
+/// against it, so a behavior change on either side fails loudly. It only
+/// needs to be correct for the paths [`corpus_tree`] actually generates.
+pub fn is_walkable(name: &str) -> bool {
+    if name.starts_with('.') || name.starts_with("build/") || name.ends_with(".tmp") {
+        return false;
+    }
+    matches!(
+        name.rsplit('.').next(),
+        Some("c" | "h" | "cc" | "cpp" | "cxx" | "hpp" | "hh" | "cu" | "cuh" | "inl")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_mixed_and_deterministic() {
+        let spec = CorpusTreeSpec::default();
+        let a = corpus_tree(&spec);
+        let b = corpus_tree(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.text, y.text);
+        }
+        assert!(a.iter().any(|f| f.name.starts_with("omp/")));
+        assert!(a.iter().any(|f| f.name.starts_with("gpu/cuda/")));
+        assert!(a.iter().any(|f| f.name == ".gitignore"));
+        assert!(a.iter().any(|f| f.name.starts_with("build/")));
+    }
+
+    #[test]
+    fn walkable_classification() {
+        assert!(is_walkable("omp/omp_0.c"));
+        assert!(is_walkable("gpu/cuda/cuda_1.cu"));
+        assert!(!is_walkable(".gitignore"));
+        assert!(!is_walkable("docs/NOTES.md"));
+        assert!(!is_walkable("build/generated.c"));
+        assert!(!is_walkable("scratch.c.tmp"));
+    }
+
+    #[test]
+    fn write_and_count() {
+        let root = std::env::temp_dir().join(format!("cocci-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spec = CorpusTreeSpec {
+            files_per_family: 2,
+            functions_per_file: 2,
+            seed: 1,
+        };
+        let stats = write_corpus_tree(&root, &spec).unwrap();
+        assert_eq!(stats.written, 5 * 2 + 4);
+        assert_eq!(stats.walkable, 5 * 2);
+        assert!(root.join("omp/omp_0.c").is_file());
+        assert!(root.join(".gitignore").is_file());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

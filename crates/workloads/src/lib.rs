@@ -16,14 +16,19 @@
 //!   semantic engine must not;
 //! * [`kernels`] — the AoS vs. SoA particle-update kernels motivating the
 //!   paper's flagship refactoring ([ML21]), runnable in Rust so the
-//!   memory-layout effect itself is measurable.
+//!   memory-layout effect itself is measurable;
+//! * [`corpus`] — mixed on-disk corpus *trees* (nested directories, noise
+//!   files, `.gitignore`d artifacts) for directory-mode driver runs and
+//!   the prefilter bench.
 
 pub mod adversarial;
+pub mod corpus;
 pub mod gen;
 pub mod kernels;
 pub mod patches;
 pub mod rng;
 
+pub use corpus::{corpus_tree, write_corpus_tree, CorpusTreeSpec};
 pub use gen::{CodebaseSpec, GeneratedFile};
 
 #[cfg(test)]

@@ -88,7 +88,7 @@ fn main() {
         .collect();
 
     section("semantic engine");
-    let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0));
+    let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0).unwrap());
     let changed = outcomes.iter().filter(|o| o.output.is_some()).count();
     let launches: usize = outcomes
         .iter()

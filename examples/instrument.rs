@@ -51,7 +51,7 @@ fn main() {
     let patch = parse_semantic_patch(PATCH).expect("patch parses");
 
     for threads in [1usize, 2, 4] {
-        let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, threads));
+        let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, threads).unwrap());
         let starts: usize = outcomes
             .iter()
             .filter_map(|o| o.output.as_deref())
@@ -80,7 +80,7 @@ fn main() {
 }
 
 fn outcomes_sample(patch: &cocci_smpl::SemanticPatch, inputs: &[(String, String)]) -> String {
-    apply_to_files(patch, &inputs[..1], 1)[0]
+    apply_to_files(patch, &inputs[..1], 1).unwrap()[0]
         .output
         .clone()
         .unwrap_or_default()

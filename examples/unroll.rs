@@ -74,7 +74,7 @@ fn main() {
         .map(|f| (f.name.clone(), f.text.clone()))
         .collect();
 
-    let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0));
+    let (outcomes, secs) = timed(|| apply_to_files(&patch, &inputs, 0).unwrap());
     let pragmas: usize = outcomes
         .iter()
         .filter_map(|o| o.output.as_deref())

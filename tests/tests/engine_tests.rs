@@ -360,7 +360,7 @@ fn driver_reports_mixed_outcomes() {
         ("b.c".to_string(), "void f(void) { miss(); }\n".to_string()),
         ("broken.c".to_string(), "void f( {".to_string()),
     ];
-    let outcomes = apply_to_files(&patch, &files, 2);
+    let outcomes = apply_to_files(&patch, &files, 2).unwrap();
     assert!(outcomes[0].output.is_some());
     assert!(outcomes[1].output.is_none() && outcomes[1].error.is_none());
     assert!(outcomes[2].error.is_some());

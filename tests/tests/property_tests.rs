@@ -208,6 +208,62 @@ fn rename_patch_rewrites_every_call_site() {
 }
 
 #[test]
+fn prefilter_never_prunes_a_matching_file() {
+    // Soundness of the compile-time prefilter: for any UC patch and any
+    // generated workload file the prefilter skips, the full matcher must
+    // find zero matches (no false prunes). Generators and patch are drawn
+    // per case so the property sweeps the whole UC × generator matrix.
+    use cocci_core::CompiledPatch;
+    use cocci_workloads::gen::{self, CodebaseSpec};
+
+    Runner::new("prefilter_never_prunes_a_matching_file")
+        .cases(64)
+        .run(|rng| {
+            let spec = CodebaseSpec {
+                files: rng.gen_range(1..4),
+                functions_per_file: rng.gen_range(1..8),
+                seed: rng.next_u64(),
+            };
+            let files = match rng.gen_range(0..9) {
+                0 => gen::omp_codebase(&spec),
+                1 => gen::kernel_codebase(&spec),
+                2 => gen::multiversion_codebase(&spec),
+                3 => gen::unrolled_codebase(&spec, 4),
+                4 => gen::stencil_codebase(&spec),
+                5 => gen::cuda_codebase(&spec),
+                6 => gen::openacc_codebase(&spec),
+                7 => gen::raw_loop_codebase(&spec),
+                _ => gen::librsb_codebase(&spec),
+            };
+            let all = cocci_workloads::patches::ALL;
+            let (uc, patch_text) = all[rng.gen_range(0..all.len())];
+            let patch = parse_semantic_patch(patch_text).unwrap_or_else(|e| panic!("{uc}: {e}"));
+            let compiled = CompiledPatch::compile(&patch).unwrap_or_else(|e| panic!("{uc}: {e}"));
+            for f in &files {
+                if compiled.may_match(&f.text) {
+                    continue; // not pruned; nothing to check
+                }
+                // Pruned: the full pipeline must agree there is nothing
+                // here. A parse error also means "no match possible".
+                let mut p = Patcher::from_compiled(std::sync::Arc::new(compiled.clone()));
+                if let Ok(out) = p.apply(&f.name, &f.text) {
+                    let matches: usize = p.last_stats.matches_per_rule.iter().sum();
+                    assert_eq!(
+                        matches, 0,
+                        "{uc}: prefilter pruned {} which matches {matches}x\n{}",
+                        f.name, f.text
+                    );
+                    assert!(
+                        out.is_none(),
+                        "{uc}: prefilter pruned {} which the engine changed",
+                        f.name
+                    );
+                }
+            }
+        });
+}
+
+#[test]
 fn patched_output_still_parses() {
     Runner::new("patched_output_still_parses")
         .cases(48)

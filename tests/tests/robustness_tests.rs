@@ -180,10 +180,14 @@ fn large_file_many_matches() {
 }
 
 #[test]
-fn driver_compile_error_reported_per_file() {
+fn driver_compile_error_is_run_level_not_per_file() {
+    // The patch compiles once per run; a compile error surfaces exactly
+    // once as the driver's `Err`, not duplicated onto every file.
     let patch =
         parse_semantic_patch("@@\nidentifier f =~ \"bad(regex\";\n@@\n- f();\n+ g();\n").unwrap();
-    let files = vec![("a.c".to_string(), "void f(void) {}\n".to_string())];
-    let outcomes = apply_to_files(&patch, &files, 1);
-    assert!(outcomes[0].error.as_deref().unwrap_or("").contains("regex"));
+    let files: Vec<(String, String)> = (0..8)
+        .map(|i| (format!("f{i}.c"), "void f(void) {}\n".to_string()))
+        .collect();
+    let err = apply_to_files(&patch, &files, 4).unwrap_err();
+    assert!(err.to_string().contains("regex"), "{err}");
 }
