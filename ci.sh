@@ -30,4 +30,10 @@ test -s target/BENCH_prefilter.json
 grep -q prefilter_hit_rate target/BENCH_prefilter.json
 echo "ok: target/BENCH_prefilter.json written (hit rates recorded)"
 
+echo "== cfg_match bench smoke (tree vs CFG dots, JSON to target/) =="
+BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench cfg_match --locked
+test -s target/BENCH_cfg_match.json
+grep -q cfg_overhead target/BENCH_cfg_match.json
+echo "ok: target/BENCH_cfg_match.json written (overhead metric recorded)"
+
 echo "CI green."

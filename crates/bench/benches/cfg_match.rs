@@ -1,0 +1,120 @@
+//! Tree-sequence vs CFG path matching of statement dots.
+//!
+//! Two corpora from the CFG workload family:
+//!
+//! * **linear** — straight-line probe pairs, the *dots-free-equivalent*
+//!   workload: tree and flow engines find exactly the same matches, so
+//!   the wall-clock ratio is the pure price of building CFGs and
+//!   walking paths. Recorded as the `cfg_overhead/linear` metric; the
+//!   engine is expected to stay within ~3× of the tree matcher here.
+//! * **branchy** — a rotation of join / early-return / loop shapes
+//!   where the two semantics *disagree*. The per-engine match counts
+//!   land as metrics (`matches/tree`, `matches/flow`) so the semantic
+//!   gap is visible in the trend data, alongside both timings.
+//!
+//! The measured rule is the canonical instrumentation pair:
+//! `probe_begin(b); ... probe_end(b);` with an edit on the opening
+//! anchor.
+
+use cocci_bench::timing::{Harness, Throughput};
+use cocci_core::{apply_batch_opts, CompiledPatch, ExecOptions};
+use cocci_smpl::parse_semantic_patch;
+use cocci_workloads::gen::{branchy_codebase, linear_probe_codebase, CodebaseSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+const PROBE_PATCH: &str =
+    "@@\nexpression b;\n@@\n- probe_begin(b);\n+ probe_enter(b);\n...\nprobe_end(b);\n";
+
+fn total_matches(outcomes: &[cocci_core::FileOutcome]) -> usize {
+    outcomes.iter().map(|o| o.matches).sum()
+}
+
+fn main() {
+    let spec = CodebaseSpec {
+        files: 12,
+        functions_per_file: 16,
+        seed: 0xCF6,
+    };
+    let linear: Vec<(String, String)> = linear_probe_codebase(&spec)
+        .into_iter()
+        .map(|f| (f.name, f.text))
+        .collect();
+    let branchy: Vec<(String, String)> = branchy_codebase(&spec)
+        .into_iter()
+        .map(|f| (f.name, f.text))
+        .collect();
+
+    let patch = parse_semantic_patch(PROBE_PATCH).expect("probe patch");
+    let compiled = Arc::new(CompiledPatch::compile(&patch).expect("compile"));
+    let tree = ExecOptions {
+        threads: 1,
+        flow: false,
+        ..Default::default()
+    };
+    let flow = ExecOptions {
+        threads: 1,
+        flow: true,
+        ..Default::default()
+    };
+
+    let mut h = Harness::new("cfg_match").sample_size(10);
+
+    // Semantic comparison on the branch-heavy corpus: the tree engine
+    // over-matches (it absorbs early returns into the dots); the CFG
+    // engine refuses those and additionally matches cross-branch pairs.
+    let tree_out = apply_batch_opts(&compiled, &branchy, &tree);
+    let flow_out = apply_batch_opts(&compiled, &branchy, &flow);
+    h.metric("matches", "tree", total_matches(&tree_out) as f64);
+    h.metric("matches", "flow", total_matches(&flow_out) as f64);
+
+    // Overhead on the dots-free-equivalent corpus, where both engines
+    // agree: median-of-N wall-clock ratio.
+    let bytes: usize = linear.iter().map(|(_, t)| t.len()).sum();
+    let samples = 9;
+    let time = |opts: &ExecOptions| -> f64 {
+        let mut ts: Vec<f64> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(apply_batch_opts(&compiled, &linear, opts));
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        ts.sort_by(f64::total_cmp);
+        ts[samples / 2]
+    };
+    let tree_median = time(&tree);
+    let flow_median = time(&flow);
+    h.metric("cfg_overhead", "linear", flow_median / tree_median);
+
+    let agree = total_matches(&apply_batch_opts(&compiled, &linear, &tree))
+        == total_matches(&apply_batch_opts(&compiled, &linear, &flow));
+    h.metric("agreement", "linear", if agree { 1.0 } else { 0.0 });
+
+    h.bench(
+        "tree_dots",
+        "linear",
+        Throughput::Bytes(bytes as u64),
+        || apply_batch_opts(&compiled, &linear, &tree),
+    );
+    h.bench(
+        "flow_dots",
+        "linear",
+        Throughput::Bytes(bytes as u64),
+        || apply_batch_opts(&compiled, &linear, &flow),
+    );
+    let bbytes: usize = branchy.iter().map(|(_, t)| t.len()).sum();
+    h.bench(
+        "tree_dots",
+        "branchy",
+        Throughput::Bytes(bbytes as u64),
+        || apply_batch_opts(&compiled, &branchy, &tree),
+    );
+    h.bench(
+        "flow_dots",
+        "branchy",
+        Throughput::Bytes(bbytes as u64),
+        || apply_batch_opts(&compiled, &branchy, &flow),
+    );
+    h.finish().expect("write BENCH_cfg_match.json");
+}

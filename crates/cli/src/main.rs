@@ -10,8 +10,13 @@
 //!   -o <FILE>           write the single patched file here
 //!   -j, --jobs <N>      worker threads (default: all cores)
 //!   --report <FILE>     write a machine-readable JSON apply report
+//!   --resume <FILE>     skip files whose content hash is unchanged
+//!                       since this previous report (incremental re-apply)
+//!   --timeout-ms <N>    per-file time budget; over-budget files are
+//!                       recorded with a `timeout` status
 //!   --ignore <PAT>      extra .gitignore-style exclusion (repeatable)
 //!   --no-prefilter      disable the literal-atom pre-scan
+//!   --no-flow           tree-sequence dots instead of CFG path matching
 //!   --quiet             suppress per-file match reports
 //! ```
 //!
@@ -25,7 +30,8 @@
 
 mod diff;
 
-use cocci_core::corpus::{apply_to_corpus, CorpusOptions, WalkSource};
+use cocci_core::corpus::{apply_to_corpus_resumed, CorpusOptions, WalkSource};
+use cocci_core::ApplyReport;
 use cocci_smpl::parse_semantic_patch;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,14 +44,18 @@ struct Args {
     threads: usize,
     quiet: bool,
     report: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    timeout_ms: Option<u64>,
     ignore: Vec<String>,
     no_prefilter: bool,
+    no_flow: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spatch --sp-file <patch.cocci> [--in-place] [-o FILE] [-j N] [--report FILE] \
-         [--ignore PAT]... [--no-prefilter] [--quiet] <files-or-dirs...>"
+         [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
+         [--quiet] <files-or-dirs...>"
     );
     std::process::exit(2);
 }
@@ -58,8 +68,11 @@ fn parse_args() -> Args {
     let mut threads = 0usize;
     let mut quiet = false;
     let mut report = None;
+    let mut resume = None;
+    let mut timeout_ms = None;
     let mut ignore = Vec::new();
     let mut no_prefilter = false;
+    let mut no_flow = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -73,8 +86,17 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--report" => report = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--resume" => resume = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--ignore" => ignore.push(it.next().unwrap_or_else(|| usage())),
             "--no-prefilter" => no_prefilter = true,
+            "--no-flow" => no_flow = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -96,8 +118,11 @@ fn parse_args() -> Args {
         threads,
         quiet,
         report,
+        resume,
+        timeout_ms,
         ignore,
         no_prefilter,
+        no_flow,
     }
 }
 
@@ -117,11 +142,65 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let patch_hash = cocci_core::content_hash(&patch_text);
+
+    // `-o` holds exactly one output file; a directory walk (or several
+    // targets) could produce several changed files that would silently
+    // overwrite each other in it.
+    if args.output.is_some() && (args.targets.len() > 1 || args.targets[0].is_dir()) {
+        eprintln!(
+            "spatch: -o takes a single input file; use --in-place (or diff mode) for \
+             directories and multi-file runs"
+        );
+        return ExitCode::from(2);
+    }
+
+    // Incremental re-apply: load the previous run's report up front so a
+    // bad path fails before any work happens, and refuse a report made
+    // by a *different* semantic patch — skipping "unchanged" files is
+    // only sound against the same patch.
+    let previous = match &args.resume {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match ApplyReport::from_json(&text) {
+                Ok(r) => {
+                    if r.patch_hash != patch_hash {
+                        // A report without a patch hash (older spatch)
+                        // cannot vouch for any patch either — refuse
+                        // rather than silently skip files the current
+                        // patch has never seen.
+                        eprintln!(
+                            "spatch: {} was not produced by this semantic patch ({}); \
+                             refusing to resume from it",
+                            path.display(),
+                            if r.patch.is_empty() {
+                                "unknown patch"
+                            } else {
+                                &r.patch
+                            }
+                        );
+                        return ExitCode::from(2);
+                    }
+                    Some(r)
+                }
+                Err(e) => {
+                    eprintln!("spatch: cannot parse resume report {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("spatch: cannot read resume report {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     let mut source = WalkSource::discover(&args.targets, &args.ignore);
     let opts = CorpusOptions {
         threads: args.threads,
         no_prefilter: args.no_prefilter,
+        no_flow: args.no_flow,
+        timeout_ms: args.timeout_ms,
         ..Default::default()
     };
 
@@ -131,43 +210,49 @@ fn main() -> ExitCode {
     // (the driver outcome says "changed", but the change never landed).
     let mut changed = 0usize;
     let mut write_errors: Vec<(String, String)> = Vec::new();
-    let run = apply_to_corpus(&patch, &mut source, &opts, |name, original, outcome| {
-        if outcome.error.is_some() {
-            return; // reported once from the report below
-        }
-        let Some(new_text) = &outcome.output else {
-            if !args.quiet {
-                let what = if outcome.pruned {
-                    "no match (pruned)"
-                } else if outcome.matches > 0 {
-                    "matched, no edits"
-                } else {
-                    "no match"
-                };
-                eprintln!("spatch: {name}: {what}");
+    let run = apply_to_corpus_resumed(
+        &patch,
+        &mut source,
+        &opts,
+        previous.as_ref(),
+        |name, original, outcome| {
+            if outcome.error.is_some() {
+                return; // reported once from the report below
             }
-            return;
-        };
-        changed += 1;
-        if args.in_place {
-            if let Err(e) = std::fs::write(name, new_text) {
-                write_errors.push((name.to_string(), format!("cannot write: {e}")));
-                changed -= 1;
-            } else if !args.quiet {
-                eprintln!("spatch: {name}: rewritten ({} matches)", outcome.matches);
+            let Some(new_text) = &outcome.output else {
+                if !args.quiet {
+                    let what = if outcome.pruned {
+                        "no match (pruned)"
+                    } else if outcome.matches > 0 {
+                        "matched, no edits"
+                    } else {
+                        "no match"
+                    };
+                    eprintln!("spatch: {name}: {what}");
+                }
+                return;
+            };
+            changed += 1;
+            if args.in_place {
+                if let Err(e) = std::fs::write(name, new_text) {
+                    write_errors.push((name.to_string(), format!("cannot write: {e}")));
+                    changed -= 1;
+                } else if !args.quiet {
+                    eprintln!("spatch: {name}: rewritten ({} matches)", outcome.matches);
+                }
+            } else if let Some(out) = &args.output {
+                if let Err(e) = std::fs::write(out, new_text) {
+                    write_errors.push((
+                        name.to_string(),
+                        format!("cannot write {}: {e}", out.display()),
+                    ));
+                    changed -= 1;
+                }
+            } else {
+                print!("{}", diff::unified_diff(name, original, new_text, 3));
             }
-        } else if let Some(out) = &args.output {
-            if let Err(e) = std::fs::write(out, new_text) {
-                write_errors.push((
-                    name.to_string(),
-                    format!("cannot write {}: {e}", out.display()),
-                ));
-                changed -= 1;
-            }
-        } else {
-            print!("{}", diff::unified_diff(name, original, new_text, 3));
-        }
-    });
+        },
+    );
 
     let mut report = match run {
         Ok(r) => r,
@@ -178,6 +263,7 @@ fn main() -> ExitCode {
         }
     };
     report.patch = args.sp_file.display().to_string();
+    report.patch_hash = patch_hash;
 
     // A file whose rewrite failed to land is an error, not a change —
     // downgrade its report entry before anything consumes it.
@@ -190,16 +276,38 @@ fn main() -> ExitCode {
 
     // Every failed file — parse/rewrite/write errors and unreadable paths
     // alike — is in the report exactly once; report them from there.
+    // Timeouts are warnings, not failures: the whole point of the budget
+    // is that one pathological file must not sink the corpus run.
     let mut failures = 0usize;
     for f in &report.files {
-        if f.status == cocci_core::FileStatus::Error {
-            eprintln!(
-                "spatch: {}: {}",
-                f.name,
-                f.error.as_deref().unwrap_or("unknown error")
-            );
-            failures += 1;
+        match f.status {
+            cocci_core::FileStatus::Error => {
+                eprintln!(
+                    "spatch: {}: {}",
+                    f.name,
+                    f.error.as_deref().unwrap_or("unknown error")
+                );
+                failures += 1;
+            }
+            cocci_core::FileStatus::Timeout => {
+                eprintln!(
+                    "spatch: {}: {}",
+                    f.name,
+                    f.error.as_deref().unwrap_or("timed out")
+                );
+            }
+            _ => {}
         }
+    }
+    if report.resumed > 0 && !args.quiet {
+        eprintln!(
+            "spatch: resumed: {} unchanged file(s) skipped via {}",
+            report.resumed,
+            args.resume
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
     }
 
     if let Some(path) = &args.report {

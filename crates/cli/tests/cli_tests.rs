@@ -411,3 +411,225 @@ fn no_match_exits_zero() {
     assert!(out.status.success());
     assert!(out.stdout.is_empty());
 }
+
+const PROBE_PATCH: &str =
+    "@@\nexpression b;\n@@\n- probe_begin(b);\n+ probe_enter(b);\n...\nprobe_end(b);\n";
+
+#[test]
+fn no_flow_flag_restores_tree_dots_semantics() {
+    // The disagreement file: an early return escapes the dots. The
+    // default (CFG) semantics refuses; --no-flow falls back to the
+    // tree-sequence reading and transforms it.
+    let dir = tmpdir("noflow");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    fs::write(&patch, PROBE_PATCH).unwrap();
+    let src = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x)\n        return;\n    probe_end(q);\n}\n";
+    fs::write(&file, src).unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.is_empty(), "CFG semantics must refuse: {stdout}");
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg("--no-flow")
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("+    probe_enter(q);"), "{stdout}");
+}
+
+#[test]
+fn timeout_ms_records_timeout_status_without_failing_run() {
+    use cocci_core::{ApplyReport, FileStatus};
+
+    let dir = tmpdir("timeout");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    let report_path = dir.join("report.json");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    fs::write(&file, "void f(void) {\n    old_api(1);\n}\n").unwrap();
+
+    // A zero budget trips at the first rule boundary for every file;
+    // the run still succeeds (timeouts are quarantine, not failure).
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--timeout-ms", "0", "--report"])
+        .arg(&report_path)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("time budget"), "{stderr}");
+    let report = ApplyReport::from_json(&fs::read_to_string(&report_path).unwrap()).unwrap();
+    assert_eq!(report.count(FileStatus::Timeout), 1, "{report:?}");
+    assert_eq!(report.count(FileStatus::Error), 0);
+    // The file itself is untouched.
+    assert!(fs::read_to_string(&file).unwrap().contains("old_api"));
+}
+
+#[test]
+fn resume_skips_unchanged_files() {
+    use cocci_core::{ApplyReport, FileStatus};
+
+    let dir = tmpdir("resume");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let hit = dir.join("hit.c");
+    let miss = dir.join("miss.c");
+    fs::write(&hit, "void f(void) {\n    old_api(1);\n}\n").unwrap();
+    fs::write(&miss, "void g(void) {\n    keep(2);\n}\n").unwrap();
+    let r1 = dir.join("r1.json");
+    let r2 = dir.join("r2.json");
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--quiet", "--report"])
+        .arg(&r1)
+        .arg(&hit)
+        .arg(&miss)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Touch only hit.c, then resume from the first report: miss.c must
+    // be skipped with its previous status copied.
+    fs::write(&hit, "void f(void) {\n    old_api(1);\n    more();\n}\n").unwrap();
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--resume"])
+        .arg(&r1)
+        .args(["--report"])
+        .arg(&r2)
+        .arg(&hit)
+        .arg(&miss)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("resumed: 1"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("hit.c"),
+        "changed file re-processed: {stdout}"
+    );
+    assert!(!stdout.contains("miss.c"), "{stdout}");
+    let report = ApplyReport::from_json(&fs::read_to_string(&r2).unwrap()).unwrap();
+    assert_eq!(report.resumed, 1);
+    let miss_entry = report
+        .files
+        .iter()
+        .find(|f| f.name.ends_with("miss.c"))
+        .unwrap();
+    assert_eq!(miss_entry.status, FileStatus::Pruned, "status copied");
+
+    // A bogus resume report is a hard usage error, before any work.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--resume"])
+        .arg(dir.join("nope.json"))
+        .arg(&hit)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn resume_refuses_report_from_different_patch() {
+    let dir = tmpdir("resume-mismatch");
+    let patch_a = dir.join("a.cocci");
+    let patch_b = dir.join("b.cocci");
+    fs::write(&patch_a, RENAME_PATCH).unwrap();
+    fs::write(&patch_b, PROBE_PATCH).unwrap();
+    let file = dir.join("t.c");
+    fs::write(&file, "void f(void) { old_api(1); }\n").unwrap();
+    let r1 = dir.join("r1.json");
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch_a)
+        .args(["--quiet", "--report"])
+        .arg(&r1)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Resuming with a different patch must refuse before doing work.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch_b)
+        .args(["--resume"])
+        .arg(&r1)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("not produced by this semantic patch"),
+        "{stderr}"
+    );
+
+    // Same patch resumes fine.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch_a)
+        .args(["--resume"])
+        .arg(&r1)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn output_flag_refuses_directory_and_multi_file_targets() {
+    let dir = tmpdir("oflag-multi");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let tree = dir.join("tree");
+    fs::create_dir_all(&tree).unwrap();
+    fs::write(tree.join("a.c"), "void a(void) { old_api(1); }\n").unwrap();
+    fs::write(tree.join("b.c"), "void b(void) { old_api(2); }\n").unwrap();
+
+    // Directory target with -o: refused.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["-o"])
+        .arg(dir.join("out.c"))
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("single input file"), "{stderr}");
+
+    // Two explicit files with -o: refused.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["-o"])
+        .arg(dir.join("out.c"))
+        .arg(tree.join("a.c"))
+        .arg(tree.join("b.c"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

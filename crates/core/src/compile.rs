@@ -11,9 +11,10 @@
 //! (script-interpreter globals, statistics) stays in
 //! [`Patcher`](crate::Patcher).
 
+use crate::flowmatch::{self, FlowPattern};
 use crate::orchestrate::ApplyError;
 use cocci_rex::Regex;
-use cocci_smpl::{prefilter, Constraint, Rule, SemanticPatch};
+use cocci_smpl::{prefilter, Constraint, Pattern, Rule, SemanticPatch};
 use std::collections::{HashMap, HashSet};
 
 /// Per-rule compiled artifacts.
@@ -24,6 +25,10 @@ pub struct CompiledRule {
     /// Prefilter atoms — `Some` for transform rules (possibly empty =
     /// "cannot prefilter"), `None` for script/initialize/finalize rules.
     pub atoms: Option<Vec<String>>,
+    /// Lowered CFG path pattern — `Some` for flow-sensitive transform
+    /// rules (statement dots) the path engine can route; `None` keeps
+    /// the rule on the tree matcher.
+    pub flow: Option<FlowPattern>,
 }
 
 /// A semantic patch compiled once per run.
@@ -54,6 +59,7 @@ impl CompiledPatch {
         for rule in &patch.rules {
             let mut regexes = HashMap::new();
             let mut atoms = None;
+            let mut flow = None;
             match rule {
                 Rule::Transform(t) => {
                     has_transform = true;
@@ -61,8 +67,11 @@ impl CompiledPatch {
                         if let Some(Constraint::Regex(re)) | Some(Constraint::NotRegex(re)) =
                             &mv.constraint
                         {
-                            let compiled = Regex::new(re).map_err(|e| ApplyError {
-                                message: format!("bad regex for metavariable `{}`: {e}", mv.name),
+                            let compiled = Regex::new(re).map_err(|e| {
+                                ApplyError::new(format!(
+                                    "bad regex for metavariable `{}`: {e}",
+                                    mv.name
+                                ))
                             })?;
                             regexes.insert(mv.name.clone(), compiled);
                         }
@@ -77,6 +86,14 @@ impl CompiledPatch {
                         &t.metavars,
                         Some(&regexes),
                     ));
+                    // Flow-sensitive rules (statement dots) are lowered
+                    // once here; rules the path engine cannot express
+                    // stay on the tree matcher.
+                    if t.is_flow_sensitive() {
+                        if let Pattern::Stmts(pats) = &t.body.pattern {
+                            flow = flowmatch::lower_pattern(pats);
+                        }
+                    }
                 }
                 Rule::Script(s) => {
                     has_script = true;
@@ -86,7 +103,11 @@ impl CompiledPatch {
                 }
                 _ => has_script = true,
             }
-            rules.push(CompiledRule { regexes, atoms });
+            rules.push(CompiledRule {
+                regexes,
+                atoms,
+                flow,
+            });
         }
         Ok(CompiledPatch {
             patch: patch.clone(),
@@ -137,6 +158,25 @@ mod tests {
         assert_eq!(c.rule_atoms(0).unwrap(), ["kernel"]);
         assert!(c.may_match("void my_kernel_fn(int n) {}"));
         assert!(!c.may_match("void helper(int n) {}"));
+    }
+
+    #[test]
+    fn compile_lowers_flow_sensitive_rules() {
+        // Statement dots between simple anchors → CFG route.
+        let patch = parse_semantic_patch("@@ @@\n- lock();\n+ lock2();\n...\nunlock();\n").unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.rules[0].flow.is_some());
+        // Expression pattern: not flow-sensitive.
+        let patch = parse_semantic_patch("@@ @@\n- f(...)\n+ g()\n").unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.rules[0].flow.is_none());
+        // Statement dots the engine cannot lower (compound anchor) stay
+        // on the tree matcher.
+        let patch =
+            parse_semantic_patch("@@ @@\n- init();\n+ init2();\n...\nwhile (x) { poll(); }\n")
+                .unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.rules[0].flow.is_none());
     }
 
     #[test]

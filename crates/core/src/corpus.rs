@@ -18,11 +18,11 @@
 //!   is read lazily per batch, which is where the memory goes.
 
 use crate::compile::CompiledPatch;
-use crate::driver::{apply_batch, FileOutcome};
+use crate::driver::{apply_batch_opts, ExecOptions, FileOutcome};
 use crate::orchestrate::ApplyError;
-use crate::report::{ApplyReport, FileReport, FileStatus};
+use crate::report::{content_hash, ApplyReport, FileReport, FileStatus};
 use cocci_smpl::SemanticPatch;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -339,6 +339,12 @@ pub struct CorpusOptions {
     /// Disable the compile-time prefilter (it is on by default — pruning
     /// is sound, see [`CompiledPatch::may_match`]).
     pub no_prefilter: bool,
+    /// Disable CFG path matching of statement dots (fall back to the
+    /// legacy tree-sequence reading; `spatch --no-flow`).
+    pub no_flow: bool,
+    /// Per-file wall-clock budget in milliseconds; over-budget files are
+    /// recorded with a `timeout` status instead of stalling the run.
+    pub timeout_ms: Option<u64>,
     /// Batch limits.
     pub batch: BatchOptions,
 }
@@ -355,11 +361,50 @@ pub fn apply_to_corpus(
     patch: &SemanticPatch,
     source: &mut dyn FileSource,
     opts: &CorpusOptions,
+    sink: impl FnMut(&str, &str, &FileOutcome),
+) -> Result<ApplyReport, ApplyError> {
+    apply_to_corpus_resumed(patch, source, opts, None, sink)
+}
+
+/// [`apply_to_corpus`] with incremental re-apply: files whose content
+/// hash matches their entry in `previous` (a prior run's report) are
+/// skipped — their previous status is copied into the new report with
+/// zero seconds, they are not handed to the sink, and they are counted
+/// in [`ApplyReport::resumed`]. Files the previous report does not know
+/// (or knew under a different hash) run normally.
+///
+/// Skipping is only sound when `previous` was produced by the **same
+/// semantic patch**: the caller must check
+/// [`ApplyReport::patch_hash`] against the current patch text before
+/// resuming (as `spatch --resume` does — it refuses on mismatch).
+pub fn apply_to_corpus_resumed(
+    patch: &SemanticPatch,
+    source: &mut dyn FileSource,
+    opts: &CorpusOptions,
+    previous: Option<&ApplyReport>,
     mut sink: impl FnMut(&str, &str, &FileOutcome),
 ) -> Result<ApplyReport, ApplyError> {
     let compiled = Arc::new(CompiledPatch::compile(patch)?);
+    let exec = ExecOptions {
+        threads: opts.threads,
+        prefilter: !opts.no_prefilter,
+        flow: !opts.no_flow,
+        timeout_ms: opts.timeout_ms,
+    };
+    // Hash 0 means "unknown" (unreadable file, pre-hash report): never a
+    // skip candidate.
+    let prev_by_name: HashMap<&str, &FileReport> = previous
+        .map(|r| {
+            r.files
+                .iter()
+                .filter(|f| f.hash != 0)
+                .map(|f| (f.name.as_str(), f))
+                .collect()
+        })
+        .unwrap_or_default();
     let t0 = Instant::now();
     let mut files = Vec::new();
+    let mut resumed = 0usize;
     loop {
         let batch = source.next_batch(&opts.batch);
         for (name, msg) in source.take_errors() {
@@ -368,22 +413,46 @@ pub fn apply_to_corpus(
                 status: FileStatus::Error,
                 matches: 0,
                 seconds: 0.0,
+                hash: 0,
                 error: Some(msg),
             });
         }
         if batch.is_empty() {
             break;
         }
-        let outcomes = apply_batch(&compiled, &batch, opts.threads, !opts.no_prefilter);
-        for ((name, text), outcome) in batch.iter().zip(&outcomes) {
+        let mut to_run = Vec::with_capacity(batch.len());
+        for (name, text) in batch {
+            let hash = content_hash(&text);
+            match prev_by_name.get(name.as_str()) {
+                Some(prev) if prev.hash == hash => {
+                    resumed += 1;
+                    files.push(FileReport {
+                        name,
+                        status: prev.status,
+                        matches: prev.matches,
+                        seconds: 0.0,
+                        hash,
+                        error: prev.error.clone(),
+                    });
+                }
+                _ => to_run.push((name, text)),
+            }
+        }
+        if to_run.is_empty() {
+            continue;
+        }
+        let outcomes = apply_batch_opts(&compiled, &to_run, &exec);
+        for ((name, text), outcome) in to_run.iter().zip(&outcomes) {
             sink(name, text, outcome);
             files.push(FileReport::from_outcome(outcome));
         }
     }
     Ok(ApplyReport {
         patch: String::new(),
+        patch_hash: 0,
         threads: opts.threads,
         prefilter: !opts.no_prefilter,
+        resumed,
         total_seconds: t0.elapsed().as_secs_f64(),
         files,
     })
@@ -484,6 +553,55 @@ mod tests {
         // Round-trip through JSON preserves the counts.
         let back = ApplyReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back.count(FileStatus::Changed), 5);
+    }
+
+    #[test]
+    fn resume_skips_unchanged_files_and_copies_status() {
+        let patch = parse_semantic_patch("@@ @@\n- old_api(1);\n+ new_api(1);\n").unwrap();
+        let hit = (
+            "hit.c".to_string(),
+            "void f(void) { old_api(1); }\n".to_string(),
+        );
+        let miss = (
+            "miss.c".to_string(),
+            "void f(void) { other(); }\n".to_string(),
+        );
+        let first = apply_to_corpus(
+            &patch,
+            &mut MemorySource::new(vec![hit.clone(), miss.clone()]),
+            &CorpusOptions::default(),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(first.resumed, 0);
+
+        // Second run: `hit.c` was modified (its previous hash no longer
+        // matches), `miss.c` is unchanged and must be skipped.
+        let hit2 = (
+            "hit.c".to_string(),
+            "void f(void) { old_api(1); done(); }\n".to_string(),
+        );
+        let mut sunk = Vec::new();
+        let second = apply_to_corpus_resumed(
+            &patch,
+            &mut MemorySource::new(vec![hit2, miss.clone()]),
+            &CorpusOptions::default(),
+            Some(&first),
+            |name, _, _| sunk.push(name.to_string()),
+        )
+        .unwrap();
+        assert_eq!(second.resumed, 1);
+        assert_eq!(sunk, ["hit.c"], "only the changed file reruns");
+        let miss_entry = second.files.iter().find(|f| f.name == "miss.c").unwrap();
+        assert_eq!(miss_entry.status, FileStatus::Pruned, "status copied");
+        assert_eq!(miss_entry.seconds, 0.0);
+        // Round-tripping the report through JSON keeps resume viable.
+        let back = ApplyReport::from_json(&second.to_json()).unwrap();
+        assert_eq!(back.resumed, 1);
+        assert_eq!(
+            back.files.iter().find(|f| f.name == "miss.c").unwrap().hash,
+            miss_entry.hash
+        );
     }
 
     #[test]

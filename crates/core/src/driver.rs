@@ -16,10 +16,11 @@
 
 use crate::compile::CompiledPatch;
 use crate::orchestrate::{ApplyError, Patcher};
+use crate::report::content_hash;
 use cocci_smpl::SemanticPatch;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Result of patching one file.
 #[derive(Debug, Clone)]
@@ -34,8 +35,38 @@ pub struct FileOutcome {
     pub matches: usize,
     /// The prefilter skipped this file before lexing/parsing.
     pub pruned: bool,
+    /// The file exceeded the per-file time budget.
+    pub timed_out: bool,
+    /// FNV-1a hash of the *original* file text (resume bookkeeping).
+    pub hash: u64,
     /// Wall-clock seconds this file took (prefilter scan included).
     pub seconds: f64,
+}
+
+/// Per-run execution knobs shared by every worker.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads (0 = number of available CPUs).
+    pub threads: usize,
+    /// Skip files failing the literal-atom pre-scan without parsing.
+    pub prefilter: bool,
+    /// Route flow-sensitive rules through the CFG path engine (all-paths
+    /// statement dots). Off = legacy tree-sequence dots.
+    pub flow: bool,
+    /// Per-file wall-clock budget in milliseconds, checked at rule
+    /// boundaries; over-budget files get a `timeout` outcome.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 0,
+            prefilter: false,
+            flow: true,
+            timeout_ms: None,
+        }
+    }
 }
 
 /// Apply `patch` to every `(name, text)` pair using `threads` worker
@@ -54,18 +85,38 @@ pub fn apply_to_files(
 ///
 /// With `prefilter`, files that cannot match (per
 /// [`CompiledPatch::may_match`]) are marked pruned without being parsed.
+/// Shorthand for [`apply_batch_opts`] with default flow/timeout knobs.
 pub fn apply_batch(
     compiled: &Arc<CompiledPatch>,
     files: &[(String, String)],
     threads: usize,
     prefilter: bool,
 ) -> Vec<FileOutcome> {
-    let threads = if threads == 0 {
+    apply_batch_opts(
+        compiled,
+        files,
+        &ExecOptions {
+            threads,
+            prefilter,
+            ..Default::default()
+        },
+    )
+}
+
+/// Apply an already-compiled patch to one in-memory batch of files with
+/// full execution options (prefilter, CFG flow routing, per-file time
+/// budget).
+pub fn apply_batch_opts(
+    compiled: &Arc<CompiledPatch>,
+    files: &[(String, String)],
+    opts: &ExecOptions,
+) -> Vec<FileOutcome> {
+    let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
-        threads
+        opts.threads
     };
     let threads = threads.min(files.len().max(1));
 
@@ -79,13 +130,15 @@ pub fn apply_batch(
                 // script-interpreter globals are per-application state and
                 // must not be shared, but the compiled patch is immutable.
                 let mut patcher = Patcher::from_compiled(Arc::clone(compiled));
+                patcher.flow_enabled = opts.flow;
+                patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= files.len() {
                         return;
                     }
                     let (name, text) = &files[i];
-                    let outcome = run_one(&mut patcher, compiled, name, text, prefilter);
+                    let outcome = run_one(&mut patcher, compiled, name, text, opts.prefilter);
                     results.lock().unwrap()[i] = Some(outcome);
                 }
             });
@@ -109,6 +162,7 @@ fn run_one(
     prefilter: bool,
 ) -> FileOutcome {
     let t0 = Instant::now();
+    let hash = content_hash(text);
     if prefilter && !compiled.may_match(text) {
         return FileOutcome {
             name: name.to_string(),
@@ -116,6 +170,8 @@ fn run_one(
             error: None,
             matches: 0,
             pruned: true,
+            timed_out: false,
+            hash,
             seconds: t0.elapsed().as_secs_f64(),
         };
     }
@@ -126,6 +182,8 @@ fn run_one(
             error: None,
             matches: patcher.last_stats.matches_per_rule.iter().sum(),
             pruned: false,
+            timed_out: false,
+            hash,
             seconds: t0.elapsed().as_secs_f64(),
         },
         Err(e) => FileOutcome {
@@ -134,6 +192,8 @@ fn run_one(
             error: Some(e.to_string()),
             matches: 0,
             pruned: false,
+            timed_out: e.timed_out,
+            hash,
             seconds: t0.elapsed().as_secs_f64(),
         },
     }
@@ -218,6 +278,78 @@ mod tests {
         let outcomes = apply_batch(&compiled, &files, 2, false);
         assert!(!outcomes[1].pruned);
         assert!(outcomes[2].error.is_some());
+    }
+
+    #[test]
+    fn zero_time_budget_times_every_file_out() {
+        let patch = parse_semantic_patch("@@ @@\n- a();\n+ b();\n").unwrap();
+        let compiled = Arc::new(CompiledPatch::compile(&patch).unwrap());
+        let files = vec![("f.c".to_string(), "void g(void) { a(); }\n".to_string())];
+        let outcomes = apply_batch_opts(
+            &compiled,
+            &files,
+            &ExecOptions {
+                threads: 1,
+                timeout_ms: Some(0),
+                ..Default::default()
+            },
+        );
+        assert!(outcomes[0].timed_out);
+        assert!(outcomes[0].output.is_none());
+        assert!(outcomes[0].error.as_deref().unwrap().contains("budget"));
+        // A generous budget does not trip.
+        let outcomes = apply_batch_opts(
+            &compiled,
+            &files,
+            &ExecOptions {
+                threads: 1,
+                timeout_ms: Some(60_000),
+                ..Default::default()
+            },
+        );
+        assert!(!outcomes[0].timed_out);
+        assert!(outcomes[0].output.is_some());
+    }
+
+    #[test]
+    fn flow_toggle_changes_dots_semantics() {
+        // Tree dots match across the early return; all-paths dots refuse.
+        let patch =
+            parse_semantic_patch("@@ @@\n- begin();\n+ begin2();\n...\nfinish();\n").unwrap();
+        let compiled = Arc::new(CompiledPatch::compile(&patch).unwrap());
+        let files = vec![(
+            "f.c".to_string(),
+            "void f(int x) { begin(); if (x) return; finish(); }\n".to_string(),
+        )];
+        let flow_on = apply_batch_opts(&compiled, &files, &ExecOptions::default());
+        assert!(flow_on[0].output.is_none(), "all-paths semantics refuses");
+        let flow_off = apply_batch_opts(
+            &compiled,
+            &files,
+            &ExecOptions {
+                flow: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            flow_off[0].output.is_some(),
+            "tree semantics over-matches: {:?}",
+            flow_off[0].error
+        );
+    }
+
+    #[test]
+    fn outcomes_carry_content_hashes() {
+        let patch = parse_semantic_patch("@@ @@\n- a();\n+ b();\n").unwrap();
+        let files = vec![
+            ("f.c".to_string(), "void g(void) { a(); }\n".to_string()),
+            ("g.c".to_string(), "void g(void) { a(); }\n".to_string()),
+            ("h.c".to_string(), "void h(void) { x(); }\n".to_string()),
+        ];
+        let outcomes = apply_to_files(&patch, &files, 1).unwrap();
+        assert_eq!(outcomes[0].hash, outcomes[1].hash, "same text, same hash");
+        assert_ne!(outcomes[0].hash, outcomes[2].hash);
+        assert_eq!(outcomes[0].hash, content_hash("void g(void) { a(); }\n"));
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! CFG path matching for statement-dots patterns.
+//!
+//! The tree matcher reads `A ... B` as "a gap in a statement list",
+//! which silently mis-handles control flow: it matches across an early
+//! `return` (the dots swallow the `if (x) return;` even though one path
+//! never reaches `B`) and refuses patterns whose `B` sits inside both
+//! arms of a branch. The paper's semantics — and upstream Coccinelle's —
+//! is **"along every control-flow path"**, a CTL obligation checked over
+//! the function CFG.
+//!
+//! This module supplies that semantics. A rule body whose pattern is a
+//! top-level statement sequence with dots is *lowered*
+//! ([`lower_pattern`]) into alternating [`FlowStep::Anchor`] /
+//! [`FlowStep::Gap`] steps. Matching then runs per function
+//! ([`find_flow_matches`]):
+//!
+//! 1. build the function's CFG (`cocci-flow`);
+//! 2. every CFG node whose statement tree-matches the first anchor seeds
+//!    a match attempt — expression-level matching *is* the node
+//!    predicate, so metavariables, isomorphisms and constraints all keep
+//!    working;
+//! 3. each gap is discharged with [`cocci_flow::walk_gap`] under
+//!    [`Quant::Forall`]: every path from the anchor must reach a node
+//!    matching the next anchor (first-hit semantics, loops cut at their
+//!    back edges) without crossing a `when != e` violation or escaping
+//!    through the function exit;
+//! 4. the hits on the different paths are bound into **one** match
+//!    state, reconciling metavariable environments at join points: a
+//!    hit that binds a metavariable inconsistently with its siblings
+//!    kills the whole match (conservative — upstream would fork
+//!    per-path witnesses).
+//!
+//! Functions whose CFG exceeds [`MAX_CFG_NODES`] fall back to the tree
+//! matcher for that function only, so pathological inputs degrade to the
+//! old behaviour instead of blowing up.
+
+use crate::env::Env;
+use crate::matcher::{self, MatchCtx, MatchState, Pair, PairKind};
+use crate::orchestrate::collect_seq_matches;
+use cocci_cast::ast::*;
+use cocci_cast::visit;
+use cocci_flow::{build_cfg, walk_gap, Cfg, NodeId, NodeKind, Quant};
+use cocci_source::Span;
+use std::collections::HashMap;
+
+/// CFG size cap above which a function falls back to tree matching
+/// ("the CFG can't be built" guard for pathological inputs).
+pub const MAX_CFG_NODES: usize = 10_000;
+
+/// One step of a lowered statement-dots pattern.
+#[derive(Debug, Clone)]
+pub enum FlowStep {
+    /// A concrete statement pattern, matched at a single CFG node with
+    /// the ordinary tree matcher (boxed: a `Stmt` dwarfs the gap
+    /// variant, and steps are only walked, never bulk-stored).
+    Anchor(Box<Stmt>),
+    /// Statement dots: an all-paths gap to the next anchor.
+    Gap {
+        /// `when != e` constraints — no skipped node may contain a
+        /// match of any of these expressions.
+        when_not: Vec<Expr>,
+        /// Pattern span of the `...` token (anchors the dots pair).
+        span: Span,
+    },
+}
+
+/// A statement-dots pattern lowered for CFG matching: anchors strictly
+/// alternating with gaps, starting and ending on an anchor.
+#[derive(Debug, Clone)]
+pub struct FlowPattern {
+    /// The alternating steps (`Anchor, Gap, Anchor, [Gap, Anchor]…`).
+    pub steps: Vec<FlowStep>,
+}
+
+/// Whether `s` is an anchor the CFG engine can match at a single node.
+///
+/// Only statements that lower to exactly one CFG node qualify; compound
+/// statements (branches, loops, blocks, pattern groups) and statements
+/// that may also match at the file top level (declarations, directives)
+/// keep the tree route so no existing behaviour is lost.
+fn is_simple_anchor(s: &Stmt) -> bool {
+    matches!(
+        s,
+        Stmt::Expr { .. }
+            | Stmt::Return { .. }
+            | Stmt::Break { .. }
+            | Stmt::Continue { .. }
+            | Stmt::Goto { .. }
+            | Stmt::Empty { .. }
+    )
+}
+
+/// Lower a top-level statement sequence into a [`FlowPattern`].
+///
+/// Returns `None` when the pattern is not CFG-routable — no interior
+/// dots, anchors the engine cannot pin to one node, guarded
+/// leading/trailing dots — in which case the rule stays on the tree
+/// matcher.
+pub fn lower_pattern(pats: &[Stmt]) -> Option<FlowPattern> {
+    // Leading/trailing unguarded dots are window padding under the tree
+    // matcher's start-anywhere semantics; drop them. Guarded ones carry
+    // constraints the lowering would lose — refuse.
+    let mut slice = pats;
+    while let Some((Stmt::Dots { when_not, .. }, rest)) = slice.split_first() {
+        if !when_not.is_empty() {
+            return None;
+        }
+        slice = rest;
+    }
+    while let Some((Stmt::Dots { when_not, .. }, rest)) = slice.split_last() {
+        if !when_not.is_empty() {
+            return None;
+        }
+        slice = rest;
+    }
+    if slice.len() < 3 {
+        return None; // need at least `A ... B`
+    }
+    let mut steps = Vec::with_capacity(slice.len());
+    for (i, s) in slice.iter().enumerate() {
+        let expect_anchor = i % 2 == 0;
+        match s {
+            Stmt::Dots { when_not, span } => {
+                if expect_anchor {
+                    return None; // consecutive dots
+                }
+                steps.push(FlowStep::Gap {
+                    when_not: when_not.clone(),
+                    span: *span,
+                });
+            }
+            other => {
+                if !expect_anchor || !is_simple_anchor(other) {
+                    return None; // consecutive anchors or compound anchor
+                }
+                steps.push(FlowStep::Anchor(Box::new(other.clone())));
+            }
+        }
+    }
+    if slice.len().is_multiple_of(2) {
+        return None; // must end on an anchor
+    }
+    Some(FlowPattern { steps })
+}
+
+/// Find all matches of a lowered pattern in `tu` under all-paths
+/// semantics, seeding every attempt from `seed`. `tree_pats` is the
+/// original pattern sequence, used for the per-function tree fallback
+/// when a CFG exceeds the node budget.
+///
+/// One-shot convenience over [`FlowSearch`]; callers matching the same
+/// file under several seed environments should build the search once.
+pub fn find_flow_matches(
+    ctx: &MatchCtx,
+    fp: &FlowPattern,
+    tree_pats: &[Stmt],
+    tu: &TranslationUnit,
+    seed: &Env,
+) -> Vec<MatchState> {
+    FlowSearch::new(fp, tree_pats, tu).find(ctx, seed)
+}
+
+/// A lowered pattern prepared against one translation unit: every
+/// function's CFG and span→statement index built exactly once, reusable
+/// across seed environments (a rule inheriting metavariables runs once
+/// per exported environment — the CFGs depend only on the file).
+pub struct FlowSearch<'t> {
+    fp: &'t FlowPattern,
+    tree_pats: &'t [Stmt],
+    fns: Vec<FnData<'t>>,
+}
+
+/// Per-function precomputed matching substrate. `cfg` is `None` when
+/// the function is over the node budget (tree fallback).
+struct FnData<'t> {
+    f: &'t FunctionDef,
+    cfg: Option<Cfg>,
+    by_span: HashMap<Span, &'t Stmt>,
+}
+
+impl<'t> FlowSearch<'t> {
+    /// Build the per-function CFGs and span indexes for `tu`.
+    pub fn new(fp: &'t FlowPattern, tree_pats: &'t [Stmt], tu: &'t TranslationUnit) -> Self {
+        let mut fns = Vec::new();
+        visit::walk_functions(tu, &mut |f| {
+            let cfg = build_cfg(f);
+            if cfg.len() > MAX_CFG_NODES {
+                fns.push(FnData {
+                    f,
+                    cfg: None,
+                    by_span: HashMap::new(),
+                });
+                return;
+            }
+            let mut by_span = HashMap::new();
+            for s in &f.body.stmts {
+                visit::walk_stmt(s, &mut |st| {
+                    by_span.insert(st.span(), st);
+                });
+            }
+            fns.push(FnData {
+                f,
+                cfg: Some(cfg),
+                by_span,
+            });
+        });
+        FlowSearch { fp, tree_pats, fns }
+    }
+
+    /// All matches across the prepared functions for one seed
+    /// environment.
+    pub fn find(&self, ctx: &MatchCtx, seed: &Env) -> Vec<MatchState> {
+        let mut out = Vec::new();
+        for data in &self.fns {
+            match &data.cfg {
+                Some(cfg) => {
+                    let m = FnMatcher {
+                        ctx,
+                        fp: self.fp,
+                        cfg,
+                        by_span: &data.by_span,
+                    };
+                    m.run(seed, &mut out);
+                }
+                None => tree_fallback(ctx, self.tree_pats, data.f, seed, &mut out),
+            }
+        }
+        out
+    }
+}
+
+/// Tree-sequence matching of one function's blocks — the behaviour a
+/// flow-routed rule degrades to when the CFG is out of budget.
+fn tree_fallback(
+    ctx: &MatchCtx,
+    pats: &[Stmt],
+    f: &FunctionDef,
+    seed: &Env,
+    out: &mut Vec<MatchState>,
+) {
+    let mut blocks: Vec<&Block> = vec![&f.body];
+    for s in &f.body.stmts {
+        visit::walk_stmt(s, &mut |st| {
+            if let Stmt::Block(inner) = st {
+                blocks.push(inner);
+            }
+        });
+    }
+    for block in blocks {
+        collect_seq_matches(ctx, pats, &block.stmts, block.span, seed, out);
+    }
+}
+
+/// Per-function matcher state: the CFG plus a span-indexed view of the
+/// function's statements (CFG nodes carry spans, not AST pointers).
+struct FnMatcher<'a> {
+    ctx: &'a MatchCtx<'a>,
+    fp: &'a FlowPattern,
+    cfg: &'a Cfg,
+    by_span: &'a HashMap<Span, &'a Stmt>,
+}
+
+impl<'a> FnMatcher<'a> {
+    /// The source statement a CFG node stands for, when it stands for
+    /// exactly one (entry/exit/join nodes stand for none, branch nodes
+    /// for a compound construct anchors never pin).
+    fn stmt_at(&self, n: NodeId) -> Option<&'a Stmt> {
+        match self.cfg.kind(n) {
+            NodeKind::Stmt | NodeKind::Directive => self.by_span.get(&self.cfg.span(n)).copied(),
+            _ => None,
+        }
+    }
+
+    /// The expressions a node evaluates, for `when !=` scans: a simple
+    /// statement contributes its whole expression tree, a branch node
+    /// only its condition/scrutinee (the arms are separate nodes).
+    fn violates_when(&self, n: NodeId, when_not: &[Expr], st: &MatchState) -> bool {
+        let check_expr = |e: &Expr| -> bool {
+            let mut hit = false;
+            visit::walk_expr(e, &mut |sub| {
+                if !hit {
+                    for forbidden in when_not {
+                        let mut probe = st.clone();
+                        if matcher::match_expr(self.ctx, forbidden, sub, &mut probe) {
+                            hit = true;
+                            break;
+                        }
+                    }
+                }
+            });
+            hit
+        };
+        match self.cfg.kind(n) {
+            NodeKind::Stmt | NodeKind::Directive => match self.stmt_at(n) {
+                Some(s) => {
+                    let mut hit = false;
+                    visit::deep_stmt_exprs(s, &mut |sub| {
+                        if !hit {
+                            for forbidden in when_not {
+                                let mut probe = st.clone();
+                                if matcher::match_expr(self.ctx, forbidden, sub, &mut probe) {
+                                    hit = true;
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                    hit
+                }
+                None => false,
+            },
+            NodeKind::Branch => match self.by_span.get(&self.cfg.span(n)).copied() {
+                Some(Stmt::If { cond, .. })
+                | Some(Stmt::While { cond, .. })
+                | Some(Stmt::DoWhile { cond, .. }) => check_expr(cond),
+                Some(Stmt::For { cond, .. }) => cond.as_ref().map(&check_expr).unwrap_or(false),
+                Some(Stmt::Switch { scrutinee, .. }) => check_expr(scrutinee),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Seed an attempt at every node matching the first anchor.
+    fn run(&self, seed: &Env, out: &mut Vec<MatchState>) {
+        let FlowStep::Anchor(first) = &self.fp.steps[0] else {
+            return;
+        };
+        for n in self.cfg.nodes() {
+            let Some(s) = self.stmt_at(n) else { continue };
+            let mut st = MatchState {
+                env: seed.clone(),
+                ..Default::default()
+            };
+            if !matcher::match_stmt(self.ctx, first, s, &mut st) {
+                continue;
+            }
+            if let Some(done) = self.advance(1, n, st) {
+                out.push(done);
+            }
+        }
+    }
+
+    /// Discharge steps `i..` starting from the anchor matched at `from`.
+    /// Returns the completed match state, or `None` when some path
+    /// escapes, violates a `when !=`, or binds inconsistently.
+    fn advance(&self, i: usize, from: NodeId, st: MatchState) -> Option<MatchState> {
+        if i >= self.fp.steps.len() {
+            return Some(st);
+        }
+        let FlowStep::Gap { when_not, span } = &self.fp.steps[i] else {
+            unreachable!("lowered steps alternate anchor/gap");
+        };
+        let FlowStep::Anchor(next) = &self.fp.steps[i + 1] else {
+            unreachable!("lowered steps end on an anchor");
+        };
+        let starts: Vec<NodeId> = self.cfg.succs(from).iter().map(|&(s, _)| s).collect();
+        let hits = walk_gap(
+            self.cfg,
+            &starts,
+            Quant::Forall,
+            &mut |m| {
+                self.stmt_at(m)
+                    .map(|s| {
+                        let mut probe = st.clone();
+                        matcher::match_stmt(self.ctx, next, s, &mut probe)
+                    })
+                    .unwrap_or(false)
+            },
+            &mut |m| when_not.is_empty() || !self.violates_when(m, when_not, &st),
+        )
+        .ok()?;
+        // Deterministic source order for binding and rewriting.
+        let mut hits = hits;
+        hits.sort_by_key(|&m| self.cfg.span(m).start);
+
+        let mut cur = st;
+        // Record the dots pair: the contiguous source region between the
+        // anchor and the earliest hit (paths may diverge across it; the
+        // pair only feeds dots re-rendering and insertion anchoring).
+        let from_end = self.stmt_at(from).map(|s| s.span().end).unwrap_or(0);
+        let first_hit = hits
+            .iter()
+            .map(|&m| self.cfg.span(m).start)
+            .min()
+            .unwrap_or(from_end);
+        let dots_src = if first_hit >= from_end {
+            Span::new(from_end, first_hit)
+        } else {
+            Span::empty(from_end)
+        };
+        cur.pairs.push(Pair {
+            pat: *span,
+            src: dots_src,
+            kind: PairKind::Dots,
+        });
+        // Bind every hit into the one match state (join-point
+        // reconciliation), then require the remaining steps to hold
+        // from each hit.
+        for m in hits {
+            let s = self.stmt_at(m)?;
+            let mut attempt = cur.clone();
+            if !matcher::match_stmt(self.ctx, next, s, &mut attempt) {
+                return None; // inconsistent bindings across paths
+            }
+            cur = self.advance(i + 2, m, attempt)?;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocci_cast::parser::{
+        parse_statements, parse_translation_unit, MetaKind, MetaLookup, NoMeta, ParseOptions,
+    };
+    use cocci_smpl::{MetaDecl, MetaDeclKind};
+    use std::collections::HashMap as Map;
+
+    struct DeclsLookup<'a>(&'a [MetaDecl]);
+    impl MetaLookup for DeclsLookup<'_> {
+        fn kind(&self, name: &str) -> Option<MetaKind> {
+            self.0
+                .iter()
+                .find(|d| d.name == name)
+                .map(|d| d.kind.parse_kind())
+        }
+    }
+
+    fn decls(list: &[(&str, MetaDeclKind)]) -> Vec<MetaDecl> {
+        list.iter()
+            .map(|(n, k)| MetaDecl {
+                name: n.to_string(),
+                kind: k.clone(),
+                constraint: None,
+                inherited_from: None,
+            })
+            .collect()
+    }
+
+    fn lowered(pat: &str, ds: &[MetaDecl]) -> Option<FlowPattern> {
+        let pats = parse_statements(pat, ParseOptions::pattern(), &DeclsLookup(ds)).unwrap();
+        lower_pattern(&pats)
+    }
+
+    fn flow_match(pat: &str, src: &str, ds: Vec<MetaDecl>) -> Vec<MatchState> {
+        let pats = parse_statements(pat, ParseOptions::pattern(), &DeclsLookup(&ds)).unwrap();
+        let fp = lower_pattern(&pats).expect("pattern lowers");
+        let tu = parse_translation_unit(src, ParseOptions::c(), &NoMeta).unwrap();
+        let regexes = Map::new();
+        let ctx = MatchCtx {
+            src,
+            decls: &ds,
+            regexes: &regexes,
+        };
+        find_flow_matches(&ctx, &fp, &pats, &tu, &Env::new())
+    }
+
+    #[test]
+    fn lowering_accepts_simple_alternation() {
+        let fp = lowered("a(); ... b();", &[]).unwrap();
+        assert_eq!(fp.steps.len(), 3);
+        assert!(matches!(fp.steps[1], FlowStep::Gap { .. }));
+        let fp = lowered("a(); ... b(); ... return;", &[]).unwrap();
+        assert_eq!(fp.steps.len(), 5);
+    }
+
+    #[test]
+    fn lowering_refuses_non_routable_shapes() {
+        // No interior dots.
+        assert!(lowered("a(); b();", &[]).is_none());
+        // Consecutive anchors around the dots.
+        assert!(lowered("a(); b(); ... c();", &[]).is_none());
+        // Compound anchor.
+        assert!(lowered("a(); ... while (x) { b(); }", &[]).is_none());
+        // Declarations keep the tree route (they can match top level).
+        assert!(lowered("int x = 0; ... b();", &[]).is_none());
+        // Statement metavariables keep the tree route too.
+        let ds = decls(&[("A", MetaDeclKind::Statement)]);
+        assert!(lowered("A ... b();", &ds).is_none());
+        // Guarded leading dots would lose their constraint.
+        assert!(lowered("... when != g() a(); ... b();", &[]).is_none());
+    }
+
+    #[test]
+    fn lowering_trims_window_padding_dots() {
+        let fp = lowered("... a(); ... b(); ...", &[]).unwrap();
+        assert_eq!(fp.steps.len(), 3);
+    }
+
+    #[test]
+    fn all_paths_refuses_early_return() {
+        let ms = flow_match(
+            "a(); ... b();",
+            "void f(int x) { a(); if (x) return; b(); }",
+            vec![],
+        );
+        assert!(ms.is_empty(), "escaping path must kill the match");
+    }
+
+    #[test]
+    fn cross_branch_hits_reconcile() {
+        let ds = decls(&[("e", MetaDeclKind::Expression)]);
+        let ms = flow_match(
+            "a(); ... b(e);",
+            "void f(int x) { a(); if (x) { b(1); } else { b(1); } done(); }",
+            ds,
+        );
+        assert_eq!(ms.len(), 1);
+        // Both hits recorded as pairs of the same pattern statement.
+        let stmt_pairs = ms[0]
+            .pairs
+            .iter()
+            .filter(|p| p.kind == PairKind::Stmt)
+            .count();
+        assert!(stmt_pairs >= 3, "anchor + two hits, got {stmt_pairs}");
+    }
+
+    #[test]
+    fn inconsistent_bindings_across_paths_refuse() {
+        let ds = decls(&[("e", MetaDeclKind::Expression)]);
+        let ms = flow_match(
+            "a(); ... b(e);",
+            "void f(int x) { a(); if (x) { b(1); } else { b(2); } done(); }",
+            ds,
+        );
+        assert!(ms.is_empty(), "e cannot bind both 1 and 2");
+    }
+
+    #[test]
+    fn when_not_checks_skipped_nodes_and_branch_conditions() {
+        // Violation inside a skipped simple statement.
+        let ms = flow_match(
+            "a(); ... when != g() b();",
+            "void f(void) { a(); g(); b(); }",
+            vec![],
+        );
+        assert!(ms.is_empty());
+        // Violation inside a skipped branch condition.
+        let ms = flow_match(
+            "a(); ... when != g() b();",
+            "void f(int x) { a(); if (g()) { x = 1; } b(); }",
+            vec![],
+        );
+        assert!(ms.is_empty());
+        // Clean gap matches.
+        let ms = flow_match(
+            "a(); ... when != g() b();",
+            "void f(void) { a(); mid(); b(); }",
+            vec![],
+        );
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn loop_body_hit_fails_zero_iteration_path() {
+        let ms = flow_match(
+            "a(); ... b();",
+            "void f(int n) { a(); while (n) { b(); } }",
+            vec![],
+        );
+        assert!(ms.is_empty(), "zero-iteration path escapes without b()");
+        let ms = flow_match(
+            "a(); ... b();",
+            "void f(int n) { a(); while (n) { step(); } b(); }",
+            vec![],
+        );
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn three_anchor_chain() {
+        let ms = flow_match(
+            "a(); ... b(); ... c();",
+            "void f(int x) { a(); if (x) { b(); } else { b(); } c(); }",
+            vec![],
+        );
+        assert_eq!(ms.len(), 1);
+        let ms = flow_match(
+            "a(); ... b(); ... c();",
+            "void f(int x) { a(); if (x) { b(); c(); } else { b(); } done(); }",
+            vec![],
+        );
+        assert!(ms.is_empty(), "else-branch b() never reaches c()");
+    }
+}

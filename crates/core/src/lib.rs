@@ -7,7 +7,10 @@
 //! 1. parse the target file with `cocci-cast`;
 //! 2. for each rule of the semantic patch (in order), honouring
 //!    `depends on` and inherited-metavariable seeding, find all matches of
-//!    the rule's pattern ([`matcher`]);
+//!    the rule's pattern — flow-sensitive rules (statement dots) go
+//!    through CFG path matching ([`flowmatch`], all-paths semantics over
+//!    `cocci-flow` graphs), everything else through the tree matcher
+//!    ([`matcher`]);
 //! 3. for each match, generate span edits from the rule body's `-`/`+`
 //!    annotations ([`rewrite`]);
 //! 4. splice all edits into the original text ([`edits`]), yielding a
@@ -35,6 +38,7 @@ pub mod corpus;
 pub mod driver;
 pub mod edits;
 pub mod env;
+pub mod flowmatch;
 pub mod matcher;
 pub mod orchestrate;
 pub mod report;
@@ -42,11 +46,13 @@ pub mod rewrite;
 
 pub use compile::CompiledPatch;
 pub use corpus::{
-    apply_to_corpus, BatchOptions, CorpusOptions, FileSource, IgnoreSet, MemorySource, WalkSource,
+    apply_to_corpus, apply_to_corpus_resumed, BatchOptions, CorpusOptions, FileSource, IgnoreSet,
+    MemorySource, WalkSource,
 };
-pub use driver::{apply_batch, apply_to_files, FileOutcome};
+pub use driver::{apply_batch, apply_batch_opts, apply_to_files, ExecOptions, FileOutcome};
 pub use edits::{Edit, EditConflict, EditSet};
 pub use env::{Env, ExportedEnv, Value};
+pub use flowmatch::{FlowPattern, FlowSearch, FlowStep};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
-pub use report::{ApplyReport, FileReport, FileStatus};
+pub use report::{content_hash, ApplyReport, FileReport, FileStatus};

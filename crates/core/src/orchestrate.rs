@@ -39,6 +39,27 @@ use std::sync::Arc;
 pub struct ApplyError {
     /// Description.
     pub message: String,
+    /// The file exceeded its per-file time budget (recorded as a
+    /// `timeout` outcome by the driver, not a hard error).
+    pub timed_out: bool,
+}
+
+impl ApplyError {
+    /// An ordinary (non-timeout) apply error.
+    pub fn new(message: impl Into<String>) -> ApplyError {
+        ApplyError {
+            message: message.into(),
+            timed_out: false,
+        }
+    }
+
+    /// A per-file time-budget violation.
+    pub fn timeout(message: impl Into<String>) -> ApplyError {
+        ApplyError {
+            message: message.into(),
+            timed_out: true,
+        }
+    }
 }
 
 impl fmt::Display for ApplyError {
@@ -50,9 +71,7 @@ impl fmt::Display for ApplyError {
 impl std::error::Error for ApplyError {}
 
 fn aerr(message: impl Into<String>) -> ApplyError {
-    ApplyError {
-        message: message.into(),
-    }
+    ApplyError::new(message)
 }
 
 /// Statistics from one application.
@@ -76,6 +95,14 @@ pub struct Patcher {
     compiled: Arc<CompiledPatch>,
     /// Statistics of the most recent `apply` call.
     pub last_stats: ApplyStats,
+    /// Route flow-sensitive rules (statement dots) through the CFG path
+    /// engine. On by default; `spatch --no-flow` and benchmarks clear it
+    /// to get the legacy tree-sequence reading of dots.
+    pub flow_enabled: bool,
+    /// Per-file wall-clock budget, checked at rule boundaries. A file
+    /// over budget aborts with a timeout error instead of stalling the
+    /// corpus run.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Patcher {
@@ -94,6 +121,8 @@ impl Patcher {
         Patcher {
             compiled,
             last_stats: ApplyStats::default(),
+            flow_enabled: true,
+            time_budget: None,
         }
     }
 
@@ -105,6 +134,7 @@ impl Patcher {
     /// Apply the patch to one file. Returns `Ok(Some(text))` when edits
     /// were made, `Ok(None)` when nothing matched.
     pub fn apply(&mut self, name: &str, src: &str) -> Result<Option<String>, ApplyError> {
+        let t0 = std::time::Instant::now();
         let opts = ParseOptions {
             pattern: false,
             lang: self.compiled.patch.lang,
@@ -124,6 +154,18 @@ impl Patcher {
         // conflict with the `&self` borrows of the helper methods.
         let compiled = Arc::clone(&self.compiled);
         for (ri, rule) in compiled.patch.rules.iter().enumerate() {
+            // Per-file time budget, checked at rule boundaries so a
+            // pathological file aborts between rules instead of stalling
+            // the whole corpus run.
+            if let Some(budget) = self.time_budget {
+                if t0.elapsed() >= budget {
+                    return Err(ApplyError::timeout(format!(
+                        "{name}: exceeded per-file time budget ({} ms) before rule {}",
+                        budget.as_millis(),
+                        rule.name().unwrap_or("<anonymous>"),
+                    )));
+                }
+            }
             match rule {
                 Rule::Initialize(b) => {
                     interp
@@ -330,11 +372,26 @@ impl Patcher {
             regexes: &self.compiled.rules[ri].regexes,
         };
 
+        // Flow-sensitive rules route through the CFG path engine
+        // (all-paths dots semantics); everything else — and every rule
+        // when `--no-flow` cleared `flow_enabled` — stays on the tree
+        // matcher. The search (per-function CFGs + span indexes) is
+        // built once and reused across all seed environments.
+        let flow_search = match (&self.compiled.rules[ri].flow, &t.body.pattern) {
+            (Some(fp), Pattern::Stmts(pats)) if self.flow_enabled => {
+                Some(crate::flowmatch::FlowSearch::new(fp, pats, tu))
+            }
+            _ => None,
+        };
+
         let mut all_matches: Vec<MatchState> = Vec::new();
         let mut new_streams: Vec<ExportedEnv> = Vec::new();
         let mut claimed: Vec<Span> = Vec::new();
         for (ex, seed) in &seeds {
-            let mut found = find_matches(&ctx, &t.body.pattern, tu, seed);
+            let mut found = match &flow_search {
+                Some(fs) => fs.find(&ctx, seed),
+                None => find_matches(&ctx, &t.body.pattern, tu, seed),
+            };
             for m in &mut found {
                 // Fresh identifiers computed per match.
                 for mv in &t.metavars {
@@ -535,7 +592,7 @@ pub fn find_matches(
     out
 }
 
-fn collect_seq_matches(
+pub(crate) fn collect_seq_matches(
     ctx: &MatchCtx,
     pats: &[Stmt],
     srcs: &[Stmt],

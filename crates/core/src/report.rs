@@ -21,17 +21,21 @@ pub enum FileStatus {
     Matched,
     /// Edits were produced; `FileOutcome::output` holds the new text.
     Changed,
+    /// Exceeded the per-file time budget (`--timeout-ms`); abandoned at
+    /// a rule boundary so the corpus run could move on.
+    Timeout,
     /// Failed (parse error, edit conflict, unreadable file).
     Error,
 }
 
 impl FileStatus {
     /// All statuses, in display order.
-    pub const ALL: [FileStatus; 5] = [
+    pub const ALL: [FileStatus; 6] = [
         FileStatus::Pruned,
         FileStatus::Unmatched,
         FileStatus::Matched,
         FileStatus::Changed,
+        FileStatus::Timeout,
         FileStatus::Error,
     ];
 
@@ -42,6 +46,7 @@ impl FileStatus {
             FileStatus::Unmatched => "unmatched",
             FileStatus::Matched => "matched",
             FileStatus::Changed => "changed",
+            FileStatus::Timeout => "timeout",
             FileStatus::Error => "error",
         }
     }
@@ -58,6 +63,17 @@ impl fmt::Display for FileStatus {
     }
 }
 
+/// FNV-1a hash of a file's text — the content identity `--resume` uses
+/// to skip unchanged files across runs.
+pub fn content_hash(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Per-file entry of an apply report.
 #[derive(Debug, Clone)]
 pub struct FileReport {
@@ -69,14 +85,20 @@ pub struct FileReport {
     pub matches: usize,
     /// Wall-clock seconds spent on this file.
     pub seconds: f64,
-    /// Error message when `status` is [`FileStatus::Error`].
+    /// FNV-1a hash of the original file text (0 = unknown, e.g. an
+    /// unreadable file); lets `--resume` skip unchanged files.
+    pub hash: u64,
+    /// Error message when `status` is [`FileStatus::Error`] or
+    /// [`FileStatus::Timeout`].
     pub error: Option<String>,
 }
 
 impl FileReport {
     /// Classify a driver outcome.
     pub fn from_outcome(o: &FileOutcome) -> FileReport {
-        let status = if o.error.is_some() {
+        let status = if o.timed_out {
+            FileStatus::Timeout
+        } else if o.error.is_some() {
             FileStatus::Error
         } else if o.pruned {
             FileStatus::Pruned
@@ -92,6 +114,7 @@ impl FileReport {
             status,
             matches: o.matches,
             seconds: o.seconds,
+            hash: o.hash,
             error: o.error.clone(),
         }
     }
@@ -102,10 +125,19 @@ impl FileReport {
 pub struct ApplyReport {
     /// Semantic-patch identifier (the `--sp-file` path, typically).
     pub patch: String,
+    /// [`content_hash`] of the semantic-patch *text* (0 = unknown, as
+    /// in reports from older builds). `--resume` refuses a previous
+    /// report whose patch hash does not match the current patch —
+    /// including the unknown case: skipping "unchanged" files is only
+    /// sound against the very same patch.
+    pub patch_hash: u64,
     /// Worker threads used (0 = all cores at run time).
     pub threads: usize,
     /// Whether the prefilter was enabled.
     pub prefilter: bool,
+    /// Files skipped by `--resume` because their content hash matched
+    /// the previous report (their entries carry the copied status).
+    pub resumed: usize,
     /// Total wall-clock seconds for the run.
     pub total_seconds: f64,
     /// Per-file entries, in processing order.
@@ -142,10 +174,12 @@ impl ApplyReport {
         let mut out = String::from("{\n");
         let _ = write!(
             out,
-            "  \"patch\": {},\n  \"threads\": {},\n  \"prefilter\": {},\n  \"total_seconds\": {:e},\n  \"counts\": {{",
+            "  \"patch\": {},\n  \"patch_hash\": \"{:016x}\",\n  \"threads\": {},\n  \"prefilter\": {},\n  \"resumed\": {},\n  \"total_seconds\": {:e},\n  \"counts\": {{",
             json::escape(&self.patch),
+            self.patch_hash,
             self.threads,
             self.prefilter,
+            self.resumed,
             self.total_seconds
         );
         for (i, s) in FileStatus::ALL.into_iter().enumerate() {
@@ -161,13 +195,16 @@ impl ApplyReport {
             if i > 0 {
                 out.push(',');
             }
+            // The hash rides as a hex string: u64 does not survive the
+            // f64 number path of the minimal JSON parser.
             let _ = write!(
                 out,
-                "\n    {{\"name\": {}, \"status\": \"{}\", \"matches\": {}, \"seconds\": {:e}",
+                "\n    {{\"name\": {}, \"status\": \"{}\", \"matches\": {}, \"seconds\": {:e}, \"hash\": \"{:016x}\"",
                 json::escape(&f.name),
                 f.status,
                 f.matches,
-                f.seconds
+                f.seconds,
+                f.hash
             );
             if let Some(e) = &f.error {
                 let _ = write!(out, ", \"error\": {}", json::escape(e));
@@ -187,6 +224,11 @@ impl ApplyReport {
             .and_then(json::Value::as_str)
             .ok_or("report: missing \"patch\"")?
             .to_string();
+        let patch_hash = obj
+            .get("patch_hash")
+            .and_then(json::Value::as_str)
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .unwrap_or(0);
         let threads = obj
             .get("threads")
             .and_then(json::Value::as_f64)
@@ -199,6 +241,10 @@ impl ApplyReport {
             .get("total_seconds")
             .and_then(json::Value::as_f64)
             .unwrap_or(0.0);
+        let resumed = obj
+            .get("resumed")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(0.0) as usize;
         let mut files = Vec::new();
         for fv in obj
             .get("files")
@@ -224,6 +270,11 @@ impl ApplyReport {
                 .get("seconds")
                 .and_then(json::Value::as_f64)
                 .unwrap_or(0.0);
+            let hash = fo
+                .get("hash")
+                .and_then(json::Value::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or(0);
             let error = fo
                 .get("error")
                 .and_then(json::Value::as_str)
@@ -233,13 +284,16 @@ impl ApplyReport {
                 status,
                 matches,
                 seconds,
+                hash,
                 error,
             });
         }
         Ok(ApplyReport {
             patch,
+            patch_hash,
             threads,
             prefilter,
+            resumed,
             total_seconds,
             files,
         })
@@ -496,8 +550,10 @@ mod tests {
     fn sample() -> ApplyReport {
         ApplyReport {
             patch: "p.cocci".into(),
+            patch_hash: content_hash("@@ @@\n- a();\n"),
             threads: 4,
             prefilter: true,
+            resumed: 1,
             total_seconds: 0.25,
             files: vec![
                 FileReport {
@@ -505,6 +561,7 @@ mod tests {
                     status: FileStatus::Changed,
                     matches: 3,
                     seconds: 1e-4,
+                    hash: 0xDEADBEEFCAFE0123,
                     error: None,
                 },
                 FileReport {
@@ -512,13 +569,23 @@ mod tests {
                     status: FileStatus::Pruned,
                     matches: 0,
                     seconds: 2e-6,
+                    hash: content_hash("void f(void) {}\n"),
                     error: None,
+                },
+                FileReport {
+                    name: "slow.c".into(),
+                    status: FileStatus::Timeout,
+                    matches: 0,
+                    seconds: 1.0,
+                    hash: 7,
+                    error: Some("exceeded per-file time budget".into()),
                 },
                 FileReport {
                     name: "bad.c".into(),
                     status: FileStatus::Error,
                     matches: 0,
                     seconds: 5e-5,
+                    hash: 0,
                     error: Some("cannot parse \"target\"".into()),
                 },
             ],
@@ -539,18 +606,39 @@ mod tests {
         }
         assert_eq!(back.files[0].matches, 3);
         assert_eq!(
-            back.files[2].error.as_deref(),
+            back.files[3].error.as_deref(),
             Some("cannot parse \"target\"")
         );
+        // Hashes and the resumed count survive the round trip exactly.
+        assert_eq!(back.resumed, 1);
+        assert_eq!(back.patch_hash, r.patch_hash);
+        assert_eq!(back.files[0].hash, 0xDEADBEEFCAFE0123);
+        assert_eq!(back.files[1].hash, r.files[1].hash);
+        assert_eq!(back.files[3].hash, 0);
+        assert_eq!(back.files[2].status, FileStatus::Timeout);
     }
 
     #[test]
     fn counts_and_rates() {
         let r = sample();
         assert_eq!(r.count(FileStatus::Changed), 1);
+        assert_eq!(r.count(FileStatus::Timeout), 1);
         assert_eq!(r.count(FileStatus::Unmatched), 0);
-        assert!((r.prune_rate() - 1.0 / 3.0).abs() < 1e-9);
-        assert!(r.summary().contains("3 file(s)"));
+        assert!((r.prune_rate() - 1.0 / 4.0).abs() < 1e-9);
+        assert!(r.summary().contains("4 file(s)"));
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        assert_eq!(content_hash(""), 0xcbf29ce484222325);
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+        // Reports written without a hash field (older runs) parse as 0.
+        let legacy = r#"{"patch": "p", "threads": 1, "prefilter": false,
+            "files": [{"name": "x.c", "status": "unmatched", "matches": 0, "seconds": 0}]}"#;
+        let back = ApplyReport::from_json(legacy).unwrap();
+        assert_eq!(back.files[0].hash, 0);
+        assert_eq!(back.resumed, 0);
     }
 
     #[test]

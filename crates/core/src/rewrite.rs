@@ -229,21 +229,39 @@ impl<'a> Rewriter<'a> {
         "...".to_string()
     }
 
-    /// Replace the source span paired with pattern span `pat_span` by the
-    /// re-rendered element.
+    /// Distinct source spans paired with `pat_span`, in pair order. CFG
+    /// path matches can pair one pattern statement with several source
+    /// sites (a hit on each branch of a join); tree matches pair one.
+    fn distinct_srcs(&self, pat_span: Span) -> Vec<Span> {
+        let mut out: Vec<Span> = Vec::new();
+        for s in self.st.srcs_for(pat_span) {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Replace every source span paired with pattern span `pat_span` by
+    /// the re-rendered element (all paired sites get the same
+    /// replacement — they matched under one shared environment).
     fn replace_element(
         &self,
         pat_span: Span,
         newline_join: bool,
         edits: &mut EditSet,
     ) -> Result<(), String> {
-        let src_span = self
-            .st
-            .src_for(pat_span)
-            .ok_or_else(|| format!("no source correspondence for pattern span {pat_span}"))?;
+        let srcs = self.distinct_srcs(pat_span);
+        if srcs.is_empty() {
+            return Err(format!(
+                "no source correspondence for pattern span {pat_span}"
+            ));
+        }
         let (lo, hi) = self.line_range(pat_span);
         let replacement = self.render_lines(lo, hi, newline_join);
-        edits.replace(src_span, replacement);
+        for src_span in srcs {
+            edits.replace(src_span, replacement.clone());
+        }
         Ok(())
     }
 
@@ -341,27 +359,31 @@ impl<'a> Rewriter<'a> {
                 is_replacement_target(i) && deletable(i) && !replaced_elems.contains(&i)
             });
             if let Some(i) = target {
-                if let Some(src_span) = self.st.src_for(spans[i]) {
-                    let indent = line_indent(self.src, src_span.start);
-                    let mut lines = Vec::new();
-                    for idx in g.lines.0..g.lines.1 {
-                        lines.push(self.substitute_line(idx).trim().to_string());
+                let srcs = self.distinct_srcs(spans[i]);
+                if !srcs.is_empty() {
+                    for src_span in srcs {
+                        let indent = line_indent(self.src, src_span.start);
+                        let mut lines = Vec::new();
+                        for idx in g.lines.0..g.lines.1 {
+                            lines.push(self.substitute_line(idx).trim().to_string());
+                        }
+                        let replacement = lines.join(&format!("\n{indent}"));
+                        edits.replace(src_span, replacement);
                     }
-                    let replacement = lines.join(&format!("\n{indent}"));
-                    edits.replace(src_span, replacement);
                     replaced_elems.push(i);
                     claimed_groups.push(gi);
                 }
             }
         }
 
-        // Pass B: delete remaining all-minus elements.
+        // Pass B: delete remaining all-minus elements (every paired
+        // source site — path matches may pair several).
         for (i, sp) in spans.iter().enumerate() {
             if replaced_elems.contains(&i) || !deletable(i) {
                 continue;
             }
             if self.all_minus(*sp) && !self.body.span_has_interior_plus(*sp) {
-                if let Some(src_span) = self.st.src_for(*sp) {
+                for src_span in self.distinct_srcs(*sp) {
                     edits.delete(expand_to_full_lines(self.src, src_span));
                 }
             }

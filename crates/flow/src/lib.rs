@@ -7,12 +7,21 @@
 //! and the experiment harness use — reachability, dominators, and natural
 //! loop detection (loop headers are where most HPC patches anchor:
 //! instrumentation, unroll removal, Kokkos conversion).
+//!
+//! The path layer adds quantified path traversal: [`walk_gap`] is the
+//! CTL-ish core `cocci-core`'s `flowmatch` module uses to give
+//! statement dots their faithful "along every control-flow path"
+//! semantics, and [`step_successors`] (join-transparent stepping) is
+//! the primitive the ROADMAP's compound-anchor/`AX` slices will build
+//! on.
 
 mod build;
 mod graph;
+mod path;
 
 pub use build::build_cfg;
 pub use graph::{Cfg, EdgeKind, NodeId, NodeKind};
+pub use path::{step_successors, walk_gap, GapFailure, Quant};
 
 use std::collections::VecDeque;
 

@@ -73,6 +73,25 @@ pub enum Pattern {
     Items(Vec<Item>),
 }
 
+impl Pattern {
+    /// Whether the pattern contains `...` between statements at the top
+    /// level of its sequence — the construct whose faithful (CTL)
+    /// semantics is "along every control-flow path" rather than "some
+    /// gap in the statement list". Rules with such a pattern are
+    /// *flow-sensitive*: the engine routes them through CFG path
+    /// matching when it can lower them (see `cocci-core`'s `flowmatch`).
+    ///
+    /// Dots nested inside a braced sub-block (the LIKWID-style
+    /// `{ ... }` body) are matched per-block by the tree matcher and do
+    /// not mark the rule.
+    pub fn has_statement_dots(&self) -> bool {
+        match self {
+            Pattern::Stmts(stmts) => stmts.iter().any(|s| matches!(s, Stmt::Dots { .. })),
+            Pattern::Expr(_) | Pattern::Items(_) => false,
+        }
+    }
+}
+
 /// A processed rule body.
 #[derive(Debug, Clone)]
 pub struct RuleBody {
@@ -381,6 +400,18 @@ mod tests {
         assert!(!body.span_all_minus(whole));
         let minus_line = cocci_source::Span::new(7, 15);
         assert!(body.span_all_minus(minus_line));
+    }
+
+    #[test]
+    fn statement_dots_mark_flow_sensitivity() {
+        let flow = RuleBody::new("a();\n...\nb();", None, &[], Lang::C).unwrap();
+        assert!(flow.pattern.has_statement_dots());
+        // Dots nested inside a braced sub-block stay tree territory.
+        let nested = RuleBody::new("#pragma omp ...\n{\n...\n}", None, &[], Lang::C).unwrap();
+        assert!(!nested.pattern.has_statement_dots());
+        // Expression-level dots are not statement dots.
+        let expr = RuleBody::new("f(...)", None, &[], Lang::C).unwrap();
+        assert!(!expr.pattern.has_statement_dots());
     }
 
     #[test]

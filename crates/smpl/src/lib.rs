@@ -109,6 +109,14 @@ impl TransformRule {
     pub fn metavar(&self, name: &str) -> Option<&MetaDecl> {
         self.metavars.iter().find(|m| m.name == name)
     }
+
+    /// Whether the rule's pattern is flow-sensitive: it contains `...`
+    /// in statement position, whose faithful semantics ("along every
+    /// control-flow path") needs CFG path matching rather than
+    /// tree-sequence gaps. See [`Pattern::has_statement_dots`].
+    pub fn is_flow_sensitive(&self) -> bool {
+        self.body.pattern.has_statement_dots()
+    }
 }
 
 /// Kinds of metavariable declarations.

@@ -1,7 +1,8 @@
 //! Coverage tests for pattern constructs not exercised by the paper's
 //! use cases: ternary patterns, initializer lists, kernel-launch dots,
 //! expression disjunction with rewrites, switch/case matching, labels,
-//! and C++ range-for patterns.
+//! C++ range-for patterns, and statement dots over control flow
+//! (all-paths CFG semantics vs the legacy tree-sequence reading).
 
 use cocci_core::Patcher;
 use cocci_smpl::parse_semantic_patch;
@@ -11,6 +12,110 @@ fn apply(patch: &str, target: &str) -> Option<String> {
     let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("compile: {e}"));
     p.apply("t.c", target)
         .unwrap_or_else(|e| panic!("apply: {e}"))
+}
+
+/// Like [`apply`], but with CFG flow routing forced on or off — the
+/// tree/flow disagreement tests below use both sides.
+fn apply_flow(patch: &str, target: &str, flow: bool) -> Option<String> {
+    let sp = parse_semantic_patch(patch).unwrap_or_else(|e| panic!("patch parse: {e}"));
+    let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("compile: {e}"));
+    p.flow_enabled = flow;
+    p.apply("t.c", target)
+        .unwrap_or_else(|e| panic!("apply: {e}"))
+}
+
+const PROBE_PATCH: &str = r#"
+@@
+expression b;
+@@
+- probe_begin(b);
++ probe_enter(b);
+...
+probe_end(b);
+"#;
+
+#[test]
+fn dots_match_across_if_else_join() {
+    // probe_end sits in *both* arms of the branch: every path reaches
+    // it, so the CFG engine matches — the tree matcher cannot see a
+    // sequence [probe_begin; ...; probe_end] in any single block and
+    // wrongly refuses.
+    let src = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x) {\n        work(q);\n        probe_end(q);\n    } else {\n        probe_end(q);\n    }\n    done();\n}\n";
+    let out = apply(PROBE_PATCH, src).expect("all paths reach probe_end");
+    assert!(out.contains("probe_enter(q);"), "{out}");
+    assert!(
+        apply_flow(PROBE_PATCH, src, false).is_none(),
+        "tree matcher misses the cross-branch pair"
+    );
+}
+
+#[test]
+fn dots_refuse_early_return_where_tree_overmatches() {
+    // The acceptance disagreement case: a path escapes through `return`
+    // without reaching probe_end. The tree matcher absorbs the whole
+    // `if (x) return;` into the dots and matches anyway — the CFG
+    // engine's refusal is the correct (all-paths) answer and is what
+    // the default configuration produces.
+    let src = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x)\n        return;\n    probe_end(q);\n}\n";
+    assert!(
+        apply(PROBE_PATCH, src).is_none(),
+        "default (CFG) semantics must refuse the escaping path"
+    );
+    assert!(
+        apply_flow(PROBE_PATCH, src, false).is_some(),
+        "tree semantics over-matches, demonstrating the disagreement"
+    );
+}
+
+#[test]
+fn dots_across_loop_reach_join_after_exit() {
+    // All paths leave the loop eventually (loop cut-points) and reach
+    // probe_end after it.
+    let src = "void f(int n, double *q) {\n    probe_begin(q);\n    while (n > 0) {\n        step(q);\n        n = n - 1;\n    }\n    probe_end(q);\n}\n";
+    let out = apply(PROBE_PATCH, src).unwrap();
+    assert!(out.contains("probe_enter(q);"), "{out}");
+    // But a probe_end only *inside* the loop body does not hold on the
+    // zero-iteration path.
+    let src2 = "void f(int n, double *q) {\n    probe_begin(q);\n    while (n > 0) {\n        probe_end(q);\n        n = n - 1;\n    }\n}\n";
+    assert!(apply(PROBE_PATCH, src2).is_none());
+}
+
+#[test]
+fn dots_refuse_break_escape_inside_loop() {
+    // Inside the loop body, the `break` path leaves the loop and exits
+    // the function without passing probe_end.
+    let src = "void f(int n, double *q) {\n    while (n > 0) {\n        probe_begin(q);\n        if (n == 2)\n            break;\n        probe_end(q);\n        n = n - 1;\n    }\n}\n";
+    assert!(apply(PROBE_PATCH, src).is_none(), "break path escapes");
+    let src_ok = "void f(int n, double *q) {\n    while (n > 0) {\n        probe_begin(q);\n        probe_end(q);\n        n = n - 1;\n    }\n}\n";
+    assert!(apply(PROBE_PATCH, src_ok).is_some());
+}
+
+#[test]
+fn dots_when_not_holds_on_every_path() {
+    let patch = r#"
+@@
+expression b;
+@@
+- probe_begin(b);
++ probe_enter(b);
+... when != reset(b)
+probe_end(b);
+"#;
+    // Clean on the straight line…
+    let ok = "void f(double *q) {\n    probe_begin(q);\n    mid(q);\n    probe_end(q);\n}\n";
+    assert!(apply(patch, ok).is_some());
+    // …but a reset on *one* branch poisons that path.
+    let bad = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x) {\n        reset(q);\n    }\n    probe_end(q);\n}\n";
+    assert!(apply(patch, bad).is_none());
+}
+
+#[test]
+fn dots_join_requires_consistent_bindings() {
+    // Metavariable environments are reconciled at the join: the two
+    // paths bind `b` to different expressions, so no single match
+    // survives.
+    let src = "void f(int x) {\n    probe_begin(p);\n    if (x) {\n        probe_end(p);\n    } else {\n        probe_end(r);\n    }\n}\n";
+    assert!(apply(PROBE_PATCH, src).is_none());
 }
 
 #[test]
