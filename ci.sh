@@ -7,6 +7,11 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+# Created up front so the CI workflow's always-run baseline-save step has
+# a path to save even when an early phase (build/tests/clippy) fails.
+BENCH_BASELINE_DIR="${BENCH_BASELINE_DIR:-target/bench-baseline}"
+mkdir -p "$BENCH_BASELINE_DIR"
+
 echo "== tier-1: release build =="
 cargo build --release --workspace --locked
 
@@ -19,21 +24,79 @@ cargo fmt --all --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --locked -- -D warnings
 
+# Bench trend tracking: each fresh BENCH_*.json is compared against the
+# previous run's artifact (kept under $BENCH_BASELINE_DIR) and the build
+# fails on a wall-clock regression beyond the budget (min AND median of
+# the samples both over); the fresh artifact then becomes the next
+# baseline. First runs just seed it.
+BENCH_TREND_MAX_PCT="${BENCH_TREND_MAX_PCT:-25}"
+BENCH_SAMPLES="${BENCH_SAMPLES:-10}"
+export BENCH_SAMPLES
+# Trend failures are collected and reported once at the end (instead of
+# letting set -e abort on the first one) so every bench still runs and
+# reseeds its baseline; the fresh artifact always becomes the next
+# baseline — even on a regression — so a spurious (noise/codegen-drift)
+# red run self-heals on the next push instead of wedging CI. An
+# over-budget first reading gets one confirmation re-run before it
+# counts: a genuine regression reproduces, a scheduler burst does not.
+TREND_FAILURES=""
+trend_check() {
+  # bench_trend exits 1 on a confirmed regression, 3 on an unreadable
+  # *baseline* (e.g. truncated by a cancelled run; just reseeds), and
+  # 2/4 on a bad threshold or fresh artifact (a real failure).
+  local name="$1" fresh="target/BENCH_$1.json" rc=0
+  if [ -s "$BENCH_BASELINE_DIR/BENCH_$name.json" ]; then
+    cargo run --release -q -p cocci-bench --bin bench_trend --locked -- \
+      "$BENCH_BASELINE_DIR/BENCH_$name.json" "$fresh" "$BENCH_TREND_MAX_PCT" || rc=$?
+    if [ "$rc" -eq 1 ]; then
+      echo "trend: $name over budget; re-running once to confirm"
+      cargo bench --bench "$name" --locked
+      rc=0
+      cargo run --release -q -p cocci-bench --bin bench_trend --locked -- \
+        "$BENCH_BASELINE_DIR/BENCH_$name.json" "$fresh" "$BENCH_TREND_MAX_PCT" || rc=$?
+      if [ "$rc" -eq 1 ]; then
+        TREND_FAILURES="$TREND_FAILURES $name"
+      fi
+    fi
+    if [ "$rc" -eq 3 ]; then
+      # Only a *baseline*-side failure (e.g. truncated by a cancelled
+      # run) reseeds quietly; a bad fresh artifact, bad threshold, or
+      # infrastructure failure (cargo 101, OOM 137, …) must not pass
+      # silently as a reseed.
+      echo "trend: baseline for $name unusable (bench_trend exit 3); reseeding"
+    elif [ "$rc" -ne 0 ] && [ "$rc" -ne 1 ]; then
+      echo "trend: bench_trend failed for $name (exit $rc)"
+      TREND_FAILURES="$TREND_FAILURES $name"
+    fi
+  else
+    echo "trend: no baseline for $name yet; seeding from this run"
+  fi
+  cp "$fresh" "$BENCH_BASELINE_DIR/"
+}
+
 echo "== E1 bench smoke (short samples, JSON to target/) =="
-BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench uc_matrix --locked
+cargo bench --bench uc_matrix --locked
 test -s target/BENCH_uc_matrix.json
+trend_check uc_matrix
 echo "ok: target/BENCH_uc_matrix.json written"
 
 echo "== prefilter bench smoke (hit-rate trend, JSON to target/) =="
-BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench prefilter --locked
+cargo bench --bench prefilter --locked
 test -s target/BENCH_prefilter.json
 grep -q prefilter_hit_rate target/BENCH_prefilter.json
+trend_check prefilter
 echo "ok: target/BENCH_prefilter.json written (hit rates recorded)"
 
 echo "== cfg_match bench smoke (tree vs CFG dots, JSON to target/) =="
-BENCH_SAMPLES="${BENCH_SAMPLES:-3}" cargo bench --bench cfg_match --locked
+cargo bench --bench cfg_match --locked
 test -s target/BENCH_cfg_match.json
 grep -q cfg_overhead target/BENCH_cfg_match.json
-echo "ok: target/BENCH_cfg_match.json written (overhead metric recorded)"
+grep -q witnesses target/BENCH_cfg_match.json
+trend_check cfg_match
+echo "ok: target/BENCH_cfg_match.json written (overhead + witness metrics recorded)"
 
+if [ -n "$TREND_FAILURES" ]; then
+  echo "bench trend: wall-clock regressions in:$TREND_FAILURES (budget ${BENCH_TREND_MAX_PCT}%)"
+  exit 1
+fi
 echo "CI green."

@@ -11,20 +11,30 @@
 //!   where the two semantics *disagree*. The per-engine match counts
 //!   land as metrics (`matches/tree`, `matches/flow`) so the semantic
 //!   gap is visible in the trend data, alongside both timings.
+//! * **forked** — every function binds a metavariable differently in
+//!   the two arms of a branch, so the path engine forks per-path
+//!   witnesses; the witness total lands as `witnesses/forked` and the
+//!   timing prices the forking machinery.
 //!
-//! The measured rule is the canonical instrumentation pair:
-//! `probe_begin(b); ... probe_end(b);` with an edit on the opening
-//! anchor.
+//! The measured rules are the canonical instrumentation pair
+//! `probe_begin(b); ... probe_end(b);` (with an edit on the opening
+//! anchor) and, for the forked corpus,
+//! `checkpoint(); ... commit(e);` (with an edit on the commit anchor).
 
 use cocci_bench::timing::{Harness, Throughput};
 use cocci_core::{apply_batch_opts, CompiledPatch, ExecOptions};
 use cocci_smpl::parse_semantic_patch;
-use cocci_workloads::gen::{branchy_codebase, linear_probe_codebase, CodebaseSpec};
+use cocci_workloads::gen::{
+    branchy_codebase, forked_commit_codebase, linear_probe_codebase, CodebaseSpec,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
 const PROBE_PATCH: &str =
     "@@\nexpression b;\n@@\n- probe_begin(b);\n+ probe_enter(b);\n...\nprobe_end(b);\n";
+
+const FORK_PATCH: &str =
+    "@@\nexpression e;\n@@\ncheckpoint();\n...\n- commit(e);\n+ commit_logged(e);\n";
 
 fn total_matches(outcomes: &[cocci_core::FileOutcome]) -> usize {
     outcomes.iter().map(|o| o.matches).sum()
@@ -115,6 +125,28 @@ fn main() {
         "branchy",
         Throughput::Bytes(bbytes as u64),
         || apply_batch_opts(&compiled, &branchy, &flow),
+    );
+
+    // Witness forking: a corpus whose every branch binds the commit
+    // metavariable differently per arm, so each function forks one
+    // witness per path — prices the forking machinery and records the
+    // witness volume as a trend metric.
+    let forked: Vec<(String, String)> = forked_commit_codebase(&spec)
+        .into_iter()
+        .map(|f| (f.name, f.text))
+        .collect();
+    let fork_patch = parse_semantic_patch(FORK_PATCH).expect("fork patch");
+    let fork_compiled = Arc::new(CompiledPatch::compile(&fork_patch).expect("compile"));
+    let fork_out = apply_batch_opts(&fork_compiled, &forked, &flow);
+    let witnesses: usize = fork_out.iter().map(|o| o.witnesses).sum();
+    h.metric("witnesses", "forked", witnesses as f64);
+    h.metric("matches", "forked", total_matches(&fork_out) as f64);
+    let fbytes: usize = forked.iter().map(|(_, t)| t.len()).sum();
+    h.bench(
+        "flow_dots",
+        "forked",
+        Throughput::Bytes(fbytes as u64),
+        || apply_batch_opts(&fork_compiled, &forked, &flow),
     );
     h.finish().expect("write BENCH_cfg_match.json");
 }

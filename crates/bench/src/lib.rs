@@ -12,6 +12,7 @@
 //! | `aos_soa`   | E4         | AoS vs SoA particle-update throughput |
 
 pub mod timing;
+pub mod trend;
 
 use cocci_workloads::gen::{self, CodebaseSpec, GeneratedFile};
 

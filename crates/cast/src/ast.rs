@@ -293,6 +293,26 @@ pub struct Block {
     pub span: Span,
 }
 
+/// Path quantifier on statement dots, from the `when` modifiers.
+///
+/// Statement dots quantify over control-flow paths; the modifier picks
+/// the quantifier the CFG engine discharges the gap with. `Default` and
+/// `Strict` both demand every path (CTL `AF`); `strict` is the explicit
+/// spelling (upstream Coccinelle additionally relaxes error-exit paths
+/// in the default reading — this engine does not model error exits, so
+/// the two coincide here). `Exists` (`when exists`) demands only some
+/// path (`EF`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DotsQuant {
+    /// No modifier: all paths.
+    #[default]
+    Default,
+    /// `when exists`: some path suffices.
+    Exists,
+    /// `when strict`: all paths, spelled out.
+    Strict,
+}
+
 /// A statement.
 #[derive(Debug, Clone)]
 pub enum Stmt {
@@ -432,6 +452,8 @@ pub enum Stmt {
         /// `when != e` constraints: the skipped statements must not
         /// contain an occurrence of any of these expressions.
         when_not: Vec<Expr>,
+        /// Path quantifier from `when exists` / `when strict`.
+        quant: DotsQuant,
     },
     /// Pattern-only: a `statement` metavariable occurrence, optionally
     /// with a position attachment (`fc@p`).

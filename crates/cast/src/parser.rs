@@ -1136,10 +1136,27 @@ impl<'a> Parser<'a> {
                 // Optional `when` constraints on the dots:
                 //   when != expr    (skipped code must not contain expr)
                 //   when any        (explicitly unconstrained)
+                //   when exists     (some path suffices — EF)
+                //   when strict     (all paths, spelled out — AF)
                 let mut when_not = Vec::new();
+                let mut quant = DotsQuant::Default;
                 while self.peek_kw("when") {
                     self.bump();
-                    if self.eat_kw("any") || self.eat_kw("exists") || self.eat_kw("strict") {
+                    if self.eat_kw("any") {
+                        continue;
+                    }
+                    if self.eat_kw("exists") {
+                        if quant == DotsQuant::Strict {
+                            return Err(self.err_here("`when exists` conflicts with `when strict`"));
+                        }
+                        quant = DotsQuant::Exists;
+                        continue;
+                    }
+                    if self.eat_kw("strict") {
+                        if quant == DotsQuant::Exists {
+                            return Err(self.err_here("`when strict` conflicts with `when exists`"));
+                        }
+                        quant = DotsQuant::Strict;
                         continue;
                     }
                     if self.eat(Punct::BangEq) {
@@ -1153,6 +1170,7 @@ impl<'a> Parser<'a> {
                 Ok(Stmt::Dots {
                     span: t.span,
                     when_not,
+                    quant,
                 })
             }
             TokenKind::Punct(Punct::DisjOpen) if self.opts.pattern => self.pat_group(),

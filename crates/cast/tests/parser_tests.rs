@@ -397,6 +397,57 @@ fn pattern_dots_in_statements_and_args() {
 }
 
 #[test]
+fn pattern_dots_when_modifiers_set_the_quantifier() {
+    let meta = Table(vec![]);
+    let quant_of = |src: &str| -> DotsQuant {
+        let stmts = parse_statements(src, ParseOptions::pattern(), &meta).unwrap();
+        match &stmts[1] {
+            Stmt::Dots { quant, .. } => *quant,
+            other => panic!("{other:?}"),
+        }
+    };
+    assert_eq!(quant_of("a(); ... b();"), DotsQuant::Default);
+    assert_eq!(quant_of("a(); ... when any b();"), DotsQuant::Default);
+    assert_eq!(quant_of("a(); ... when exists b();"), DotsQuant::Exists);
+    assert_eq!(quant_of("a(); ... when strict b();"), DotsQuant::Strict);
+    // Modifiers stack with `when !=` guards.
+    let stmts = parse_statements(
+        "a(); ... when != g() when exists b();",
+        ParseOptions::pattern(),
+        &meta,
+    )
+    .unwrap();
+    match &stmts[1] {
+        Stmt::Dots {
+            quant, when_not, ..
+        } => {
+            assert_eq!(*quant, DotsQuant::Exists);
+            assert_eq!(when_not.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+    // The two quantifiers are mutually exclusive — conflicting
+    // modifiers are a parse error, not last-one-wins.
+    assert!(parse_statements(
+        "a(); ... when exists when strict b();",
+        ParseOptions::pattern(),
+        &meta
+    )
+    .is_err());
+    assert!(parse_statements(
+        "a(); ... when strict when exists b();",
+        ParseOptions::pattern(),
+        &meta
+    )
+    .is_err());
+    // Repeating the same modifier is harmless.
+    assert_eq!(
+        quant_of("a(); ... when exists when exists b();"),
+        DotsQuant::Exists
+    );
+}
+
+#[test]
 fn pattern_for_header_dots() {
     let meta = Table(vec![("c", MetaKind::Ident), ("n", MetaKind::Expr)]);
     let stmts = parse_statements(

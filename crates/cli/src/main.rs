@@ -238,7 +238,17 @@ fn main() -> ExitCode {
                     write_errors.push((name.to_string(), format!("cannot write: {e}")));
                     changed -= 1;
                 } else if !args.quiet {
-                    eprintln!("spatch: {name}: rewritten ({} matches)", outcome.matches);
+                    // Flow-routed rules report per-path witnesses too: a
+                    // cross-branch binding that forked shows up once per
+                    // rewritten path.
+                    if outcome.witnesses > 0 {
+                        eprintln!(
+                            "spatch: {name}: rewritten ({} matches, {} witnesses)",
+                            outcome.matches, outcome.witnesses
+                        );
+                    } else {
+                        eprintln!("spatch: {name}: rewritten ({} matches)", outcome.matches);
+                    }
                 }
             } else if let Some(out) = &args.output {
                 if let Err(e) = std::fs::write(out, new_text) {

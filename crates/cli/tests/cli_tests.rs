@@ -550,6 +550,60 @@ fn resume_skips_unchanged_files() {
 }
 
 #[test]
+fn resume_retries_previously_timed_out_files() {
+    use cocci_core::{ApplyReport, FileStatus};
+
+    let dir = tmpdir("resume-retry");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let hit = dir.join("hit.c");
+    let miss = dir.join("miss.c");
+    fs::write(&hit, "void f(void) {\n    old_api(1);\n}\n").unwrap();
+    fs::write(&miss, "void g(void) {\n    keep(2);\n}\n").unwrap();
+    let r1 = dir.join("r1.json");
+    let r2 = dir.join("r2.json");
+
+    // First pass under a zero budget: hit.c times out before its first
+    // rule (miss.c is pruned by the prefilter before the budget check).
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--timeout-ms", "0", "--quiet", "--report"])
+        .arg(&r1)
+        .arg(&hit)
+        .arg(&miss)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let report = ApplyReport::from_json(&fs::read_to_string(&r1).unwrap()).unwrap();
+    assert_eq!(report.count(FileStatus::Timeout), 1, "{report:?}");
+    assert_eq!(report.count(FileStatus::Pruned), 1, "{report:?}");
+
+    // Resume without the budget: the timed-out file is re-attempted
+    // (and now transforms); only the pruned file's status is copied.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--in-place", "--resume"])
+        .arg(&r1)
+        .args(["--report"])
+        .arg(&r2)
+        .arg(&hit)
+        .arg(&miss)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let report = ApplyReport::from_json(&fs::read_to_string(&r2).unwrap()).unwrap();
+    assert_eq!(report.resumed, 1, "only the pruned miss.c skips");
+    assert_eq!(report.count(FileStatus::Changed), 1, "{report:?}");
+    assert_eq!(report.count(FileStatus::Timeout), 0, "{report:?}");
+    assert!(
+        fs::read_to_string(&hit).unwrap().contains("new_api(1);"),
+        "retried file was rewritten"
+    );
+}
+
+#[test]
 fn resume_refuses_report_from_different_patch() {
     let dir = tmpdir("resume-mismatch");
     let patch_a = dir.join("a.cocci");

@@ -13,6 +13,7 @@
 
 use crate::flowmatch::{self, FlowPattern};
 use crate::orchestrate::ApplyError;
+use cocci_cast::DotsQuant;
 use cocci_rex::Regex;
 use cocci_smpl::{prefilter, Constraint, Pattern, Rule, SemanticPatch};
 use std::collections::{HashMap, HashSet};
@@ -94,6 +95,27 @@ impl CompiledPatch {
                             flow = flowmatch::lower_pattern(pats);
                         }
                     }
+                    // Dots carrying an explicit path quantifier must end
+                    // up on the CFG route — an unroutable top-level
+                    // pattern, or dots nested inside sub-blocks that
+                    // only the tree matcher visits, would silently read
+                    // `when exists`/`when strict` as plain sequence
+                    // dots. Refuse at compile time instead. (A lowered
+                    // pattern has only simple top-level anchors, so it
+                    // cannot hide nested dots.)
+                    if flow.is_none()
+                        && t.body
+                            .pattern
+                            .statement_dots_quants()
+                            .iter()
+                            .any(|q| *q != DotsQuant::Default)
+                    {
+                        return Err(ApplyError::new(format!(
+                            "rule {}: `when exists` / `when strict` need a CFG-routable \
+                             pattern (simple statement anchors around top-level dots)",
+                            t.name.as_deref().unwrap_or("<anonymous>")
+                        )));
+                    }
                 }
                 Rule::Script(s) => {
                     has_script = true;
@@ -140,6 +162,19 @@ impl CompiledPatch {
     pub fn rule_atoms(&self, ri: usize) -> Option<&[String]> {
         self.rules.get(ri).and_then(|r| r.atoms.as_deref())
     }
+
+    /// The name of the first rule that *requires* CFG path matching —
+    /// its dots carry an explicit `when exists`/`when strict` the tree
+    /// reading cannot honor. Drivers running with flow matching
+    /// disabled (`--no-flow`) refuse such a patch once, at run level,
+    /// instead of erroring on every file.
+    pub fn requires_flow(&self) -> Option<&str> {
+        self.rules
+            .iter()
+            .zip(&self.patch.rules)
+            .find(|(c, _)| c.flow.as_ref().is_some_and(|fp| fp.explicit_quant))
+            .map(|(_, r)| r.name().unwrap_or("<anonymous>"))
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +212,38 @@ mod tests {
                 .unwrap();
         let c = CompiledPatch::compile(&patch).unwrap();
         assert!(c.rules[0].flow.is_none());
+    }
+
+    #[test]
+    fn quantified_dots_on_unroutable_pattern_refuse_at_compile() {
+        // `when exists` on a pattern the path engine cannot lower (a
+        // compound anchor here) would silently degrade to plain tree
+        // dots — refuse at compile time instead.
+        let patch = parse_semantic_patch(
+            "@@ @@\n- init();\n+ init2();\n... when exists\nwhile (x) { poll(); }\n",
+        )
+        .unwrap();
+        let err = CompiledPatch::compile(&patch).unwrap_err();
+        assert!(err.message.contains("when exists"), "{err}");
+        // Quantified dots nested inside a braced sub-block never reach
+        // the CFG route either — also a compile error.
+        let patch = parse_semantic_patch(
+            "@@ @@\n- start();\n+ start2();\nif (x) { ... when exists stop(); }\n",
+        )
+        .unwrap();
+        let err = CompiledPatch::compile(&patch).unwrap_err();
+        assert!(err.message.contains("when exists"), "{err}");
+        // A routable quantified rule still compiles to a flow pattern.
+        let patch =
+            parse_semantic_patch("@@ @@\n- a();\n+ a2();\n... when exists\nb();\n").unwrap();
+        let c = CompiledPatch::compile(&patch).unwrap();
+        assert!(c.rules[0].flow.is_some());
+        assert!(c.rules[0].flow.as_ref().unwrap().explicit_quant);
+        // Plain nested dots (the LIKWID shape) stay fine on the tree
+        // route.
+        let patch =
+            parse_semantic_patch("@@ @@\n#pragma omp ...\n{\n+ START();\n...\n}\n").unwrap();
+        assert!(CompiledPatch::compile(&patch).is_ok());
     }
 
     #[test]

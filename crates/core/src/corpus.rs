@@ -367,11 +367,13 @@ pub fn apply_to_corpus(
 }
 
 /// [`apply_to_corpus`] with incremental re-apply: files whose content
-/// hash matches their entry in `previous` (a prior run's report) are
-/// skipped — their previous status is copied into the new report with
-/// zero seconds, they are not handed to the sink, and they are counted
-/// in [`ApplyReport::resumed`]. Files the previous report does not know
-/// (or knew under a different hash) run normally.
+/// hash matches their entry in `previous` (a prior run's report) and
+/// whose previous status was a *completed* outcome
+/// ([`FileStatus::resumable`]) are skipped — the status is copied into
+/// the new report with zero seconds, they are not handed to the sink,
+/// and they are counted in [`ApplyReport::resumed`]. Files the previous
+/// report does not know (or knew under a different hash), and files
+/// whose previous attempt timed out or failed, run normally.
 ///
 /// Skipping is only sound when `previous` was produced by the **same
 /// semantic patch**: the caller must check
@@ -385,6 +387,16 @@ pub fn apply_to_corpus_resumed(
     mut sink: impl FnMut(&str, &str, &FileOutcome),
 ) -> Result<ApplyReport, ApplyError> {
     let compiled = Arc::new(CompiledPatch::compile(patch)?);
+    // `when exists`/`when strict` only exist on the CFG route — refuse
+    // once at run level rather than erroring identically on every file.
+    if opts.no_flow {
+        if let Some(rule) = compiled.requires_flow() {
+            return Err(ApplyError::new(format!(
+                "rule {rule}: `when exists` / `when strict` require CFG path matching, \
+                 which --no-flow disables"
+            )));
+        }
+    }
     let exec = ExecOptions {
         threads: opts.threads,
         prefilter: !opts.no_prefilter,
@@ -412,6 +424,7 @@ pub fn apply_to_corpus_resumed(
                 name,
                 status: FileStatus::Error,
                 matches: 0,
+                witnesses: 0,
                 seconds: 0.0,
                 hash: 0,
                 error: Some(msg),
@@ -424,12 +437,17 @@ pub fn apply_to_corpus_resumed(
         for (name, text) in batch {
             let hash = content_hash(&text);
             match prev_by_name.get(name.as_str()) {
-                Some(prev) if prev.hash == hash => {
+                // Only completed statuses are copied forward: a prior
+                // `timeout`/`error` records a failed *attempt*, so the
+                // file is re-attempted even though its text is unchanged
+                // (see [`FileStatus::resumable`]).
+                Some(prev) if prev.hash == hash && prev.status.resumable() => {
                     resumed += 1;
                     files.push(FileReport {
                         name,
                         status: prev.status,
                         matches: prev.matches,
+                        witnesses: prev.witnesses,
                         seconds: 0.0,
                         hash,
                         error: prev.error.clone(),
@@ -602,6 +620,97 @@ mod tests {
             back.files.iter().find(|f| f.name == "miss.c").unwrap().hash,
             miss_entry.hash
         );
+    }
+
+    #[test]
+    fn no_flow_corpus_run_refuses_quantified_patch_at_run_level() {
+        let patch =
+            parse_semantic_patch("@@ @@\n- a();\n+ a2();\n... when exists\nb();\n").unwrap();
+        let err = apply_to_corpus(
+            &patch,
+            &mut MemorySource::new(vec![(
+                "f.c".to_string(),
+                "void f(void) { a(); b(); }\n".into(),
+            )]),
+            &CorpusOptions {
+                no_flow: true,
+                ..Default::default()
+            },
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        assert!(err.message.contains("when exists"), "{err}");
+        // With flow on, the same patch runs.
+        assert!(apply_to_corpus(
+            &patch,
+            &mut MemorySource::new(vec![(
+                "f.c".to_string(),
+                "void f(void) { a(); b(); }\n".into()
+            )]),
+            &CorpusOptions::default(),
+            |_, _, _| {},
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn resume_retries_previously_timed_out_and_failed_files() {
+        let patch = parse_semantic_patch("@@ @@\n- old_api(1);\n+ new_api(1);\n").unwrap();
+        let hit = (
+            "hit.c".to_string(),
+            "void f(void) { old_api(1); }\n".to_string(),
+        );
+        // First run under a zero budget: the file times out.
+        let first = apply_to_corpus(
+            &patch,
+            &mut MemorySource::new(vec![hit.clone()]),
+            &CorpusOptions {
+                timeout_ms: Some(0),
+                ..Default::default()
+            },
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(first.count(FileStatus::Timeout), 1);
+
+        // Resuming without the budget must re-attempt the unchanged
+        // file rather than copying the timeout forward.
+        let second = apply_to_corpus_resumed(
+            &patch,
+            &mut MemorySource::new(vec![hit.clone()]),
+            &CorpusOptions::default(),
+            Some(&first),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(second.resumed, 0, "a failed attempt is not resumable");
+        assert_eq!(second.count(FileStatus::Changed), 1);
+
+        // `error` statuses re-run too.
+        let mut prior = second.clone();
+        prior.files[0].status = FileStatus::Error;
+        prior.files[0].error = Some("synthetic".into());
+        let third = apply_to_corpus_resumed(
+            &patch,
+            &mut MemorySource::new(vec![hit.clone()]),
+            &CorpusOptions::default(),
+            Some(&prior),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(third.resumed, 0);
+        assert_eq!(third.count(FileStatus::Changed), 1);
+
+        // A completed status still skips, as before.
+        let fourth = apply_to_corpus_resumed(
+            &patch,
+            &mut MemorySource::new(vec![hit]),
+            &CorpusOptions::default(),
+            Some(&second),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(fourth.resumed, 1);
     }
 
     #[test]

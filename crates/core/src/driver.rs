@@ -33,6 +33,9 @@ pub struct FileOutcome {
     pub error: Option<String>,
     /// Matches found across rules.
     pub matches: usize,
+    /// Per-path witnesses produced by CFG-routed (statement-dots)
+    /// rules; cross-branch bindings that fork count once per path.
+    pub witnesses: usize,
     /// The prefilter skipped this file before lexing/parsing.
     pub pruned: bool,
     /// The file exceeded the per-file time budget.
@@ -153,6 +156,53 @@ pub fn apply_batch_opts(
         .collect()
 }
 
+thread_local! {
+    /// Set while this thread runs inside [`catch_matcher_panics`]: the
+    /// panic hook stays silent for it (the payload is captured and
+    /// surfaced as the file's error entry), so one pathological file
+    /// does not spray "thread panicked" noise over a corpus run.
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Chain a once-installed hook in front of the default one that
+/// suppresses output only for threads currently inside the catch.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `f`, converting a panic into an ordinary [`ApplyError`] so one
+/// pathological file maps to a `failed` report entry instead of
+/// poisoning the whole corpus run (the worker thread — and with it the
+/// scoped-thread driver — would otherwise die with it).
+pub(crate) fn catch_matcher_panics<T>(
+    name: &str,
+    f: impl FnOnce() -> Result<T, ApplyError>,
+) -> Result<T, ApplyError> {
+    install_quiet_panic_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    QUIET_PANICS.with(|q| q.set(false));
+    match caught {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Err(ApplyError::new(format!("{name}: matcher panicked: {msg}")))
+        }
+    }
+}
+
 /// Run the per-file pipeline (prefilter scan, then full apply) once.
 fn run_one(
     patcher: &mut Patcher,
@@ -169,18 +219,20 @@ fn run_one(
             output: None,
             error: None,
             matches: 0,
+            witnesses: 0,
             pruned: true,
             timed_out: false,
             hash,
             seconds: t0.elapsed().as_secs_f64(),
         };
     }
-    match patcher.apply(name, text) {
+    match catch_matcher_panics(name, || patcher.apply(name, text)) {
         Ok(output) => FileOutcome {
             name: name.to_string(),
             output,
             error: None,
             matches: patcher.last_stats.matches_per_rule.iter().sum(),
+            witnesses: patcher.last_stats.witnesses,
             pruned: false,
             timed_out: false,
             hash,
@@ -191,6 +243,7 @@ fn run_one(
             output: None,
             error: Some(e.to_string()),
             matches: 0,
+            witnesses: 0,
             pruned: false,
             timed_out: e.timed_out,
             hash,
@@ -336,6 +389,46 @@ mod tests {
             "tree semantics over-matches: {:?}",
             flow_off[0].error
         );
+    }
+
+    #[test]
+    fn matcher_panics_map_to_failed_outcomes() {
+        // The guard converts a panic into an ordinary ApplyError (the
+        // report-side contract for one pathological file), instead of
+        // letting it poison the scoped-thread driver.
+        let err = catch_matcher_panics::<()>("weird.c", || panic!("synthetic blowup")).unwrap_err();
+        assert!(err.message.contains("weird.c"), "{err}");
+        assert!(err.message.contains("synthetic blowup"), "{err}");
+        assert!(err.message.contains("panicked"), "{err}");
+        assert!(!err.timed_out);
+        // String payloads are extracted too.
+        let owned = String::from("owned payload");
+        let err = catch_matcher_panics::<()>("s.c", move || panic!("{owned}")).unwrap_err();
+        assert!(err.message.contains("owned payload"), "{err}");
+        // Ordinary results pass through untouched.
+        assert_eq!(catch_matcher_panics("f.c", || Ok(7)).unwrap(), 7);
+        let plain = catch_matcher_panics::<()>("f.c", || Err(ApplyError::new("x"))).unwrap_err();
+        assert_eq!(plain.message, "x");
+    }
+
+    #[test]
+    fn flow_outcomes_carry_witness_counts_and_rewrite_both_arms() {
+        // A metavariable that binds differently in the two arms forks
+        // one witness per path; each drives its own rewrite.
+        let patch =
+            parse_semantic_patch("@@\nexpression e;\n@@\na();\n...\n- b(e);\n+ c(e);\n").unwrap();
+        let files = vec![(
+            "f.c".to_string(),
+            "void f(int x) {\n    a();\n    if (x) {\n        b(1);\n    } else {\n        b(2);\n    }\n    done();\n}\n"
+                .to_string(),
+        )];
+        let outcomes = apply_to_files(&patch, &files, 1).unwrap();
+        assert!(outcomes[0].error.is_none(), "{:?}", outcomes[0].error);
+        assert_eq!(outcomes[0].witnesses, 2, "one witness per path binding");
+        let out = outcomes[0].output.as_ref().expect("both arms rewritten");
+        assert!(out.contains("c(1);"), "{out}");
+        assert!(out.contains("c(2);"), "{out}");
+        assert!(!out.contains("b(1)") && !out.contains("b(2)"), "{out}");
     }
 
     #[test]

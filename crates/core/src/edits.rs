@@ -100,9 +100,18 @@ impl EditSet {
         })
     }
 
-    /// Apply all edits to `src`. Returns the patched text, or a conflict
-    /// if two non-identical edits overlap.
-    pub fn apply(&self, src: &str) -> Result<String, EditConflict> {
+    /// Absorb every edit of `other` (exact duplicates still dropped,
+    /// relative order of same-offset insertions preserved).
+    pub fn merge(&mut self, other: EditSet) {
+        let mut incoming = other.edits;
+        incoming.sort_by_key(|e| e.seq);
+        for e in incoming {
+            self.replace(e.span, e.replacement);
+        }
+    }
+
+    /// Sorted copy of the edits (application order).
+    fn sorted(&self) -> Vec<Edit> {
         let mut edits = self.edits.clone();
         // Sort by start; insertions at equal offsets keep emission order;
         // an insertion at X sorts before a replacement starting at X.
@@ -113,27 +122,71 @@ impl EditSet {
                 .then(a.span.end.cmp(&b.span.end))
                 .then(a.seq.cmp(&b.seq))
         });
-        // Conflict check: overlapping ranges (both non-empty).
-        for w in edits.windows(2) {
+        edits
+    }
+
+    /// First pair of conflicting edits in sorted order, if any:
+    /// overlapping non-empty ranges, or an insertion point strictly
+    /// inside a replacement.
+    fn find_conflict(sorted: &[Edit]) -> Option<EditConflict> {
+        for w in sorted.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             if !a.span.is_empty() && !b.span.is_empty() && b.span.start < a.span.end {
-                return Err(EditConflict {
+                return Some(EditConflict {
                     a: a.span,
                     b: b.span,
                 });
             }
-            // A replacement containing an insertion point is a conflict
-            // too (except at its boundaries).
             if !a.span.is_empty()
                 && b.span.is_empty()
                 && b.span.start > a.span.start
                 && b.span.start < a.span.end
             {
-                return Err(EditConflict {
+                return Some(EditConflict {
                     a: a.span,
                     b: b.span,
                 });
             }
+        }
+        None
+    }
+
+    /// Whether this set and `other` — two *independently derived* edit
+    /// sets — contradict each other: overlapping edits, an insertion
+    /// point strictly inside the other's replacement, or insertions at
+    /// the same offset with different text. The last case is legal
+    /// *within* one set (several `+` groups may stack at one point) but
+    /// across two sets it means they disagree about what belongs there
+    /// (the sibling-witness contradiction check relies on this).
+    pub fn conflicts_with(&self, other: &EditSet) -> bool {
+        self.edits.iter().any(|a| {
+            other.edits.iter().any(|b| {
+                if a.span == b.span {
+                    return a.replacement != b.replacement;
+                }
+                let overlap = !a.span.is_empty()
+                    && !b.span.is_empty()
+                    && a.span.start < b.span.end
+                    && b.span.start < a.span.end;
+                let a_inside_b = a.span.is_empty()
+                    && !b.span.is_empty()
+                    && a.span.start > b.span.start
+                    && a.span.start < b.span.end;
+                let b_inside_a = b.span.is_empty()
+                    && !a.span.is_empty()
+                    && b.span.start > a.span.start
+                    && b.span.start < a.span.end;
+                overlap || a_inside_b || b_inside_a
+            })
+        })
+    }
+
+    /// Apply all edits to `src`. Returns the patched text, or a conflict
+    /// if two non-identical edits overlap.
+    pub fn apply(&self, src: &str) -> Result<String, EditConflict> {
+        let edits = self.sorted();
+        if let Some(c) = Self::find_conflict(&edits) {
+            return Err(c);
         }
         let mut out = String::with_capacity(src.len() + 64);
         let mut cursor = 0usize;

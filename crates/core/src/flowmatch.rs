@@ -19,16 +19,23 @@
 //!    a match attempt — expression-level matching *is* the node
 //!    predicate, so metavariables, isomorphisms and constraints all keep
 //!    working;
-//! 3. each gap is discharged with [`cocci_flow::walk_gap`] under
-//!    [`Quant::Forall`]: every path from the anchor must reach a node
-//!    matching the next anchor (first-hit semantics, loops cut at their
-//!    back edges) without crossing a `when != e` violation or escaping
-//!    through the function exit;
-//! 4. the hits on the different paths are bound into **one** match
-//!    state, reconciling metavariable environments at join points: a
-//!    hit that binds a metavariable inconsistently with its siblings
-//!    kills the whole match (conservative — upstream would fork
-//!    per-path witnesses).
+//! 3. each gap is discharged with [`cocci_flow::walk_gap`] under its
+//!    quantifier — [`Quant::Forall`] by default and for `when strict`
+//!    (every path from the anchor must reach a node matching the next
+//!    anchor; first-hit semantics, loops cut at their back edges,
+//!    no `when != e` violation, no escape through the function exit),
+//!    [`Quant::Exists`] for `when exists` (one such path suffices,
+//!    escaping/unclean paths are merely pruned);
+//! 4. the hits on the different paths are bound into **witnesses**:
+//!    hits whose metavariable bindings agree share one witness (their
+//!    environments reconcile at the join), while hits that bind a
+//!    metavariable differently *fork* — each binding-compatible group
+//!    becomes its own `(env, pairs)` witness, and every witness drives
+//!    its own rewrite (upstream Coccinelle's per-path witness
+//!    semantics). Sibling witnesses forked from one anchor attempt are
+//!    deduplicated by their bound source spans and share a
+//!    [`MatchState::witness_group`] id so downstream overlap claiming
+//!    keeps them together.
 //!
 //! Functions whose CFG exceeds [`MAX_CFG_NODES`] fall back to the tree
 //! matcher for that function only, so pathological inputs degrade to the
@@ -41,11 +48,21 @@ use cocci_cast::ast::*;
 use cocci_cast::visit;
 use cocci_flow::{build_cfg, walk_gap, Cfg, NodeId, NodeKind, Quant};
 use cocci_source::Span;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// CFG size cap above which a function falls back to tree matching
 /// ("the CFG can't be built" guard for pathological inputs).
 pub const MAX_CFG_NODES: usize = 10_000;
+
+/// Cap on the witnesses one anchor attempt may fork. Each gap can
+/// multiply bindings, so a crafted file with wide branching at every
+/// gap could otherwise explode the combination cross-product inside a
+/// single rule — where the per-file timeout (checked at rule
+/// boundaries) cannot interrupt it. Forall attempts over the cap
+/// refuse conservatively (no match, never a wrong rewrite); exists
+/// attempts truncate (each witness is independently sound).
+pub const MAX_WITNESSES_PER_ATTEMPT: usize = 256;
 
 /// One step of a lowered statement-dots pattern.
 #[derive(Debug, Clone)]
@@ -54,13 +71,16 @@ pub enum FlowStep {
     /// the ordinary tree matcher (boxed: a `Stmt` dwarfs the gap
     /// variant, and steps are only walked, never bulk-stored).
     Anchor(Box<Stmt>),
-    /// Statement dots: an all-paths gap to the next anchor.
+    /// Statement dots: a quantified gap to the next anchor.
     Gap {
         /// `when != e` constraints — no skipped node may contain a
         /// match of any of these expressions.
         when_not: Vec<Expr>,
         /// Pattern span of the `...` token (anchors the dots pair).
         span: Span,
+        /// Path quantifier: `Forall` for the default and `when strict`
+        /// readings, `Exists` for `when exists`.
+        quant: Quant,
     },
 }
 
@@ -70,6 +90,25 @@ pub enum FlowStep {
 pub struct FlowPattern {
     /// The alternating steps (`Anchor, Gap, Anchor, [Gap, Anchor]…`).
     pub steps: Vec<FlowStep>,
+    /// Whether any gap carries an *explicit* `when exists`/`when strict`
+    /// quantifier. Such patterns never take the tree fallback for
+    /// over-budget CFGs — the tree reading would silently discard the
+    /// quantifier (over-matching for `strict`), so those functions are
+    /// conservatively skipped instead.
+    pub explicit_quant: bool,
+}
+
+impl FlowPattern {
+    /// Whether any gap quantifies over *all* paths (`Forall`). Sibling
+    /// witnesses of such a pattern jointly discharge the all-paths
+    /// obligation and must stand or fall together; a pure-`exists`
+    /// pattern's witnesses are independent (each surviving path
+    /// suffices on its own).
+    pub fn has_forall_gap(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, FlowStep::Gap { quant, .. } if *quant == Quant::Forall))
+    }
 }
 
 /// Whether `s` is an anchor the CFG engine can match at a single node.
@@ -98,17 +137,30 @@ fn is_simple_anchor(s: &Stmt) -> bool {
 /// matcher.
 pub fn lower_pattern(pats: &[Stmt]) -> Option<FlowPattern> {
     // Leading/trailing unguarded dots are window padding under the tree
-    // matcher's start-anywhere semantics; drop them. Guarded ones carry
-    // constraints the lowering would lose — refuse.
+    // matcher's start-anywhere semantics; drop them. Guarded or
+    // quantified ones carry constraints the lowering would lose —
+    // refuse.
     let mut slice = pats;
-    while let Some((Stmt::Dots { when_not, .. }, rest)) = slice.split_first() {
-        if !when_not.is_empty() {
+    while let Some((
+        Stmt::Dots {
+            when_not, quant, ..
+        },
+        rest,
+    )) = slice.split_first()
+    {
+        if !when_not.is_empty() || *quant != DotsQuant::Default {
             return None;
         }
         slice = rest;
     }
-    while let Some((Stmt::Dots { when_not, .. }, rest)) = slice.split_last() {
-        if !when_not.is_empty() {
+    while let Some((
+        Stmt::Dots {
+            when_not, quant, ..
+        },
+        rest,
+    )) = slice.split_last()
+    {
+        if !when_not.is_empty() || *quant != DotsQuant::Default {
             return None;
         }
         slice = rest;
@@ -117,16 +169,26 @@ pub fn lower_pattern(pats: &[Stmt]) -> Option<FlowPattern> {
         return None; // need at least `A ... B`
     }
     let mut steps = Vec::with_capacity(slice.len());
+    let mut explicit_quant = false;
     for (i, s) in slice.iter().enumerate() {
         let expect_anchor = i % 2 == 0;
         match s {
-            Stmt::Dots { when_not, span } => {
+            Stmt::Dots {
+                when_not,
+                span,
+                quant,
+            } => {
                 if expect_anchor {
                     return None; // consecutive dots
                 }
+                explicit_quant |= *quant != DotsQuant::Default;
                 steps.push(FlowStep::Gap {
                     when_not: when_not.clone(),
                     span: *span,
+                    quant: match quant {
+                        DotsQuant::Exists => Quant::Exists,
+                        DotsQuant::Default | DotsQuant::Strict => Quant::Forall,
+                    },
                 });
             }
             other => {
@@ -140,7 +202,10 @@ pub fn lower_pattern(pats: &[Stmt]) -> Option<FlowPattern> {
     if slice.len().is_multiple_of(2) {
         return None; // must end on an anchor
     }
-    Some(FlowPattern { steps })
+    Some(FlowPattern {
+        steps,
+        explicit_quant,
+    })
 }
 
 /// Find all matches of a lowered pattern in `tu` under all-paths
@@ -168,6 +233,11 @@ pub struct FlowSearch<'t> {
     fp: &'t FlowPattern,
     tree_pats: &'t [Stmt],
     fns: Vec<FnData<'t>>,
+    /// Next [`MatchState::witness_group`] id — unique across every
+    /// `find` call on this search, so sibling witnesses of one anchor
+    /// attempt stay grouped even when a rule runs under several seed
+    /// environments.
+    next_group: Cell<u32>,
 }
 
 /// Per-function precomputed matching substrate. `cfg` is `None` when
@@ -204,11 +274,17 @@ impl<'t> FlowSearch<'t> {
                 by_span,
             });
         });
-        FlowSearch { fp, tree_pats, fns }
+        FlowSearch {
+            fp,
+            tree_pats,
+            fns,
+            next_group: Cell::new(1),
+        }
     }
 
-    /// All matches across the prepared functions for one seed
-    /// environment.
+    /// All match witnesses across the prepared functions for one seed
+    /// environment (an anchor attempt whose paths bind differently
+    /// yields several sibling witnesses sharing a `witness_group`).
     pub fn find(&self, ctx: &MatchCtx, seed: &Env) -> Vec<MatchState> {
         let mut out = Vec::new();
         for data in &self.fns {
@@ -220,8 +296,14 @@ impl<'t> FlowSearch<'t> {
                         cfg,
                         by_span: &data.by_span,
                     };
-                    m.run(seed, &mut out);
+                    m.run(seed, &self.next_group, &mut out);
                 }
+                // Over-budget CFG: the tree fallback reads dots as plain
+                // sequence gaps, which would silently discard an
+                // explicit `when exists`/`when strict` — skip such
+                // functions (conservative: no match, never a wrong
+                // rewrite) and degrade only unquantified patterns.
+                None if self.fp.explicit_quant => {}
                 None => tree_fallback(ctx, self.tree_pats, data.f, seed, &mut out),
             }
         }
@@ -321,8 +403,11 @@ impl<'a> FnMatcher<'a> {
         }
     }
 
-    /// Seed an attempt at every node matching the first anchor.
-    fn run(&self, seed: &Env, out: &mut Vec<MatchState>) {
+    /// Seed an attempt at every node matching the first anchor. An
+    /// attempt that forks yields several sibling witnesses; they are
+    /// deduplicated by bound source spans and stamped with a shared
+    /// `witness_group` id.
+    fn run(&self, seed: &Env, next_group: &Cell<u32>, out: &mut Vec<MatchState>) {
         let FlowStep::Anchor(first) = &self.fp.steps[0] else {
             return;
         };
@@ -335,30 +420,49 @@ impl<'a> FnMatcher<'a> {
             if !matcher::match_stmt(self.ctx, first, s, &mut st) {
                 continue;
             }
-            if let Some(done) = self.advance(1, n, st) {
-                out.push(done);
+            let mut witnesses = self.advance(1, n, st);
+            dedup_witnesses(&mut witnesses);
+            // Every CFG witness gets its attempt's id — siblings share
+            // it (downstream group handling), and a non-zero id is what
+            // marks a match as a path witness at all (tree-fallback
+            // matches keep 0).
+            if !witnesses.is_empty() {
+                let id = next_group.get();
+                next_group.set(id.wrapping_add(1).max(1));
+                for w in &mut witnesses {
+                    w.witness_group = id;
+                }
             }
+            out.extend(witnesses);
         }
     }
 
     /// Discharge steps `i..` starting from the anchor matched at `from`.
-    /// Returns the completed match state, or `None` when some path
-    /// escapes, violates a `when !=`, or binds inconsistently.
-    fn advance(&self, i: usize, from: NodeId, st: MatchState) -> Option<MatchState> {
+    /// Returns the completed witnesses — empty when the gap fails (a
+    /// path escapes or violates a `when !=` under `Forall`, or no path
+    /// reaches the next anchor), one witness when every hit binds
+    /// consistently, several when paths bind a metavariable differently
+    /// and the match forks.
+    fn advance(&self, i: usize, from: NodeId, st: MatchState) -> Vec<MatchState> {
         if i >= self.fp.steps.len() {
-            return Some(st);
+            return vec![st];
         }
-        let FlowStep::Gap { when_not, span } = &self.fp.steps[i] else {
+        let FlowStep::Gap {
+            when_not,
+            span,
+            quant,
+        } = &self.fp.steps[i]
+        else {
             unreachable!("lowered steps alternate anchor/gap");
         };
         let FlowStep::Anchor(next) = &self.fp.steps[i + 1] else {
             unreachable!("lowered steps end on an anchor");
         };
         let starts: Vec<NodeId> = self.cfg.succs(from).iter().map(|&(s, _)| s).collect();
-        let hits = walk_gap(
+        let Ok(mut hits) = walk_gap(
             self.cfg,
             &starts,
-            Quant::Forall,
+            *quant,
             &mut |m| {
                 self.stmt_at(m)
                     .map(|s| {
@@ -368,45 +472,204 @@ impl<'a> FnMatcher<'a> {
                     .unwrap_or(false)
             },
             &mut |m| when_not.is_empty() || !self.violates_when(m, when_not, &st),
-        )
-        .ok()?;
-        // Deterministic source order for binding and rewriting.
-        let mut hits = hits;
-        hits.sort_by_key(|&m| self.cfg.span(m).start);
-
-        let mut cur = st;
-        // Record the dots pair: the contiguous source region between the
-        // anchor and the earliest hit (paths may diverge across it; the
-        // pair only feeds dots re-rendering and insertion anchoring).
-        let from_end = self.stmt_at(from).map(|s| s.span().end).unwrap_or(0);
-        let first_hit = hits
-            .iter()
-            .map(|&m| self.cfg.span(m).start)
-            .min()
-            .unwrap_or(from_end);
-        let dots_src = if first_hit >= from_end {
-            Span::new(from_end, first_hit)
-        } else {
-            Span::empty(from_end)
+        ) else {
+            return Vec::new();
         };
-        cur.pairs.push(Pair {
-            pat: *span,
-            src: dots_src,
-            kind: PairKind::Dots,
-        });
-        // Bind every hit into the one match state (join-point
-        // reconciliation), then require the remaining steps to hold
-        // from each hit.
-        for m in hits {
-            let s = self.stmt_at(m)?;
-            let mut attempt = cur.clone();
-            if !matcher::match_stmt(self.ctx, next, s, &mut attempt) {
-                return None; // inconsistent bindings across paths
+        // Deterministic source order for binding and rewriting.
+        hits.sort_by_key(|&m| self.cfg.span(m).start);
+        let from_end = self.stmt_at(from).map(|s| s.span().end).unwrap_or(0);
+        // The dots pair spans the contiguous source region between the
+        // anchor and the earliest hit *after* it. Hits that precede the
+        // anchor in the source (loop back-edge hits) must not collapse
+        // the span — they are unreachable by forward text anyway; with
+        // no forward hit at all the region is genuinely empty.
+        let dots_src = |hit_starts: &mut dyn Iterator<Item = u32>| -> Span {
+            match hit_starts.filter(|&s| s >= from_end).min() {
+                Some(s) => Span::new(from_end, s),
+                None => Span::empty(from_end),
             }
-            cur = self.advance(i + 2, m, attempt)?;
+        };
+
+        if *quant == Quant::Exists {
+            // Existential gap: each surviving path's hit is its own
+            // witness — one succeeding path suffices, so a hit whose
+            // continuation fails is dropped, not fatal. Truncating at
+            // the witness cap is sound for the same reason.
+            let mut out = Vec::new();
+            for m in hits {
+                if out.len() >= MAX_WITNESSES_PER_ATTEMPT {
+                    break;
+                }
+                let Some(s) = self.stmt_at(m) else { continue };
+                let mut w = st.clone();
+                if !matcher::match_stmt(self.ctx, next, s, &mut w) {
+                    continue;
+                }
+                w.pairs.push(Pair {
+                    pat: *span,
+                    src: dots_src(&mut std::iter::once(self.cfg.span(m).start)),
+                    kind: PairKind::Dots,
+                });
+                out.extend(self.advance(i + 2, m, w));
+            }
+            out.truncate(MAX_WITNESSES_PER_ATTEMPT);
+            return out;
         }
-        Some(cur)
+
+        // Forall gap: partition the hits into binding-compatible groups.
+        // Hits whose bindings reconcile share one witness (the old
+        // join-point reconciliation); a hit no existing group accepts
+        // forks a fresh witness from the pre-gap state.
+        let mut groups: Vec<(MatchState, Vec<NodeId>)> = Vec::new();
+        'hits: for m in hits {
+            let Some(s) = self.stmt_at(m) else {
+                return Vec::new(); // sat only holds on statement nodes
+            };
+            for (gst, gh) in &mut groups {
+                let mut attempt = gst.clone();
+                if matcher::match_stmt(self.ctx, next, s, &mut attempt) {
+                    *gst = attempt;
+                    gh.push(m);
+                    continue 'hits;
+                }
+            }
+            let mut fresh = st.clone();
+            if !matcher::match_stmt(self.ctx, next, s, &mut fresh) {
+                // Unreachable (the sat predicate bound this hit from
+                // `st`); refuse conservatively rather than drop a path.
+                return Vec::new();
+            }
+            groups.push((fresh, vec![m]));
+        }
+
+        let mut out = Vec::new();
+        for (mut gst, gh) in groups {
+            gst.pairs.push(Pair {
+                pat: *span,
+                src: dots_src(&mut gh.iter().map(|&m| self.cfg.span(m).start)),
+                kind: PairKind::Dots,
+            });
+            let base_pairs = gst.pairs.len();
+            let base_choices = gst.choices.len();
+            // The remaining steps must hold from every hit of the
+            // group. Advance from each hit *independently* — a deeper
+            // gap may fork per-path witnesses there, and binding one
+            // hit's fork before walking the next would make the other
+            // hit's alternative paths unreachable.
+            let mut per_hit: Vec<Vec<MatchState>> = Vec::with_capacity(gh.len());
+            for &m in &gh {
+                let conts = self.advance(i + 2, m, gst.clone());
+                if conts.is_empty() {
+                    // Dead hit: real control-flow paths whose remaining
+                    // obligation failed — under the all-paths reading
+                    // the *whole* attempt refuses (dropping just this
+                    // group would silently rewrite a subset of arms).
+                    return Vec::new();
+                }
+                per_hit.push(conts);
+            }
+            // Combine one continuation per hit where the bindings
+            // reconcile: each combined witness then covers every hit's
+            // paths (the reconciled join, possibly several bindings).
+            let mut combined = per_hit[0].clone();
+            for conts in &per_hit[1..] {
+                let mut next = Vec::new();
+                for c in &combined {
+                    for w in conts {
+                        if let Some(m) = merge_witnesses(c, w, base_pairs, base_choices) {
+                            next.push(m);
+                        }
+                    }
+                    if next.len() > MAX_WITNESSES_PER_ATTEMPT {
+                        // Cross-product blow-up on a pathological
+                        // input: refuse the attempt (a forall witness
+                        // subset cannot be soundly truncated).
+                        return Vec::new();
+                    }
+                }
+                combined = next;
+                if combined.is_empty() {
+                    break;
+                }
+            }
+            if !combined.is_empty() {
+                out.extend(combined);
+            } else {
+                // No single binding covers every hit's continuation —
+                // fork per hit instead: the sibling witnesses jointly
+                // cover all paths (each hit's continuation on its own
+                // arm).
+                for conts in per_hit {
+                    out.extend(conts);
+                }
+            }
+            if out.len() > MAX_WITNESSES_PER_ATTEMPT {
+                // Pathological fan-out: refuse the attempt (a forall
+                // witness subset cannot be soundly truncated).
+                return Vec::new();
+            }
+        }
+        out
     }
+}
+
+/// Merge two witnesses that extend the same base state (`a` and `b`
+/// each carry the base's pairs/choices as a prefix of the given
+/// lengths). Fails when their metavariable bindings disagree.
+fn merge_witnesses(
+    a: &MatchState,
+    b: &MatchState,
+    base_pairs: usize,
+    base_choices: usize,
+) -> Option<MatchState> {
+    let mut merged = a.clone();
+    for (k, v) in b.env.iter() {
+        match merged.env.get(k) {
+            Some(existing) => {
+                if !matcher::value_eq(existing, v) {
+                    return None;
+                }
+            }
+            None => merged.env.bind(k, v.clone()),
+        }
+    }
+    merged
+        .pairs
+        .extend(b.pairs.iter().skip(base_pairs).cloned());
+    merged
+        .choices
+        .extend(b.choices.iter().skip(base_choices).cloned());
+    Some(merged)
+}
+
+/// Drop witnesses whose correspondence pairs cover exactly the same
+/// pattern→source spans as an earlier sibling — forking can reach the
+/// same rewrite through different binding orders, and duplicate
+/// witnesses would double-count matches (their edits are already
+/// idempotent).
+fn dedup_witnesses(witnesses: &mut Vec<MatchState>) {
+    if witnesses.len() < 2 {
+        return;
+    }
+    let key = |w: &MatchState| -> Vec<(u32, u32, u32, u32)> {
+        let mut k: Vec<(u32, u32, u32, u32)> = w
+            .pairs
+            .iter()
+            .map(|p| (p.pat.start, p.pat.end, p.src.start, p.src.end))
+            .collect();
+        k.sort_unstable();
+        k
+    };
+    let mut seen: Vec<Vec<(u32, u32, u32, u32)>> = Vec::new();
+    witnesses.retain(|w| {
+        let k = key(w);
+        if seen.contains(&k) {
+            false
+        } else {
+            seen.push(k);
+            true
+        }
+    });
 }
 
 #[cfg(test)]
@@ -481,6 +744,8 @@ mod tests {
         assert!(lowered("A ... b();", &ds).is_none());
         // Guarded leading dots would lose their constraint.
         assert!(lowered("... when != g() a(); ... b();", &[]).is_none());
+        // Quantified leading dots would lose their quantifier too.
+        assert!(lowered("... when exists a(); ... b();", &[]).is_none());
     }
 
     #[test]
@@ -518,14 +783,176 @@ mod tests {
     }
 
     #[test]
-    fn inconsistent_bindings_across_paths_refuse() {
+    fn inconsistent_bindings_fork_per_path_witnesses() {
         let ds = decls(&[("e", MetaDeclKind::Expression)]);
         let ms = flow_match(
             "a(); ... b(e);",
             "void f(int x) { a(); if (x) { b(1); } else { b(2); } done(); }",
             ds,
         );
-        assert!(ms.is_empty(), "e cannot bind both 1 and 2");
+        assert_eq!(ms.len(), 2, "one witness per binding of e");
+        // Sibling witnesses share one non-zero group id, so downstream
+        // overlap claiming keeps both.
+        assert_ne!(ms[0].witness_group, 0);
+        assert_eq!(ms[0].witness_group, ms[1].witness_group);
+        // Each witness pairs the post-gap anchor with its own branch
+        // site — that is what lets both arms rewrite.
+        let own_site = |m: &MatchState| {
+            m.pairs
+                .iter()
+                .filter(|p| p.kind == PairKind::Stmt)
+                .map(|p| p.src)
+                .max_by_key(|s| s.start)
+                .unwrap()
+        };
+        assert_ne!(own_site(&ms[0]), own_site(&ms[1]));
+    }
+
+    #[test]
+    fn forked_group_with_failed_continuation_refuses_whole_match() {
+        // Gap 1 forks on e (b(1) vs b(2)); the e=2 group's continuation
+        // then fails — the else path never reaches c(2). Those are real
+        // paths with an unmet obligation, so under the all-paths reading
+        // the whole attempt must refuse, not rewrite just the then arm.
+        let ds = decls(&[("e", MetaDeclKind::Expression)]);
+        let ms = flow_match(
+            "a(); ... b(e); ... c(e);",
+            "void f(int x) { a(); if (x) { b(1); c(1); } else { b(2); } done(); }",
+            ds.clone(),
+        );
+        assert!(ms.is_empty(), "a dead forked group must kill the attempt");
+        // When both groups complete, both witnesses survive.
+        let ms = flow_match(
+            "a(); ... b(e); ... c(e);",
+            "void f(int x) { a(); if (x) { b(1); c(1); } else { b(2); c(2); } }",
+            ds,
+        );
+        assert_eq!(ms.len(), 2, "both forked chains complete");
+    }
+
+    #[test]
+    fn later_gap_forks_combine_across_reconciled_hits() {
+        let ds = decls(&[("e", MetaDeclKind::Expression)]);
+        // The first gap's two b() hits reconcile into one group; the
+        // second gap then forks on e. Each binding must combine across
+        // *both* b() hits (binding one hit's fork before walking the
+        // other would make the alternative arm unreachable).
+        let ms = flow_match(
+            "a(); ... b(); ... c(e);",
+            "void f(int x, int y) { a(); if (x) { b(); } else { b(); } if (y) { c(p); } else { c(q); } }",
+            ds.clone(),
+        );
+        assert_eq!(ms.len(), 2, "e forks at the second gap, not refused");
+        // When no single binding covers every hit's continuation, the
+        // group forks per hit instead: one witness per arm.
+        let ms = flow_match(
+            "a(); ... b(); ... c(e);",
+            "void f(int x) { a(); if (x) { b(); c(p); } else { b(); c(q); } }",
+            ds,
+        );
+        assert_eq!(ms.len(), 2, "one witness per arm's continuation");
+    }
+
+    #[test]
+    fn pre_bound_conflict_still_refuses() {
+        // `e` is pinned at the first anchor, so the else arm's b(r) is
+        // not a hit at all: that path escapes and kills the match — the
+        // forking semantics only forks on *unbound* disagreement.
+        let ds = decls(&[("e", MetaDeclKind::Expression)]);
+        let ms = flow_match(
+            "a(e); ... b(e);",
+            "void f(int x) { a(p); if (x) { b(p); } else { b(r); } }",
+            ds,
+        );
+        assert!(ms.is_empty(), "the b(r) path never reaches a hit");
+    }
+
+    #[test]
+    fn exists_dots_allow_escaping_paths() {
+        let fp = lowered("a(); ... when exists b();", &[]).unwrap();
+        let FlowStep::Gap { quant, .. } = &fp.steps[1] else {
+            panic!("step 1 is the gap");
+        };
+        assert_eq!(*quant, Quant::Exists);
+        let src = "void f(int x) { a(); if (x) return; b(); }";
+        let ms = flow_match("a(); ... when exists b();", src, vec![]);
+        assert_eq!(ms.len(), 1, "some path reaches b()");
+        // The default all-paths reading refuses the very same gap.
+        let ms = flow_match("a(); ... b();", src, vec![]);
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn strict_dots_spell_the_default_all_paths_reading() {
+        let fp = lowered("a(); ... when strict b();", &[]).unwrap();
+        let FlowStep::Gap { quant, .. } = &fp.steps[1] else {
+            panic!("step 1 is the gap");
+        };
+        assert_eq!(*quant, Quant::Forall);
+        let ms = flow_match(
+            "a(); ... when strict b();",
+            "void f(int x) { a(); if (x) return; b(); }",
+            vec![],
+        );
+        assert!(ms.is_empty(), "strict refuses the escaping path");
+    }
+
+    #[test]
+    fn exists_forks_one_witness_per_surviving_path() {
+        let ds = decls(&[("e", MetaDeclKind::Expression)]);
+        let ms = flow_match(
+            "a(); ... when exists b(e);",
+            "void f(int x) { a(); if (x) { b(1); } else { b(2); } }",
+            ds,
+        );
+        assert_eq!(ms.len(), 2, "each surviving path is its own witness");
+        assert_ne!(ms[0].witness_group, 0);
+        assert_eq!(ms[0].witness_group, ms[1].witness_group);
+    }
+
+    #[test]
+    fn over_budget_function_skips_quantified_patterns() {
+        // A function whose CFG exceeds the node budget takes the tree
+        // fallback — but only for unquantified patterns; an explicit
+        // `when strict`/`when exists` must not silently become a plain
+        // sequence gap (over-matching, for strict).
+        let mut body = String::from("a(); if (x) return; ");
+        for i in 0..MAX_CFG_NODES {
+            body.push_str(&format!("f{}(); ", i % 7));
+        }
+        body.push_str("b();");
+        let src = format!("void f(int x) {{ {body} }}");
+        let ms = flow_match("a(); ... b();", &src, vec![]);
+        assert_eq!(ms.len(), 1, "unquantified pattern degrades to tree");
+        let ms = flow_match("a(); ... when strict b();", &src, vec![]);
+        assert!(ms.is_empty(), "strict must not take the tree reading");
+        let ms = flow_match("a(); ... when exists b();", &src, vec![]);
+        assert!(ms.is_empty(), "exists skips over-budget functions too");
+    }
+
+    #[test]
+    fn back_edge_hits_keep_the_forward_dots_region() {
+        // The do-while body's b() is reached through the loop back edge
+        // and *precedes* the anchor in the source; the post-loop b() is
+        // the forward hit. The dots span must cover the forward region
+        // (anchor end → forward hit), not collapse to empty because the
+        // back-edge hit's offset is smaller.
+        let src = "void f(int n) { do { b(); a(); } while (n); b(); }";
+        let ms = flow_match("a(); ... b();", src, vec![]);
+        assert_eq!(ms.len(), 1);
+        let dots: Vec<_> = ms[0]
+            .pairs
+            .iter()
+            .filter(|p| p.kind == PairKind::Dots)
+            .collect();
+        assert_eq!(dots.len(), 1);
+        let d = dots[0].src;
+        assert!(!d.is_empty(), "back-edge hit collapsed the dots span");
+        let text = &src[d.start as usize..d.end as usize];
+        assert!(
+            text.contains("while (n)"),
+            "span covers the loop tail: {text:?}"
+        );
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub struct MatchState {
     pub pairs: Vec<Pair>,
     /// Disjunction branch choices: (group pattern span, branch index).
     pub choices: Vec<(Span, usize)>,
+    /// Witness family this match belongs to. `0` for tree-matcher
+    /// matches (including a flow-routed rule's per-function tree
+    /// fallback); every CFG path witness carries its anchor attempt's
+    /// non-zero id, shared by siblings forked from that attempt, so
+    /// downstream overlap-claiming treats them as one match family
+    /// (each witness rewrites its own source sites) instead of
+    /// discarding all but the first.
+    pub witness_group: u32,
 }
 
 impl MatchState {
@@ -137,7 +145,7 @@ impl<'a> MatchCtx<'a> {
 }
 
 /// Span-insensitive equality between two bound values.
-fn value_eq(a: &Value, b: &Value) -> bool {
+pub(crate) fn value_eq(a: &Value, b: &Value) -> bool {
     let a = a.structural();
     let b = b.structural();
     match (a, b) {
@@ -1132,7 +1140,9 @@ pub fn match_stmt_seq(
         return !require_full || srcs.is_empty();
     };
     match p0 {
-        Stmt::Dots { span, when_not } => {
+        // The path quantifier (`when exists` / `when strict`) is a CFG
+        // notion; the tree-sequence reading of dots ignores it.
+        Stmt::Dots { span, when_not, .. } => {
             for k in 0..=srcs.len() {
                 // `when != e`: no skipped statement may contain e.
                 if !when_not.is_empty() {

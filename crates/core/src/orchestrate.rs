@@ -81,6 +81,10 @@ pub struct ApplyStats {
     pub matches_per_rule: Vec<usize>,
     /// Total edits applied.
     pub edits: usize,
+    /// Per-path witnesses produced by CFG-routed (statement-dots)
+    /// rules — every match of such a rule is one witness, so forked
+    /// cross-branch bindings count once per path.
+    pub witnesses: usize,
 }
 
 /// Applies a parsed semantic patch to files.
@@ -147,6 +151,7 @@ impl Patcher {
         let mut stats = ApplyStats {
             matches_per_rule: vec![0; self.compiled.patch.rules.len()],
             edits: 0,
+            witnesses: 0,
         };
         let mut finalizers = Vec::new();
 
@@ -193,29 +198,24 @@ impl Patcher {
                             }
                         ))
                     })?;
-                    let (all_matches, new_streams) =
+                    // Contradictory witness groups are already rejected
+                    // inside run_transform_rule (before they could claim
+                    // territory or export environments), so every match
+                    // here is one whose edits landed in the returned
+                    // set. A non-zero witness_group marks a CFG path
+                    // witness; a flow-routed rule's tree-fallback
+                    // matches (over-budget functions) keep 0 and are
+                    // not counted as witnesses.
+                    let (all_matches, new_streams, edits) =
                         self.run_transform_rule(ri, t, &tu, &current, &streams)?;
                     stats.matches_per_rule[ri] = all_matches.len();
+                    stats.witnesses += all_matches.iter().filter(|m| m.witness_group != 0).count();
                     if !all_matches.is_empty() {
                         if let Some(n) = &t.name {
                             matched.insert(n.clone());
                         }
                         if let Some(ns) = new_streams {
                             streams = ns;
-                        }
-                        // Emit and apply edits.
-                        let mut edits = EditSet::new();
-                        let mut claimed: Vec<Span> = Vec::new();
-                        for m in &all_matches {
-                            let root = match_root(m);
-                            if !root.is_synthetic() && claimed.iter().any(|c| overlaps(*c, root)) {
-                                continue;
-                            }
-                            rewrite::emit_edits(&t.body, m, &current, &mut edits)
-                                .map_err(|e| aerr(format!("{name}: rewrite: {e}")))?;
-                            if !root.is_synthetic() {
-                                claimed.push(root);
-                            }
                         }
                         if !edits.is_empty() {
                             stats.edits += edits.len();
@@ -301,8 +301,11 @@ impl Patcher {
     }
 
     /// Run one transformation rule over all seed environments. Returns
-    /// all matches plus (when the rule is inherited from) the new
-    /// environment stream.
+    /// the surviving matches (contradictory witness groups already
+    /// rejected), (when the rule is inherited from) the new environment
+    /// stream, and the emitted edit set for those matches, ready to
+    /// apply.
+    #[allow(clippy::type_complexity)]
     fn run_transform_rule(
         &self,
         ri: usize,
@@ -310,7 +313,7 @@ impl Patcher {
         tu: &TranslationUnit,
         src: &str,
         streams: &[ExportedEnv],
-    ) -> Result<(Vec<MatchState>, Option<Vec<ExportedEnv>>), ApplyError> {
+    ) -> Result<(Vec<MatchState>, Option<Vec<ExportedEnv>>, EditSet), ApplyError> {
         let exports_needed = t
             .name
             .as_ref()
@@ -377,6 +380,23 @@ impl Patcher {
         // when `--no-flow` cleared `flow_enabled` — stays on the tree
         // matcher. The search (per-function CFGs + span indexes) is
         // built once and reused across all seed environments.
+        //
+        // Exception: a rule whose dots carry an explicit `when exists`/
+        // `when strict` cannot take the tree reading at all — it would
+        // silently discard the quantifier and (for strict) over-match.
+        // With flow matching disabled that is a loud per-file error,
+        // not a degraded rewrite.
+        if !self.flow_enabled {
+            if let Some(fp) = &self.compiled.rules[ri].flow {
+                if fp.explicit_quant {
+                    return Err(aerr(format!(
+                        "rule {}: `when exists` / `when strict` require CFG path matching, \
+                         which is disabled (--no-flow)",
+                        t.name.as_deref().unwrap_or("<anonymous>")
+                    )));
+                }
+            }
+        }
         let flow_search = match (&self.compiled.rules[ri].flow, &t.body.pattern) {
             (Some(fp), Pattern::Stmts(pats)) if self.flow_enabled => {
                 Some(crate::flowmatch::FlowSearch::new(fp, pats, tu))
@@ -386,7 +406,8 @@ impl Patcher {
 
         let mut all_matches: Vec<MatchState> = Vec::new();
         let mut new_streams: Vec<ExportedEnv> = Vec::new();
-        let mut claimed: Vec<Span> = Vec::new();
+        let mut claimed: Vec<(Span, u32)> = Vec::new();
+        let mut edits = EditSet::new();
         for (ex, seed) in &seeds {
             let mut found = match &flow_search {
                 Some(fs) => fs.find(&ctx, seed),
@@ -421,26 +442,112 @@ impl Patcher {
                     }
                 }
             }
-            for m in found {
-                let root = match_root(&m);
-                if !root.is_synthetic() && claimed.iter().any(|c| overlaps(*c, root)) {
-                    continue;
-                }
-                if !root.is_synthetic() {
-                    claimed.push(root);
-                }
-                if exports_needed {
-                    let mut ex2 = ex.map(|e| (*e).clone()).unwrap_or_default();
-                    let mut detached = Env::new();
-                    for (k, v) in m.env.iter() {
-                        detached.bind(k, v.detach(src));
+            // Sibling witnesses forked from one anchor attempt (adjacent
+            // in `found`, shared non-zero group id) are handled as a
+            // group. For patterns with a *forall* gap the group is
+            // atomic — the siblings jointly discharge the all-paths
+            // obligation, so if an earlier claim blocks any sibling, or
+            // their rewrites contradict, keeping a subset would rewrite
+            // only some of the attempt's arms. Pure-`exists` patterns
+            // fork one *independent* witness per surviving path: there
+            // only the individually blocked/contradicting siblings
+            // drop.
+            let atomic_groups = self.compiled.rules[ri]
+                .flow
+                .as_ref()
+                .map(|fp| fp.has_forall_gap())
+                .unwrap_or(true);
+            let mut it = found.into_iter().peekable();
+            while let Some(first) = it.next() {
+                let gid = first.witness_group;
+                let mut members = vec![first];
+                if gid != 0 {
+                    while it.peek().map(|m| m.witness_group == gid).unwrap_or(false) {
+                        members.push(it.next().expect("peeked"));
                     }
-                    if let Some(n) = &t.name {
-                        ex2.absorb(n, &detached);
-                    }
-                    new_streams.push(ex2);
                 }
-                all_matches.push(m);
+                let member_blocked = |m: &MatchState| {
+                    let root = match_root(m);
+                    !root.is_synthetic() && claims_conflict(&claimed, root, m)
+                };
+                if gid != 0 && atomic_groups {
+                    if members.iter().any(member_blocked) {
+                        continue;
+                    }
+                    // Contradictory rewrites (a forked metavariable
+                    // substituted into a *shared* anchor's replacement
+                    // or insertion) reject the group here, before it
+                    // claims territory, exports environments, or counts
+                    // as matched — the clean no-match outcome the
+                    // pre-fork engine gave. Each member's edits land in
+                    // their own set so cross-member contradictions are
+                    // visible (same-offset insertions with different
+                    // text never trip a single merged set).
+                    let mut member_sets = Vec::with_capacity(members.len());
+                    for m in &members {
+                        let mut set = EditSet::new();
+                        rewrite::emit_edits(&t.body, m, src, &mut set)
+                            .map_err(|e| aerr(format!("rewrite: {e}")))?;
+                        member_sets.push(set);
+                    }
+                    let contradictory = member_sets
+                        .iter()
+                        .enumerate()
+                        .any(|(i, a)| member_sets[i + 1..].iter().any(|b| a.conflicts_with(b)));
+                    if contradictory {
+                        continue;
+                    }
+                    for set in member_sets {
+                        edits.merge(set);
+                    }
+                } else if gid != 0 {
+                    // Independent exists witnesses: drop blocked ones,
+                    // then keep a maximal consistent set in source
+                    // order (a later witness whose edits contradict an
+                    // accepted sibling's drops alone).
+                    members.retain(|m| !member_blocked(m));
+                    let mut accepted_sets: Vec<EditSet> = Vec::new();
+                    let mut kept = Vec::with_capacity(members.len());
+                    for m in members {
+                        let mut set = EditSet::new();
+                        rewrite::emit_edits(&t.body, &m, src, &mut set)
+                            .map_err(|e| aerr(format!("rewrite: {e}")))?;
+                        if accepted_sets.iter().all(|a| !a.conflicts_with(&set)) {
+                            accepted_sets.push(set);
+                            kept.push(m);
+                        }
+                    }
+                    members = kept;
+                    for set in accepted_sets {
+                        edits.merge(set);
+                    }
+                } else {
+                    if members.iter().any(member_blocked) {
+                        continue;
+                    }
+                    for m in &members {
+                        rewrite::emit_edits(&t.body, m, src, &mut edits)
+                            .map_err(|e| aerr(format!("rewrite: {e}")))?;
+                    }
+                }
+                for m in members {
+                    let root = match_root(&m);
+                    if !root.is_synthetic() {
+                        claimed.push((root, m.witness_group));
+                    }
+                    if exports_needed {
+                        let mut ex2 = ex.map(|e| (*e).clone()).unwrap_or_default();
+                        let mut detached = Env::new();
+                        for (k, v) in m.env.iter() {
+                            detached.bind(k, v.detach(src));
+                        }
+                        if let Some(n) = &t.name {
+                            ex2.absorb(n, &detached);
+                        }
+                        new_streams.push(ex2);
+                    }
+                    all_matches.push(m);
+                }
             }
         }
         let streams_out = if exports_needed && !new_streams.is_empty() {
@@ -448,8 +555,19 @@ impl Patcher {
         } else {
             None
         };
-        Ok((all_matches, streams_out))
+        Ok((all_matches, streams_out, edits))
     }
+}
+
+/// Whether an overlapping earlier claim blocks match `m`. Sibling
+/// witnesses forked from one CFG anchor attempt deliberately share
+/// source territory (the common anchors); matches with the same
+/// non-zero witness group never block each other — each rewrites its
+/// own per-path sites.
+fn claims_conflict(claimed: &[(Span, u32)], root: Span, m: &MatchState) -> bool {
+    claimed
+        .iter()
+        .any(|&(c, g)| overlaps(c, root) && !(m.witness_group != 0 && g == m.witness_group))
 }
 
 /// Evaluate a dependency expression against the matched-rule set.

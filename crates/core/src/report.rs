@@ -55,6 +55,15 @@ impl FileStatus {
     pub fn parse(s: &str) -> Option<FileStatus> {
         FileStatus::ALL.into_iter().find(|st| st.as_str() == s)
     }
+
+    /// Whether `--resume` may copy this status forward for an unchanged
+    /// file. Completed outcomes (pruned / unmatched / matched / changed)
+    /// skip; `timeout` and `error` describe a *failed attempt*, not the
+    /// file, so those files are re-attempted — a larger budget or a
+    /// fixed engine may well succeed on the identical text.
+    pub fn resumable(self) -> bool {
+        !matches!(self, FileStatus::Timeout | FileStatus::Error)
+    }
 }
 
 impl fmt::Display for FileStatus {
@@ -83,6 +92,9 @@ pub struct FileReport {
     pub status: FileStatus,
     /// Matches found across rules (0 unless fully processed).
     pub matches: usize,
+    /// Per-path witnesses from CFG-routed (statement-dots) rules —
+    /// forked cross-branch bindings count once per path.
+    pub witnesses: usize,
     /// Wall-clock seconds spent on this file.
     pub seconds: f64,
     /// FNV-1a hash of the original file text (0 = unknown, e.g. an
@@ -113,6 +125,7 @@ impl FileReport {
             name: o.name.clone(),
             status,
             matches: o.matches,
+            witnesses: o.witnesses,
             seconds: o.seconds,
             hash: o.hash,
             error: o.error.clone(),
@@ -199,10 +212,11 @@ impl ApplyReport {
             // f64 number path of the minimal JSON parser.
             let _ = write!(
                 out,
-                "\n    {{\"name\": {}, \"status\": \"{}\", \"matches\": {}, \"seconds\": {:e}, \"hash\": \"{:016x}\"",
+                "\n    {{\"name\": {}, \"status\": \"{}\", \"matches\": {}, \"witnesses\": {}, \"seconds\": {:e}, \"hash\": \"{:016x}\"",
                 json::escape(&f.name),
                 f.status,
                 f.matches,
+                f.witnesses,
                 f.seconds,
                 f.hash
             );
@@ -266,6 +280,10 @@ impl ApplyReport {
                 .get("matches")
                 .and_then(json::Value::as_f64)
                 .unwrap_or(0.0) as usize;
+            let witnesses = fo
+                .get("witnesses")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(0.0) as usize;
             let seconds = fo
                 .get("seconds")
                 .and_then(json::Value::as_f64)
@@ -283,6 +301,7 @@ impl ApplyReport {
                 name,
                 status,
                 matches,
+                witnesses,
                 seconds,
                 hash,
                 error,
@@ -560,6 +579,7 @@ mod tests {
                     name: "a/b.c".into(),
                     status: FileStatus::Changed,
                     matches: 3,
+                    witnesses: 2,
                     seconds: 1e-4,
                     hash: 0xDEADBEEFCAFE0123,
                     error: None,
@@ -568,6 +588,7 @@ mod tests {
                     name: "a/skip.c".into(),
                     status: FileStatus::Pruned,
                     matches: 0,
+                    witnesses: 0,
                     seconds: 2e-6,
                     hash: content_hash("void f(void) {}\n"),
                     error: None,
@@ -576,6 +597,7 @@ mod tests {
                     name: "slow.c".into(),
                     status: FileStatus::Timeout,
                     matches: 0,
+                    witnesses: 0,
                     seconds: 1.0,
                     hash: 7,
                     error: Some("exceeded per-file time budget".into()),
@@ -584,6 +606,7 @@ mod tests {
                     name: "bad.c".into(),
                     status: FileStatus::Error,
                     matches: 0,
+                    witnesses: 0,
                     seconds: 5e-5,
                     hash: 0,
                     error: Some("cannot parse \"target\"".into()),

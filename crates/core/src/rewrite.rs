@@ -424,7 +424,28 @@ impl<'a> Rewriter<'a> {
         // Before the first element whose span starts at/after the anchor.
         for &sp in elem_spans {
             if sp.start >= g.anchor {
-                if let Some(src_span) = self.st.src_for(sp) {
+                if let Some(pair) = self.st.pairs.iter().find(|p| p.pat == sp) {
+                    let src_span = pair.src;
+                    let mid_line = src_span.start > 0
+                        && self.src.as_bytes().get(src_span.start as usize - 1) != Some(&b'\n');
+                    if pair.kind == PairKind::Dots && mid_line {
+                        // A dots region that begins right after the
+                        // preceding statement's semicolon (the CFG
+                        // route's gap span, or tree dots on a shared
+                        // line): inserting at the *line* start would
+                        // land before that statement, so splice onto
+                        // the end of its line instead.
+                        let indent = line_indent(
+                            self.src,
+                            src_span.end.saturating_sub(1).max(src_span.start),
+                        );
+                        let rendered = self.render_group(g, &indent);
+                        edits.insert(
+                            src_span.start,
+                            format!("\n{}", rendered.trim_end_matches('\n')),
+                        );
+                        return Ok(());
+                    }
                     let pos = line_start(self.src, src_span.start);
                     let indent = line_indent(self.src, src_span.start);
                     edits.insert(pos, self.render_group(g, &indent));

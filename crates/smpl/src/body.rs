@@ -21,7 +21,7 @@ use cocci_cast::lexer::{lex, LexMode};
 use cocci_cast::parser::{
     parse_expression, parse_statements, parse_translation_unit, MetaKind, MetaLookup, ParseOptions,
 };
-use cocci_cast::{Expr, Item, Lang, Stmt, Token, TokenKind};
+use cocci_cast::{visit, DotsQuant, Expr, Item, Lang, Stmt, Token, TokenKind};
 
 /// Per-line annotation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +89,38 @@ impl Pattern {
             Pattern::Stmts(stmts) => stmts.iter().any(|s| matches!(s, Stmt::Dots { .. })),
             Pattern::Expr(_) | Pattern::Items(_) => false,
         }
+    }
+
+    /// The path quantifiers of every statement dots in the pattern —
+    /// top-level *and* nested inside compound statements or function
+    /// bodies — in traversal order (`when exists` → `Exists`,
+    /// `when strict` → `Strict`, bare dots → `Default`). Empty for
+    /// patterns without statement dots. The compile-time guard uses
+    /// this to refuse quantifiers in positions only the tree matcher
+    /// would see (where they would silently read as plain dots).
+    pub fn statement_dots_quants(&self) -> Vec<DotsQuant> {
+        let mut out = Vec::new();
+        let mut collect = |stmts: &[Stmt]| {
+            for s in stmts {
+                visit::walk_stmt(s, &mut |st| {
+                    if let Stmt::Dots { quant, .. } = st {
+                        out.push(*quant);
+                    }
+                });
+            }
+        };
+        match self {
+            Pattern::Stmts(stmts) => collect(stmts),
+            Pattern::Items(items) => {
+                for it in items {
+                    if let Item::Function(f) = it {
+                        collect(&f.body.stmts);
+                    }
+                }
+            }
+            Pattern::Expr(_) => {}
+        }
+        out
     }
 }
 

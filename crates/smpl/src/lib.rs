@@ -421,6 +421,41 @@ position cfe.p;
     }
 
     #[test]
+    fn when_exists_and_strict_carry_through_the_pattern() {
+        use cocci_cast::DotsQuant;
+        let src = "@@\nexpression b;\n@@\n- probe_begin(b);\n+ probe_enter(b);\n... when exists\nprobe_end(b);\n";
+        let sp = parse_semantic_patch(src).unwrap();
+        let Rule::Transform(t) = &sp.rules[0] else {
+            panic!("transform rule expected");
+        };
+        assert!(t.is_flow_sensitive());
+        assert_eq!(
+            t.body.pattern.statement_dots_quants(),
+            vec![DotsQuant::Exists]
+        );
+
+        let strict = src.replace("when exists", "when strict");
+        let sp = parse_semantic_patch(&strict).unwrap();
+        let Rule::Transform(t) = &sp.rules[0] else {
+            panic!("transform rule expected");
+        };
+        assert_eq!(
+            t.body.pattern.statement_dots_quants(),
+            vec![DotsQuant::Strict]
+        );
+
+        let plain = src.replace(" when exists", "");
+        let sp = parse_semantic_patch(&plain).unwrap();
+        let Rule::Transform(t) = &sp.rules[0] else {
+            panic!("transform rule expected");
+        };
+        assert_eq!(
+            t.body.pattern.statement_dots_quants(),
+            vec![DotsQuant::Default]
+        );
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(parse_semantic_patch("not a patch at all").is_err());
         assert!(parse_semantic_patch("@r@\nbogus metavar decl\n@@\nx\n").is_err());

@@ -110,12 +110,301 @@ probe_end(b);
 }
 
 #[test]
-fn dots_join_requires_consistent_bindings() {
-    // Metavariable environments are reconciled at the join: the two
-    // paths bind `b` to different expressions, so no single match
-    // survives.
+fn dots_join_requires_consistent_bindings_when_pre_bound() {
+    // `b` is pinned at probe_begin(p), so the else arm's probe_end(r)
+    // is not a hit at all: that path escapes and the match refuses.
+    // (Witness forking only applies to metavariables still *unbound*
+    // when the paths diverge — see the forked-witness test below.)
     let src = "void f(int x) {\n    probe_begin(p);\n    if (x) {\n        probe_end(p);\n    } else {\n        probe_end(r);\n    }\n}\n";
     assert!(apply(PROBE_PATCH, src).is_none());
+}
+
+#[test]
+fn forked_witnesses_rewrite_both_arms() {
+    // The acceptance case: `e` binds differently in the two arms, so
+    // the engine forks one witness per path and each witness rewrites
+    // its own arm — the pre-fork engine rewrote neither.
+    let patch = r#"
+@@
+expression e;
+@@
+begin();
+...
+- commit(e);
++ commit_logged(e);
+"#;
+    let src = "void f(int x) {\n    begin();\n    if (x) {\n        commit(a);\n    } else {\n        commit(b);\n    }\n    done();\n}\n";
+    let out = apply(patch, src).expect("forked witnesses rewrite both arms");
+    assert!(out.contains("commit_logged(a);"), "{out}");
+    assert!(out.contains("commit_logged(b);"), "{out}");
+    assert!(!out.contains("commit(a);"), "{out}");
+    assert!(!out.contains("commit(b);"), "{out}");
+    // The tree reading sees no [begin; ...; commit] sequence in any
+    // single block and misses both.
+    assert!(apply_flow(patch, src, false).is_none());
+}
+
+#[test]
+fn when_exists_matches_where_all_paths_reading_refuses() {
+    // The acceptance case for `when exists`: the early return escapes
+    // the default (forall) gap, but some path does reach probe_end —
+    // the existential reading accepts exactly that.
+    let exists_patch = r#"
+@@
+expression b;
+@@
+- probe_begin(b);
++ probe_enter(b);
+... when exists
+probe_end(b);
+"#;
+    let src = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x)\n        return;\n    probe_end(q);\n}\n";
+    assert!(
+        apply(PROBE_PATCH, src).is_none(),
+        "default all-paths reading refuses the escaping path"
+    );
+    let out = apply(exists_patch, src).expect("when exists matches the surviving path");
+    assert!(out.contains("probe_enter(q);"), "{out}");
+}
+
+#[test]
+fn contradictory_forked_rewrites_refuse_cleanly() {
+    // `e` forks at the gap but is substituted into the *shared* anchor's
+    // replacement: the two witnesses demand different text for the same
+    // span. That is a genuinely contradictory rewrite — the whole group
+    // is rejected (no edits, no error), matching the pre-fork engine's
+    // clean refusal rather than failing the file.
+    let patch = r#"
+@@
+expression e;
+@@
+- a();
++ a2(e);
+...
+b(e);
+"#;
+    let src = "void f(int x) {\n    a();\n    if (x) {\n        b(1);\n    } else {\n        b(2);\n    }\n}\n";
+    assert!(
+        apply(patch, src).is_none(),
+        "contradictory witnesses must not rewrite (and must not error)"
+    );
+    // With agreeing bindings the shared-anchor rewrite applies once.
+    let agree = "void f(int x) {\n    a();\n    if (x) {\n        b(7);\n    } else {\n        b(7);\n    }\n}\n";
+    let out = apply(patch, agree).expect("consistent bindings rewrite");
+    assert!(out.contains("a2(7);"), "{out}");
+}
+
+#[test]
+fn contradictory_forked_insertions_refuse_cleanly() {
+    // The forked metavariable lands in an *insertion* at the shared
+    // anchor point rather than a replacement: log(1) vs log(2) at one
+    // site is just as contradictory, and must refuse (not insert both).
+    let patch = r#"
+@@
+expression e;
+@@
+a();
++ log(e);
+...
+b(e);
+"#;
+    let src = "void f(int x) {\n    a();\n    if (x) {\n        b(1);\n    } else {\n        b(2);\n    }\n}\n";
+    assert!(
+        apply(patch, src).is_none(),
+        "contradictory insertions at the shared anchor must refuse"
+    );
+}
+
+#[test]
+fn plus_group_between_anchor_and_dots_inserts_after_the_anchor() {
+    // The CFG route's dots span begins right after the anchor's
+    // semicolon (mid-line); the insertion must still land *after* the
+    // anchor statement, like the tree route places it.
+    let patch = r#"
+@@
+expression e;
+@@
+a();
++ log(e);
+...
+b(e);
+"#;
+    let src = "void f(void) {\n    a();\n    mid();\n    b(5);\n}\n";
+    let out = apply(patch, src).expect("straight-line insert");
+    let a_pos = out.find("a();").expect("anchor kept");
+    let log_pos = out.find("log(5);").expect("inserted");
+    let mid_pos = out.find("mid();").expect("mid kept");
+    assert!(
+        a_pos < log_pos && log_pos < mid_pos,
+        "insertion must sit between the anchor and the skipped code: {out}"
+    );
+}
+
+#[test]
+fn independent_exists_witnesses_survive_a_contradicting_sibling() {
+    // Pure-exists patterns fork one *independent* witness per surviving
+    // path (EF: one path suffices). A sibling whose shared-anchor
+    // rewrite contradicts an earlier-accepted one drops alone; the
+    // attempt still rewrites via the first path — unlike the forall
+    // reading, where the group is rejected as a whole.
+    let patch = r#"
+@@
+expression e;
+@@
+- a();
++ a2(e);
+... when exists
+b(e);
+"#;
+    let src = "void f(int x) {\n    a();\n    if (x) {\n        b(1);\n    } else {\n        b(2);\n    }\n}\n";
+    let out = apply(patch, src).expect("one exists path suffices");
+    assert!(
+        out.contains("a2(1);"),
+        "first-in-source witness wins: {out}"
+    );
+}
+
+#[test]
+fn rejected_witness_group_does_not_claim_territory() {
+    // The outer a() attempt forks contradictorily (a2(1) vs a2(2) at
+    // the shared anchor) and is rejected — *before* claiming, so the
+    // clean inner attempt (e binds only 3) must still rewrite.
+    let patch = r#"
+@@
+expression e;
+@@
+- a();
++ a2(e);
+...
+b(e);
+"#;
+    let src = "void f(int x) {\n    a();\n    if (x) {\n        b(1);\n        a();\n        b(3);\n    } else {\n        b(2);\n    }\n}\n";
+    let out = apply(patch, src).expect("inner attempt survives");
+    assert!(out.contains("a2(3);"), "{out}");
+    assert!(out.contains("a();"), "outer anchor stays: {out}");
+    assert!(out.contains("b(1);") && out.contains("b(2);"), "{out}");
+}
+
+#[test]
+fn rejected_witness_group_does_not_count_as_matched() {
+    // The contradictory-fork refusal must be a *full* refusal: the rule
+    // is not recorded as matched, so `depends on` rules downstream do
+    // not fire (the pre-fork engine refused the match outright).
+    let patch = r#"
+@r1@
+expression e;
+@@
+- a();
++ a2(e);
+...
+b(e);
+
+@r2 depends on r1@
+@@
+- done();
++ done2();
+"#;
+    let src =
+        "void f(int x) {\n    a();\n    if (x) {\n        b(1);\n    } else {\n        b(2);\n    }\n    done();\n}\n";
+    assert!(
+        apply(patch, src).is_none(),
+        "r1's refusal must not satisfy r2's dependency"
+    );
+}
+
+#[test]
+fn claim_blocked_witness_groups_drop_atomically() {
+    // Two seeds of an inheriting rule overlap: the x=q seed claims the
+    // else arm first, blocking the x=p attempt's e=2 sibling. The x=p
+    // attempt must then drop *atomically* — rewriting only its e=1 arm
+    // would leave the attempt's all-paths obligation half-applied.
+    let patch = r#"
+@r1@
+identifier x;
+@@
+init(x);
+
+@r2@
+identifier r1.x;
+expression e;
+@@
+a(x);
+...
+- b(e);
++ b2(x, e);
+"#;
+    let src = "void g(void) {\n    init(q);\n    init(p);\n}\nvoid f(int c, int p, int q) {\n    a(p);\n    if (c) {\n        b(1);\n    } else {\n        a(q);\n        b(2);\n    }\n}\n";
+    let out = apply(patch, src).expect("the x=q seed rewrites its arm");
+    assert!(out.contains("b2(q, 2);"), "{out}");
+    assert!(
+        out.contains("b(1);"),
+        "x=p attempt must drop atomically, leaving b(1) untouched: {out}"
+    );
+}
+
+#[test]
+fn no_flow_refuses_quantified_rules_loudly() {
+    // `--no-flow` forces the tree reading, which has no path
+    // quantifiers; silently running `when strict` there would
+    // over-match (rewrite across an escaping path). It is a per-file
+    // error instead.
+    let patch = r#"
+@@
+expression b;
+@@
+- probe_begin(b);
++ probe_enter(b);
+... when strict
+probe_end(b);
+"#;
+    let sp = parse_semantic_patch(patch).unwrap();
+    let mut p = Patcher::new(&sp).unwrap();
+    p.flow_enabled = false;
+    let src = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x)\n        return;\n    probe_end(q);\n}\n";
+    let err = p.apply("t.c", src).unwrap_err();
+    assert!(err.message.contains("when exists"), "{}", err.message);
+    assert!(err.message.contains("no-flow"), "{}", err.message);
+}
+
+#[test]
+fn when_strict_is_the_explicit_all_paths_spelling() {
+    let strict_patch = r#"
+@@
+expression b;
+@@
+- probe_begin(b);
++ probe_enter(b);
+... when strict
+probe_end(b);
+"#;
+    let escape = "void f(int x, double *q) {\n    probe_begin(q);\n    if (x)\n        return;\n    probe_end(q);\n}\n";
+    assert!(
+        apply(strict_patch, escape).is_none(),
+        "strict refuses escapes"
+    );
+    let clean = "void f(double *q) {\n    probe_begin(q);\n    mid(q);\n    probe_end(q);\n}\n";
+    let out = apply(strict_patch, clean).expect("strict matches the clean gap");
+    assert!(out.contains("probe_enter(q);"), "{out}");
+}
+
+#[test]
+fn loop_back_edge_rewrite_keeps_forward_region() {
+    // do-while: the body's flush() is reached through the loop back
+    // edge and *precedes* the anchor in the source; the post-loop
+    // flush() is the forward hit. The dots span must not collapse, and
+    // the anchor rewrite must land.
+    let patch = r#"
+@@
+@@
+- stage();
++ stage2();
+...
+flush();
+"#;
+    let src = "void f(int n) {\n    do {\n        flush();\n        stage();\n    } while (n);\n    flush();\n}\n";
+    let out = apply(patch, src).expect("loop back-edge match");
+    assert!(out.contains("stage2();"), "{out}");
+    assert!(!out.contains("stage();"), "{out}");
 }
 
 #[test]

@@ -264,6 +264,52 @@ fn prefilter_never_prunes_a_matching_file() {
 }
 
 #[test]
+fn when_exists_matches_superset_of_all_paths_on_branchy_workloads() {
+    // `when exists` (EF) is implied by the default all-paths reading
+    // (AF): every witness the forall engine produces has at least one
+    // path behind it, so on any input the existential patch must match
+    // wherever — and at least as often as — the forall patch does.
+    use cocci_workloads::gen::{branchy_codebase, CodebaseSpec};
+
+    const FORALL: &str =
+        "@@\nexpression b;\n@@\n- probe_begin(b);\n+ probe_enter(b);\n...\nprobe_end(b);\n";
+    const EXISTS: &str =
+        "@@\nexpression b;\n@@\n- probe_begin(b);\n+ probe_enter(b);\n... when exists\nprobe_end(b);\n";
+    let forall = parse_semantic_patch(FORALL).unwrap();
+    let exists = parse_semantic_patch(EXISTS).unwrap();
+
+    Runner::new("when_exists_matches_superset_of_all_paths")
+        .cases(16)
+        .run(|rng| {
+            let spec = CodebaseSpec {
+                files: 2,
+                functions_per_file: 6,
+                seed: rng.next_u64(),
+            };
+            for f in branchy_codebase(&spec) {
+                let mut pa = Patcher::new(&forall).unwrap();
+                let out_a = pa.apply(&f.name, &f.text).unwrap();
+                let matches_a: usize = pa.last_stats.matches_per_rule.iter().sum();
+                let mut pe = Patcher::new(&exists).unwrap();
+                let out_e = pe.apply(&f.name, &f.text).unwrap();
+                let matches_e: usize = pe.last_stats.matches_per_rule.iter().sum();
+                assert!(
+                    matches_e >= matches_a,
+                    "{}: exists found {matches_e} < forall {matches_a}",
+                    f.name
+                );
+                if out_a.is_some() {
+                    assert!(
+                        out_e.is_some(),
+                        "{}: forall transformed but exists did not",
+                        f.name
+                    );
+                }
+            }
+        });
+}
+
+#[test]
 fn patched_output_still_parses() {
     Runner::new("patched_output_still_parses")
         .cases(48)
