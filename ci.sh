@@ -92,8 +92,40 @@ cargo bench --bench cfg_match --locked
 test -s target/BENCH_cfg_match.json
 grep -q cfg_overhead target/BENCH_cfg_match.json
 grep -q witnesses target/BENCH_cfg_match.json
+grep -q findings target/BENCH_cfg_match.json
 trend_check cfg_match
-echo "ok: target/BENCH_cfg_match.json written (overhead + witness metrics recorded)"
+echo "ok: target/BENCH_cfg_match.json written (overhead + witness + findings metrics recorded)"
+
+echo "== report-mode e2e (findings over a generated corpus; format agreement + SARIF shape) =="
+RPT_ROOT="target/report-e2e"
+rm -rf "$RPT_ROOT"
+# The example materializes the report_scan corpus family and the
+# reporting-only patch (pure context + position metavariable).
+cargo run --release -q -p cocci-examples --example report_scan --locked -- "$RPT_ROOT/corpus"
+SPATCH=target/release/spatch
+for fmt in text json sarif; do
+  "$SPATCH" --sp-file "$RPT_ROOT/corpus/scan.cocci" --mode report --format "$fmt" \
+    --quiet "$RPT_ROOT/corpus" > "$RPT_ROOT/findings.$fmt"
+  test -s "$RPT_ROOT/findings.$fmt"
+done
+# All three formats must agree on the (file,line,col) finding set.
+cut -d: -f1-3 "$RPT_ROOT/findings.text" | sort > "$RPT_ROOT/set.text"
+test -s "$RPT_ROOT/set.text"
+grep -o '"path": "[^"]*", "line": [0-9]*, "col": [0-9]*' "$RPT_ROOT/findings.json" \
+  | sed 's/"path": "\([^"]*\)", "line": \([0-9]*\), "col": \([0-9]*\)/\1:\2:\3/' \
+  | sort > "$RPT_ROOT/set.json"
+grep -o '"uri": "[^"]*"}, "region": {"startLine": [0-9]*, "startColumn": [0-9]*' "$RPT_ROOT/findings.sarif" \
+  | sed 's/"uri": "\([^"]*\)"}, "region": {"startLine": \([0-9]*\), "startColumn": \([0-9]*\)/\1:\2:\3/' \
+  | sort > "$RPT_ROOT/set.sarif"
+diff "$RPT_ROOT/set.text" "$RPT_ROOT/set.json"
+diff "$RPT_ROOT/set.text" "$RPT_ROOT/set.sarif"
+# SARIF sanity: the required 2.1.0 keys must be present before the
+# document is published as a CI artifact.
+for key in '"version": "2.1.0"' '"$schema"' '"runs"' '"results"' '"ruleId"' '"physicalLocation"' '"artifactLocation"'; do
+  grep -qF "$key" "$RPT_ROOT/findings.sarif" || { echo "SARIF missing $key"; exit 1; }
+done
+cp "$RPT_ROOT/findings.sarif" target/REPORT_scan.sarif
+echo "ok: $(wc -l < "$RPT_ROOT/set.text") findings agree across text/json/sarif (SARIF at target/REPORT_scan.sarif)"
 
 if [ -n "$TREND_FAILURES" ]; then
   echo "bench trend: wall-clock regressions in:$TREND_FAILURES (budget ${BENCH_TREND_MAX_PCT}%)"

@@ -15,6 +15,11 @@
 //!   the two arms of a branch, so the path engine forks per-path
 //!   witnesses; the witness total lands as `witnesses/forked` and the
 //!   timing prices the forking machinery.
+//! * **report_scan** — the findings engine's workload: a
+//!   reporting-only rule (`acquire(r)@p; ... release(r);`, pure
+//!   context) over the `report_scan` corpus family. The finding total
+//!   lands as `findings/report_scan` so the bench-trend gate baselines
+//!   the report route, and the timing prices findings production.
 //!
 //! The measured rules are the canonical instrumentation pair
 //! `probe_begin(b); ... probe_end(b);` (with an edit on the opening
@@ -25,7 +30,8 @@ use cocci_bench::timing::{Harness, Throughput};
 use cocci_core::{apply_batch_opts, CompiledPatch, ExecOptions};
 use cocci_smpl::parse_semantic_patch;
 use cocci_workloads::gen::{
-    branchy_codebase, forked_commit_codebase, linear_probe_codebase, CodebaseSpec,
+    branchy_codebase, forked_commit_codebase, linear_probe_codebase, report_scan_codebase,
+    CodebaseSpec,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,6 +41,9 @@ const PROBE_PATCH: &str =
 
 const FORK_PATCH: &str =
     "@@\nexpression e;\n@@\ncheckpoint();\n...\n- commit(e);\n+ commit_logged(e);\n";
+
+const SCAN_PATCH: &str =
+    "@scan@\nexpression r;\nposition p;\n@@\nacquire(r)@p;\n...\nrelease(r);\n";
 
 fn total_matches(outcomes: &[cocci_core::FileOutcome]) -> usize {
     outcomes.iter().map(|o| o.matches).sum()
@@ -148,5 +157,27 @@ fn main() {
         Throughput::Bytes(fbytes as u64),
         || apply_batch_opts(&fork_compiled, &forked, &flow),
     );
+
+    // Report route: a reporting-only (pure-context) rule over the
+    // report_scan family — every match witness becomes a finding
+    // instead of an edit. The generator's shape rotation makes the
+    // expected total exactly files × functions ÷ 2.
+    let scan: Vec<(String, String)> = report_scan_codebase(&spec)
+        .into_iter()
+        .map(|f| (f.name, f.text))
+        .collect();
+    let scan_patch = parse_semantic_patch(SCAN_PATCH).expect("scan patch");
+    let scan_compiled = Arc::new(CompiledPatch::compile(&scan_patch).expect("compile"));
+    let scan_out = apply_batch_opts(&scan_compiled, &scan, &flow);
+    let findings: usize = scan_out.iter().map(|o| o.findings.len()).sum();
+    h.metric("findings", "report_scan", findings as f64);
+    let sbytes: usize = scan.iter().map(|(_, t)| t.len()).sum();
+    h.bench(
+        "report_scan",
+        "flow",
+        Throughput::Bytes(sbytes as u64),
+        || apply_batch_opts(&scan_compiled, &scan, &flow),
+    );
+
     h.finish().expect("write BENCH_cfg_match.json");
 }

@@ -6,6 +6,13 @@
 //!
 //! Options:
 //!   --sp-file <FILE>    semantic patch to apply (required)
+//!   --mode <M>          `patch` (rewrite) or `report` (findings only);
+//!                       auto-detected: a transformation-free patch (no
+//!                       `-`/`+` lines) selects report mode
+//!   --format <F>        report-mode output: `text` (grep-style
+//!                       `file:line:col: rule: message`), `json` (the
+//!                       apply report with embedded findings), or
+//!                       `sarif` (SARIF 2.1.0 for CI ingestion)
 //!   --in-place          rewrite files on disk instead of printing a diff
 //!   -o <FILE>           write the single patched file here
 //!   -j, --jobs <N>      worker threads (default: all cores)
@@ -36,6 +43,26 @@ use cocci_smpl::parse_semantic_patch;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Run mode: rewrite matches or report them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Apply edits (the traditional spatch behaviour).
+    Patch,
+    /// Emit findings; never touch a file.
+    Report,
+}
+
+/// Report-mode output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// Grep-style `file:line:col: rule: message` lines.
+    Text,
+    /// The apply report JSON with embedded findings.
+    Json,
+    /// SARIF 2.1.0.
+    Sarif,
+}
+
 struct Args {
     sp_file: PathBuf,
     targets: Vec<PathBuf>,
@@ -49,11 +76,14 @@ struct Args {
     ignore: Vec<String>,
     no_prefilter: bool,
     no_flow: bool,
+    mode: Option<Mode>,
+    format: Option<Format>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: spatch --sp-file <patch.cocci> [--in-place] [-o FILE] [-j N] [--report FILE] \
+        "usage: spatch --sp-file <patch.cocci> [--mode patch|report] [--format text|json|sarif] \
+         [--in-place] [-o FILE] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
          [--quiet] <files-or-dirs...>"
     );
@@ -73,10 +103,33 @@ fn parse_args() -> Args {
     let mut ignore = Vec::new();
     let mut no_prefilter = false;
     let mut no_flow = false;
+    let mut mode = None;
+    let mut format = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--sp-file" => sp_file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--mode" => {
+                mode = Some(match it.next().as_deref() {
+                    Some("patch") => Mode::Patch,
+                    Some("report") => Mode::Report,
+                    other => {
+                        eprintln!("spatch: bad --mode {other:?} (expected patch|report)");
+                        usage();
+                    }
+                })
+            }
+            "--format" => {
+                format = Some(match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        eprintln!("spatch: bad --format {other:?} (expected text|json|sarif)");
+                        usage();
+                    }
+                })
+            }
             "--in-place" => in_place = true,
             "-o" => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "-j" | "--jobs" => {
@@ -123,6 +176,8 @@ fn parse_args() -> Args {
         ignore,
         no_prefilter,
         no_flow,
+        mode,
+        format,
     }
 }
 
@@ -143,6 +198,38 @@ fn main() -> ExitCode {
         }
     };
     let patch_hash = cocci_core::content_hash(&patch_text);
+
+    // Report mode: explicit `--mode report`, or auto-detected from a
+    // transformation-free patch (pure-context bodies can only ever
+    // produce findings).
+    let mode = args.mode.unwrap_or(if patch.is_report_only() {
+        Mode::Report
+    } else {
+        Mode::Patch
+    });
+    if mode == Mode::Report && !patch.is_report_only() {
+        // A transforming patch rewrites the in-memory text between
+        // rules (sequential semantics), so findings of later rules
+        // would carry line/col of an intermediate text no file on disk
+        // ever has. Report mode therefore requires a
+        // transformation-free patch, as upstream Coccinelle does.
+        eprintln!(
+            "spatch: report mode needs a transformation-free patch \
+             (this one has `-`/`+` lines; drop them or run in patch mode)"
+        );
+        return ExitCode::from(2);
+    }
+    if mode == Mode::Report && (args.in_place || args.output.is_some()) {
+        eprintln!(
+            "spatch: report mode emits findings, never rewrites; \
+             --in-place / -o make no sense with it"
+        );
+        return ExitCode::from(2);
+    }
+    if args.format.is_some() && mode != Mode::Report {
+        eprintln!("spatch: --format only applies to report mode (--mode report)");
+        return ExitCode::from(2);
+    }
 
     // `-o` holds exactly one output file; a directory walk (or several
     // targets) could produce several changed files that would silently
@@ -223,6 +310,8 @@ fn main() -> ExitCode {
                 if !args.quiet {
                     let what = if outcome.pruned {
                         "no match (pruned)"
+                    } else if !outcome.findings.is_empty() {
+                        "matched, findings recorded"
                     } else if outcome.matches > 0 {
                         "matched, no edits"
                     } else {
@@ -232,6 +321,11 @@ fn main() -> ExitCode {
                 }
                 return;
             };
+            if mode == Mode::Report {
+                // A mixed patch's transform rules may still produce
+                // edits in memory; report mode never surfaces them.
+                return;
+            }
             changed += 1;
             if args.in_place {
                 if let Err(e) = std::fs::write(name, new_text) {
@@ -328,12 +422,40 @@ fn main() -> ExitCode {
             eprintln!("spatch: report written to {}", path.display());
         }
     }
+
+    // Report mode: the findings are the product. Text goes to stdout
+    // grep-style; `json` emits the whole apply report (findings
+    // embedded); `sarif` emits a SARIF 2.1.0 document for CI ingestion.
+    // Resumed files kept their findings in the report, so every format
+    // sees the full set even on incremental runs.
+    let total_findings: usize = report.files.iter().map(|f| f.findings.len()).sum();
+    if mode == Mode::Report {
+        match args.format.unwrap_or(Format::Text) {
+            Format::Text => {
+                for f in &report.files {
+                    for fd in &f.findings {
+                        println!("{}", fd.text_line());
+                    }
+                }
+            }
+            Format::Json => print!("{}", report.to_json()),
+            Format::Sarif => print!("{}", cocci_core::to_sarif(&report)),
+        }
+    }
     if !args.quiet {
-        eprintln!(
-            "spatch: {changed}/{} file(s) transformed, {failures} failure(s) ({})",
-            report.files.len(),
-            report.summary()
-        );
+        if mode == Mode::Report {
+            eprintln!(
+                "spatch: {total_findings} finding(s) across {} file(s), {failures} failure(s) ({})",
+                report.files.len(),
+                report.summary()
+            );
+        } else {
+            eprintln!(
+                "spatch: {changed}/{} file(s) transformed, {failures} failure(s) ({})",
+                report.files.len(),
+                report.summary()
+            );
+        }
     }
     if failures > 0 {
         ExitCode::FAILURE

@@ -687,3 +687,364 @@ fn output_flag_refuses_directory_and_multi_file_targets() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2), "{out:?}");
 }
+
+// ---- report mode ----
+
+/// Transformation-free patch with a position metavariable: the findings
+/// engine's canonical input.
+const SCAN_PATCH: &str = "@scan@\nexpression e;\nposition p;\n@@\nold_api(e)@p;\n";
+
+/// A flow-sensitive reporting patch (statement dots): positions bind at
+/// CFG match sites on the flow route, at tree sites under --no-flow.
+const SCAN_DOTS_PATCH: &str =
+    "@pair@\nexpression b;\nposition p;\n@@\nprobe_begin(b)@p;\n...\nprobe_end(b);\n";
+
+fn write_scan_corpus(dir: &std::path::Path) -> PathBuf {
+    let tree = dir.join("tree");
+    fs::create_dir_all(&tree).unwrap();
+    fs::write(
+        tree.join("a.c"),
+        "void f(void) {\n    setup();\n    old_api(1);\n    old_api(q + 2);\n}\n",
+    )
+    .unwrap();
+    fs::write(tree.join("b.c"), "void g(void) {\n    old_api(7);\n}\n").unwrap();
+    fs::write(tree.join("c.c"), "void h(void) {\n    other();\n}\n").unwrap();
+    tree
+}
+
+/// Extract the `(path-suffix, line, col)` finding set from grep-style
+/// text output.
+fn text_finding_set(stdout: &str) -> Vec<(String, u32, u32)> {
+    let mut out: Vec<(String, u32, u32)> = stdout
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let mut it = l.splitn(4, ':');
+            let path = it.next().unwrap();
+            let line: u32 = it.next().unwrap().parse().unwrap();
+            let col: u32 = it.next().unwrap().parse().unwrap();
+            let file = path.rsplit('/').next().unwrap().to_string();
+            (file, line, col)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn report_mode_auto_detects_and_prints_grep_style_findings() {
+    let dir = tmpdir("report-text");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, SCAN_PATCH).unwrap();
+    let tree = write_scan_corpus(&dir);
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg("--quiet")
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        text_finding_set(&stdout),
+        vec![
+            ("a.c".to_string(), 3, 5),
+            ("a.c".to_string(), 4, 5),
+            ("b.c".to_string(), 2, 5),
+        ],
+        "{stdout}"
+    );
+    assert!(stdout.contains(": scan: "), "{stdout}");
+    // No file was rewritten.
+    assert!(fs::read_to_string(tree.join("a.c"))
+        .unwrap()
+        .contains("old_api(1);"));
+}
+
+#[test]
+fn report_mode_refuses_in_place_and_output_and_patch_mode_refuses_format() {
+    let dir = tmpdir("report-refuse");
+    let patch = dir.join("p.cocci");
+    let file = dir.join("t.c");
+    fs::write(&patch, SCAN_PATCH).unwrap();
+    fs::write(&file, "void f(void) { old_api(1); }\n").unwrap();
+
+    for flags in [vec!["--in-place"], vec!["-o", "out.c"]] {
+        let out = spatch()
+            .args(["--sp-file"])
+            .arg(&patch)
+            .args(&flags)
+            .arg(&file)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flags:?}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("report mode"), "{stderr}");
+    }
+
+    // --format needs report mode.
+    let transform = dir.join("tp.cocci");
+    fs::write(&transform, RENAME_PATCH).unwrap();
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&transform)
+        .args(["--format", "json"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    // A transforming patch cannot be forced into report mode either:
+    // its rules rewrite the in-memory text between matches, so later
+    // findings would carry line/col of a text no on-disk file has.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&transform)
+        .args(["--mode", "report", "--quiet"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("transformation-free"), "{stderr}");
+    assert!(fs::read_to_string(&file).unwrap().contains("old_api"));
+}
+
+#[test]
+fn report_formats_agree_on_the_finding_set() {
+    use cocci_core::report::json;
+    use cocci_core::ApplyReport;
+
+    let dir = tmpdir("report-formats");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, SCAN_PATCH).unwrap();
+    let tree = write_scan_corpus(&dir);
+
+    let run = |format: &str| -> String {
+        let out = spatch()
+            .args(["--sp-file"])
+            .arg(&patch)
+            .args(["--format", format, "--quiet"])
+            .arg(&tree)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{format}: {out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+
+    let text = text_finding_set(&run("text"));
+    assert_eq!(text.len(), 3);
+
+    // JSON: findings embedded in the apply report.
+    let report = ApplyReport::from_json(&run("json")).unwrap();
+    let mut from_json: Vec<(String, u32, u32)> = report
+        .files
+        .iter()
+        .flat_map(|f| &f.findings)
+        .map(|fd| {
+            (
+                fd.path.rsplit('/').next().unwrap().to_string(),
+                fd.line,
+                fd.col,
+            )
+        })
+        .collect();
+    from_json.sort();
+    assert_eq!(from_json, text);
+
+    // SARIF: same set out of the results array.
+    let sarif = json::parse(&run("sarif")).unwrap();
+    let runs = sarif
+        .as_object()
+        .unwrap()
+        .get("runs")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let results = runs[0]
+        .as_object()
+        .unwrap()
+        .get("results")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let mut from_sarif: Vec<(String, u32, u32)> = results
+        .iter()
+        .map(|r| {
+            let loc = r
+                .as_object()
+                .unwrap()
+                .get("locations")
+                .unwrap()
+                .as_array()
+                .unwrap()[0]
+                .as_object()
+                .unwrap()
+                .get("physicalLocation")
+                .unwrap()
+                .as_object()
+                .unwrap();
+            let uri = loc
+                .get("artifactLocation")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str()
+                .unwrap();
+            let region = loc.get("region").unwrap().as_object().unwrap();
+            (
+                uri.rsplit('/').next().unwrap().to_string(),
+                region.get("startLine").unwrap().as_f64().unwrap() as u32,
+                region.get("startColumn").unwrap().as_f64().unwrap() as u32,
+            )
+        })
+        .collect();
+    from_sarif.sort();
+    assert_eq!(from_sarif, text);
+}
+
+#[test]
+fn report_mode_works_under_no_flow() {
+    // A dots-free-equivalent file: tree and CFG routes must emit the
+    // identical finding set.
+    let dir = tmpdir("report-noflow");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, SCAN_DOTS_PATCH).unwrap();
+    let file = dir.join("t.c");
+    fs::write(
+        &file,
+        "void f(double *q) {\n    probe_begin(q);\n    work(q);\n    probe_end(q);\n}\n",
+    )
+    .unwrap();
+
+    let run = |extra: &[&str]| -> Vec<(String, u32, u32)> {
+        let out = spatch()
+            .args(["--sp-file"])
+            .arg(&patch)
+            .args(extra)
+            .arg("--quiet")
+            .arg(&file)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{extra:?}: {out:?}");
+        text_finding_set(&String::from_utf8(out.stdout).unwrap())
+    };
+    let flow = run(&[]);
+    let tree = run(&["--no-flow"]);
+    assert_eq!(flow, vec![("t.c".to_string(), 2, 5)]);
+    assert_eq!(flow, tree, "tree and flow routes agree on findings");
+}
+
+#[test]
+fn resume_carries_findings_forward() {
+    use cocci_core::ApplyReport;
+
+    let dir = tmpdir("report-resume");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, SCAN_PATCH).unwrap();
+    let tree = write_scan_corpus(&dir);
+    let r1 = dir.join("r1.json");
+    let r2 = dir.join("r2.json");
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--quiet", "--report"])
+        .arg(&r1)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let first = text_finding_set(&String::from_utf8(out.stdout).unwrap());
+    assert_eq!(first.len(), 3);
+
+    // Nothing changed: every file resumes, and the findings — not just
+    // the statuses — still come out in full.
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .args(["--quiet", "--resume"])
+        .arg(&r1)
+        .args(["--report"])
+        .arg(&r2)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let resumed = text_finding_set(&String::from_utf8(out.stdout).unwrap());
+    assert_eq!(resumed, first, "findings carried through --resume");
+    let report = ApplyReport::from_json(&fs::read_to_string(&r2).unwrap()).unwrap();
+    assert_eq!(report.resumed, 3);
+    let total: usize = report.files.iter().map(|f| f.findings.len()).sum();
+    assert_eq!(total, 3);
+}
+
+#[test]
+fn script_print_report_authors_messages() {
+    let dir = tmpdir("report-script");
+    let patch = dir.join("p.cocci");
+    fs::write(
+        &patch,
+        "@r@\nexpression e;\nposition p;\n@@\nold_api(e)@p;\n\n\
+         @script:python s depends on r@\np << r.p;\ne << r.e;\n@@\n\
+         coccilib.report.print_report(p[0], \"old_api called with \" + e)\n",
+    )
+    .unwrap();
+    let file = dir.join("t.c");
+    fs::write(&file, "void f(void) {\n    old_api(q + 2);\n}\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg("--quiet")
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(": s: old_api called with q + 2"),
+        "{stdout}"
+    );
+    assert!(stdout.contains(":2:5:"), "{stdout}");
+    // The scanned rule's own generic `matched` finding is suppressed —
+    // the script authors the message, and emitting both would report
+    // every site twice.
+    assert!(!stdout.contains(": r: matched"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn non_reporting_script_does_not_swallow_findings() {
+    // The inheriting script only *computes* (never calls print_report):
+    // the scanned rule's generic findings must stand in — the matches
+    // may not silently vanish from report output.
+    let dir = tmpdir("report-script-silent");
+    let patch = dir.join("p.cocci");
+    fs::write(
+        &patch,
+        "@r@\nexpression e;\nposition p;\n@@\nold_api(e)@p;\n\n\
+         @script:python s depends on r@\ne << r.e;\n@@\n\
+         coccinelle.tag = \"seen_\" + e\n",
+    )
+    .unwrap();
+    let file = dir.join("t.c");
+    fs::write(&file, "void f(void) {\n    old_api(5);\n}\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&patch)
+        .arg("--quiet")
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(": r: matched"), "{stdout}");
+    assert!(stdout.contains(":2:5:"), "{stdout}");
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}

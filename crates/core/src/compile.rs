@@ -30,6 +30,10 @@ pub struct CompiledRule {
     /// rules (statement dots) the path engine can route; `None` keeps
     /// the rule on the tree matcher.
     pub flow: Option<FlowPattern>,
+    /// The rule's body is pure context (no `-`/`+` lines): its matches
+    /// route to findings instead of edits. Always `false` for
+    /// script/initialize/finalize rules.
+    pub report_only: bool,
 }
 
 /// A semantic patch compiled once per run.
@@ -42,6 +46,12 @@ pub struct CompiledPatch {
     /// Rule names that later rules inherit from (metavariables or script
     /// inputs) — only these export environments.
     pub inherited_from: HashSet<String>,
+    /// Rule names whose bindings feed a *script* rule. A reporting-only
+    /// rule in this set does not auto-emit its generic `matched`
+    /// findings: the script authors the real message per site (via
+    /// `coccilib.report.print_report`), and emitting both would
+    /// double-report every location.
+    pub script_inherited_from: HashSet<String>,
     /// Pruning is allowed: the patch consists solely of transform rules.
     /// Script/initialize/finalize rules have per-file side effects (the
     /// interpreter can print), so skipping the pipeline for a pruned file
@@ -55,15 +65,18 @@ impl CompiledPatch {
     pub fn compile(patch: &SemanticPatch) -> Result<Self, ApplyError> {
         let mut rules = Vec::with_capacity(patch.rules.len());
         let mut inherited_from = HashSet::new();
+        let mut script_inherited_from = HashSet::new();
         let mut has_transform = false;
         let mut has_script = false;
         for rule in &patch.rules {
             let mut regexes = HashMap::new();
             let mut atoms = None;
             let mut flow = None;
+            let mut report_only = false;
             match rule {
                 Rule::Transform(t) => {
                     has_transform = true;
+                    report_only = t.is_report_only();
                     for mv in &t.metavars {
                         if let Some(Constraint::Regex(re)) | Some(Constraint::NotRegex(re)) =
                             &mv.constraint
@@ -121,6 +134,7 @@ impl CompiledPatch {
                     has_script = true;
                     for (_, from, _) in &s.inputs {
                         inherited_from.insert(from.clone());
+                        script_inherited_from.insert(from.clone());
                     }
                 }
                 _ => has_script = true,
@@ -129,12 +143,14 @@ impl CompiledPatch {
                 regexes,
                 atoms,
                 flow,
+                report_only,
             });
         }
         Ok(CompiledPatch {
             patch: patch.clone(),
             rules,
             inherited_from,
+            script_inherited_from,
             prunable: has_transform && !has_script,
         })
     }
@@ -161,6 +177,13 @@ impl CompiledPatch {
     /// Prefilter atoms of rule `ri` (`None` for non-transform rules).
     pub fn rule_atoms(&self, ri: usize) -> Option<&[String]> {
         self.rules.get(ri).and_then(|r| r.atoms.as_deref())
+    }
+
+    /// Whether the whole patch is transformation-free (every transform
+    /// rule reporting-only) — the condition under which `spatch`
+    /// auto-selects report mode.
+    pub fn is_report_only(&self) -> bool {
+        self.patch.is_report_only()
     }
 
     /// The name of the first rule that *requires* CFG path matching —

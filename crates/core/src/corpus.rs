@@ -428,6 +428,7 @@ pub fn apply_to_corpus_resumed(
                 seconds: 0.0,
                 hash: 0,
                 error: Some(msg),
+                findings: Vec::new(),
             });
         }
         if batch.is_empty() {
@@ -451,6 +452,11 @@ pub fn apply_to_corpus_resumed(
                         seconds: 0.0,
                         hash,
                         error: prev.error.clone(),
+                        // A skipped file's *findings* carry forward too —
+                        // an unchanged file still has the same
+                        // diagnostics, and report mode would otherwise
+                        // silently drop them from incremental runs.
+                        findings: prev.findings.clone(),
                     });
                 }
                 _ => to_run.push((name, text)),
@@ -620,6 +626,44 @@ mod tests {
             back.files.iter().find(|f| f.name == "miss.c").unwrap().hash,
             miss_entry.hash
         );
+    }
+
+    #[test]
+    fn resume_carries_findings_forward_for_unchanged_files() {
+        // Reporting-only patch: matches become findings, not edits.
+        let patch = parse_semantic_patch("@scan@\nexpression e;\nposition p;\n@@\nold_api(e)@p;\n")
+            .unwrap();
+        let hit = (
+            "hit.c".to_string(),
+            "void f(void) {\n    old_api(1);\n}\n".to_string(),
+        );
+        let first = apply_to_corpus(
+            &patch,
+            &mut MemorySource::new(vec![hit.clone()]),
+            &CorpusOptions::default(),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(first.files[0].status, FileStatus::Matched);
+        assert_eq!(first.files[0].findings.len(), 1);
+        assert_eq!(first.files[0].findings[0].line, 2);
+        assert_eq!(first.files[0].findings[0].col, 5);
+
+        // Resume over the unchanged file: skipped, but the findings ride
+        // along — an incremental report still shows the full set.
+        let second = apply_to_corpus_resumed(
+            &patch,
+            &mut MemorySource::new(vec![hit]),
+            &CorpusOptions::default(),
+            Some(&first),
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(second.resumed, 1);
+        assert_eq!(second.files[0].findings, first.files[0].findings);
+        // And they survive the JSON round trip the CLI resume path uses.
+        let back = ApplyReport::from_json(&second.to_json()).unwrap();
+        assert_eq!(back.files[0].findings, first.files[0].findings);
     }
 
     #[test]

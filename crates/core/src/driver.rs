@@ -36,6 +36,9 @@ pub struct FileOutcome {
     /// Per-path witnesses produced by CFG-routed (statement-dots)
     /// rules; cross-branch bindings that fork count once per path.
     pub witnesses: usize,
+    /// Findings from reporting-only rules and script `print_report`
+    /// calls — one per match witness.
+    pub findings: Vec<crate::findings::Finding>,
     /// The prefilter skipped this file before lexing/parsing.
     pub pruned: bool,
     /// The file exceeded the per-file time budget.
@@ -220,6 +223,7 @@ fn run_one(
             error: None,
             matches: 0,
             witnesses: 0,
+            findings: Vec::new(),
             pruned: true,
             timed_out: false,
             hash,
@@ -233,6 +237,7 @@ fn run_one(
             error: None,
             matches: patcher.last_stats.matches_per_rule.iter().sum(),
             witnesses: patcher.last_stats.witnesses,
+            findings: std::mem::take(&mut patcher.last_stats.findings),
             pruned: false,
             timed_out: false,
             hash,
@@ -244,6 +249,7 @@ fn run_one(
             error: Some(e.to_string()),
             matches: 0,
             witnesses: 0,
+            findings: Vec::new(),
             pruned: false,
             timed_out: e.timed_out,
             hash,

@@ -32,10 +32,21 @@ pub enum Value {
     Text(String),
     /// A bound integer constant.
     Int(i128),
-    /// A bound position.
+    /// A bound position: the source span of the matched occurrence plus
+    /// the identity of the file it was matched in. Carrying the file is
+    /// what makes inherited positions (`position cfe.p`) compare
+    /// correctly: an offset alone would spuriously equate positions
+    /// from different files of a corpus. (`Arc<str>`: positions ride
+    /// along every environment clone during CFG witness forking, so the
+    /// name is shared, not re-allocated.)
     Pos {
-        /// Byte offset in the target file.
-        offset: u32,
+        /// Name of the target file the position was bound in.
+        file: std::sync::Arc<str>,
+        /// Byte span of the matched occurrence.
+        span: Span,
+        /// Line/column resolution captured when the position crossed a
+        /// rule boundary (see [`ResolvedPos`]). `None` until export.
+        resolved: Option<ResolvedPos>,
     },
     /// A bound `pragmainfo` (pragma payload remainder).
     Pragma(String),
@@ -100,7 +111,7 @@ impl Value {
             Value::Ident { name, .. } => name.clone(),
             Value::Text(t) => t.clone(),
             Value::Int(i) => i.to_string(),
-            Value::Pos { offset } => format!("<pos:{offset}>"),
+            Value::Pos { file, span, .. } => format!("<pos:{file}:{}-{}>", span.start, span.end),
             Value::Pragma(p) => p.clone(),
             Value::Detached { text, .. } => text.clone(),
         }
@@ -132,6 +143,23 @@ impl Value {
             other => other,
         }
     }
+}
+
+/// Line/column coordinates of a position, captured at the moment it was
+/// exported across a rule boundary. Later rules may rewrite the
+/// in-memory text and shift byte offsets, so a consumer (the script
+/// reporting API, chiefly) must use this bind-time resolution rather
+/// than re-resolving the stale span against the current text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedPos {
+    /// 1-based start line.
+    pub line: u32,
+    /// 1-based start column.
+    pub col: u32,
+    /// 1-based end line.
+    pub end_line: u32,
+    /// 1-based end column.
+    pub end_col: u32,
 }
 
 /// A metavariable environment: local bindings of the rule currently being
@@ -248,6 +276,18 @@ mod tests {
             Value::Pragma("omp parallel".into()).render(""),
             "omp parallel"
         );
+    }
+
+    #[test]
+    fn pos_renders_with_file_and_span() {
+        let p = Value::Pos {
+            file: "dir/a.c".into(),
+            span: Span::new(4, 9),
+            resolved: None,
+        };
+        assert_eq!(p.render(""), "<pos:dir/a.c:4-9>");
+        // Positions are self-contained: detaching is the identity.
+        assert!(matches!(p.detach("whatever"), Value::Pos { .. }));
     }
 
     #[test]

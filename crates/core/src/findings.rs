@@ -1,0 +1,370 @@
+//! The findings subsystem: reporting-only rules and their diagnostics.
+//!
+//! Several of the paper's use cases are *inspections*, not rewrites —
+//! "find every call site of X on some path" — and upstream Coccinelle
+//! ships a `report`/`org` mode for exactly that. A rule whose body is
+//! pure context (no `+`/`-` lines) transforms nothing; instead, every
+//! match witness it produces becomes a [`Finding`]: a `file:line:col`
+//! record carrying the rule name, a message, and the witness's
+//! metavariable bindings. Position metavariables (`position p;` bound
+//! with `@p`) pin the finding to the annotated occurrence; without one
+//! the finding anchors at the match root.
+//!
+//! Byte spans resolve to 1-based line/column through `cocci-source`'s
+//! [`SourceMap`] at emit time ([`Resolver`]); findings then flow through
+//! the driver ([`FileOutcome`](crate::FileOutcome)), the apply report
+//! ([`FileReport`](crate::report::FileReport), JSON round trip,
+//! `--resume` carries them forward for unchanged files), and out of the
+//! CLI as grep-style text, report JSON, or SARIF 2.1.0 ([`to_sarif`])
+//! for CI ingestion.
+
+use crate::env::Value;
+use crate::matcher::MatchState;
+use crate::report::{json, ApplyReport};
+use cocci_smpl::{MetaDecl, MetaDeclKind};
+use cocci_source::{FileId, SourceMap, Span};
+use std::fmt::Write as _;
+
+/// One diagnostic produced by a reporting-only rule (or by a script
+/// rule's `coccilib.report.print_report`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Target file the finding points into.
+    pub path: String,
+    /// 1-based start line.
+    pub line: u32,
+    /// 1-based start column (byte-oriented).
+    pub col: u32,
+    /// 1-based end line (inclusive position of the span end).
+    pub end_line: u32,
+    /// 1-based end column.
+    pub end_col: u32,
+    /// Name of the rule that produced the finding (`<anonymous>` for
+    /// nameless rules).
+    pub rule: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Rendered metavariable bindings of the witness, in declaration
+    /// order (position metavariables excluded — they are the location).
+    pub bindings: Vec<(String, String)>,
+}
+
+impl Finding {
+    /// The grep-style text form: `file:line:col: rule: message`.
+    pub fn text_line(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// A stable identity for set comparison across output formats.
+    pub fn key(&self) -> (String, u32, u32, String, String) {
+        (
+            self.path.clone(),
+            self.line,
+            self.col,
+            self.rule.clone(),
+            self.message.clone(),
+        )
+    }
+}
+
+/// Line/column resolution for one target file, built on
+/// `cocci-source`'s [`SourceMap`] line tables.
+pub struct Resolver {
+    map: SourceMap,
+    id: FileId,
+}
+
+impl Resolver {
+    /// Register `text` under `name` and precompute its line table.
+    pub fn new(name: &str, text: &str) -> Resolver {
+        let mut map = SourceMap::new();
+        let id = map.add_file(name, text);
+        Resolver { map, id }
+    }
+
+    /// 1-based line/column of a byte offset.
+    pub fn line_col(&self, offset: u32) -> (u32, u32) {
+        let lc = self.map.file(self.id).line_col(offset);
+        (lc.line, lc.col)
+    }
+}
+
+/// Build the finding for one match witness of a reporting-only rule.
+///
+/// The anchor span is the first *declared* position metavariable bound
+/// to a [`Value::Pos`] in the witness (declaration order — the rule
+/// author's primary position), falling back to the merge of the
+/// witness's real source pairs when the rule declares none.
+pub fn finding_for_match(
+    rule: &str,
+    decls: &[MetaDecl],
+    m: &MatchState,
+    resolver: &Resolver,
+    src: &str,
+) -> Finding {
+    let pos_span = decls
+        .iter()
+        .filter(|d| matches!(d.kind, MetaDeclKind::Position))
+        .find_map(|d| match m.env.get(&d.name) {
+            Some(Value::Pos { span, .. }) => Some(*span),
+            _ => None,
+        });
+    let span = pos_span.unwrap_or_else(|| {
+        m.pairs
+            .iter()
+            .filter(|p| !p.src.is_synthetic() && !p.src.is_empty())
+            .fold(Span::SYNTHETIC, |acc, p| acc.merge(p.src))
+    });
+    let span = if span.is_synthetic() {
+        Span::empty(0)
+    } else {
+        span
+    };
+    let (line, col) = resolver.line_col(span.start);
+    let (end_line, end_col) = resolver.line_col(span.end);
+    let mut bindings = Vec::new();
+    for d in decls {
+        if matches!(d.kind, MetaDeclKind::Position) {
+            continue;
+        }
+        if let Some(v) = m.env.get(&d.name) {
+            bindings.push((d.name.clone(), v.render(src)));
+        }
+    }
+    Finding {
+        path: resolver.map.file(resolver.id).name.clone(),
+        line,
+        col,
+        end_line,
+        end_col,
+        rule: rule.to_string(),
+        message: "matched".to_string(),
+        bindings,
+    }
+}
+
+/// Serialize one finding as a JSON object (used inside apply reports).
+pub fn finding_to_json(f: &Finding) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"path\": {}, \"line\": {}, \"col\": {}, \"end_line\": {}, \"end_col\": {}, \"rule\": {}, \"message\": {}",
+        json::escape(&f.path),
+        f.line,
+        f.col,
+        f.end_line,
+        f.end_col,
+        json::escape(&f.rule),
+        json::escape(&f.message),
+    );
+    if !f.bindings.is_empty() {
+        // An array of [name, value] pairs, not an object: the minimal
+        // JSON parser reads objects into a BTreeMap, which would lose
+        // the documented declaration order across a round trip.
+        out.push_str(", \"bindings\": [");
+        for (i, (k, v)) in f.bindings.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {}]", json::escape(k), json::escape(v));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+/// Parse one finding back from its JSON object form.
+pub fn finding_from_json(v: &json::Value) -> Result<Finding, String> {
+    let o = v.as_object().ok_or("finding: expected a JSON object")?;
+    let s = |k: &str| -> Result<String, String> {
+        o.get(k)
+            .and_then(json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("finding: missing \"{k}\""))
+    };
+    let n = |k: &str| -> u32 { o.get(k).and_then(json::Value::as_f64).unwrap_or(0.0) as u32 };
+    let mut bindings = Vec::new();
+    if let Some(b) = o.get("bindings").and_then(json::Value::as_array) {
+        for pair in b {
+            let bad = || "finding: binding entry not a [name, value] pair".to_string();
+            let p = pair.as_array().ok_or_else(bad)?;
+            let [k, v] = p else { return Err(bad()) };
+            match (k.as_str(), v.as_str()) {
+                (Some(k), Some(v)) => bindings.push((k.to_string(), v.to_string())),
+                _ => return Err(bad()),
+            }
+        }
+    }
+    Ok(Finding {
+        path: s("path")?,
+        line: n("line"),
+        col: n("col"),
+        end_line: n("end_line"),
+        end_col: n("end_col"),
+        rule: s("rule")?,
+        message: s("message")?,
+        bindings,
+    })
+}
+
+/// Render every finding of a report as a SARIF 2.1.0 document, the
+/// interchange format CI systems (GitHub code scanning among them)
+/// ingest. One run, one rule entry per distinct rule id, one result per
+/// finding with a single physical location.
+pub fn to_sarif(report: &ApplyReport) -> String {
+    let findings: Vec<&Finding> = report.files.iter().flat_map(|f| &f.findings).collect();
+    let mut rule_ids: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"spatch\", \"informationUri\": \"https://coccinelle.gitlabpages.inria.fr/website/\", \"rules\": [");
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json::escape(id),
+            json::escape(&format!("semantic-patch rule {id}")),
+        );
+    }
+    out.push_str("]}},\n");
+    out.push_str("    \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n      {{\"ruleId\": {}, \"level\": \"note\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}, \"endLine\": {}, \"endColumn\": {}}}}}}}]}}",
+            json::escape(&f.rule),
+            json::escape(&f.message),
+            json::escape(&f.path),
+            f.line.max(1),
+            f.col.max(1),
+            f.end_line.max(1),
+            f.end_col.max(1),
+        );
+    }
+    out.push_str("\n    ]\n  }]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{FileReport, FileStatus};
+
+    fn sample_finding() -> Finding {
+        Finding {
+            path: "src/a.c".into(),
+            line: 3,
+            col: 5,
+            end_line: 3,
+            end_col: 14,
+            rule: "r".into(),
+            message: "matched".into(),
+            // Deliberately out of alphabetical order: the round trip
+            // must preserve declaration order, not sort.
+            bindings: vec![("z".into(), "q + 1".into()), ("a".into(), "w".into())],
+        }
+    }
+
+    #[test]
+    fn text_line_is_grep_style() {
+        assert_eq!(sample_finding().text_line(), "src/a.c:3:5: r: matched");
+    }
+
+    #[test]
+    fn finding_json_round_trips() {
+        let f = sample_finding();
+        let j = finding_to_json(&f);
+        let v = json::parse(&j).unwrap();
+        let back = finding_from_json(&v).unwrap();
+        assert_eq!(back, f);
+        // Bindings are optional in the wire form.
+        let bare = r#"{"path": "x.c", "line": 1, "col": 2, "end_line": 1, "end_col": 3,
+            "rule": "r", "message": "m"}"#;
+        let back = finding_from_json(&json::parse(bare).unwrap()).unwrap();
+        assert!(back.bindings.is_empty());
+        // Malformed binding entries are loud errors, not silent drops.
+        let bad = r#"{"path": "x.c", "line": 1, "col": 2, "end_line": 1, "end_col": 3,
+            "rule": "r", "message": "m", "bindings": [["only-one"]]}"#;
+        assert!(finding_from_json(&json::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn resolver_maps_offsets_to_line_col() {
+        let r = Resolver::new("a.c", "int x;\nint y;\n");
+        assert_eq!(r.line_col(0), (1, 1));
+        assert_eq!(r.line_col(7), (2, 1));
+        assert_eq!(r.line_col(12), (2, 6));
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let report = ApplyReport {
+            patch: "p.cocci".into(),
+            patch_hash: 1,
+            threads: 1,
+            prefilter: true,
+            resumed: 0,
+            total_seconds: 0.0,
+            files: vec![FileReport {
+                name: "src/a.c".into(),
+                status: FileStatus::Matched,
+                matches: 1,
+                witnesses: 0,
+                seconds: 0.0,
+                hash: 1,
+                error: None,
+                findings: vec![sample_finding()],
+            }],
+        };
+        let sarif = to_sarif(&report);
+        let v = json::parse(&sarif).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("version").unwrap().as_str(), Some("2.1.0"));
+        let runs = o.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = runs[0].as_object().unwrap();
+        let results = run.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 1);
+        let res = results[0].as_object().unwrap();
+        assert_eq!(res.get("ruleId").unwrap().as_str(), Some("r"));
+        let loc = res.get("locations").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap()
+            .get("physicalLocation")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        let region = loc.get("region").unwrap().as_object().unwrap();
+        assert_eq!(region.get("startLine").unwrap().as_f64(), Some(3.0));
+        // The tool section names every distinct rule once.
+        let driver = run
+            .get("tool")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(driver.get("name").unwrap().as_str(), Some("spatch"));
+        assert_eq!(driver.get("rules").unwrap().as_array().unwrap().len(), 1);
+    }
+}

@@ -713,6 +713,7 @@ mod tests {
         let tu = parse_translation_unit(src, ParseOptions::c(), &NoMeta).unwrap();
         let regexes = Map::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src,
             decls: &ds,
             regexes: &regexes,

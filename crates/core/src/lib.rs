@@ -38,6 +38,7 @@ pub mod corpus;
 pub mod driver;
 pub mod edits;
 pub mod env;
+pub mod findings;
 pub mod flowmatch;
 pub mod matcher;
 pub mod orchestrate;
@@ -52,6 +53,7 @@ pub use corpus::{
 pub use driver::{apply_batch, apply_batch_opts, apply_to_files, ExecOptions, FileOutcome};
 pub use edits::{Edit, EditConflict, EditSet};
 pub use env::{Env, ExportedEnv, Value};
+pub use findings::{to_sarif, Finding};
 pub use flowmatch::{FlowPattern, FlowSearch, FlowStep};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};

@@ -108,6 +108,9 @@ impl MatchState {
 /// Matching context: the rule's metavariable declarations, compiled regex
 /// constraints, and the target source text.
 pub struct MatchCtx<'a> {
+    /// Target file name — the identity recorded into position bindings
+    /// so inherited positions compare correctly across a corpus.
+    pub file: &'a str,
     /// Target file text (for constraint checks on source slices).
     pub src: &'a str,
     /// Metavariable declarations of the rule being matched.
@@ -155,7 +158,14 @@ pub(crate) fn value_eq(a: &Value, b: &Value) -> bool {
         (Value::Ident { name: x, .. }, Value::Ident { name: y, .. }) => x == y,
         (Value::Int(x), Value::Int(y)) => x == y,
         (Value::Text(x), Value::Text(y)) => x == y,
-        (Value::Pos { offset: x }, Value::Pos { offset: y }) => x == y,
+        (
+            Value::Pos {
+                file: fx, span: sx, ..
+            },
+            Value::Pos {
+                file: fy, span: sy, ..
+            },
+        ) => fx == fy && sx == sy,
         (Value::Pragma(x), Value::Pragma(y)) => x == y,
         (Value::ExprList(x), Value::ExprList(y)) => {
             x.len() == y.len() && x.iter().zip(y).all(|(p, q)| eq::expr_eq(p, q))
@@ -348,8 +358,16 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
             if !match_expr(ctx, inner, src, st) {
                 return false;
             }
-            let offset = src.span().start;
-            bind_or_check(ctx, st, pos, Value::Pos { offset })
+            bind_or_check(
+                ctx,
+                st,
+                pos,
+                Value::Pos {
+                    file: ctx.file.into(),
+                    span: src.span(),
+                    resolved: None,
+                },
+            )
         }
         Expr::Ident(id) => match ctx.kind(&id.name) {
             Some(MetaDeclKind::Expression) | Some(MetaDeclKind::ExpressionList) => {
@@ -757,7 +775,9 @@ pub fn match_stmt(ctx: &MatchCtx, pat: &Stmt, src: &Stmt, st: &mut MatchState) -
                     st,
                     p,
                     Value::Pos {
-                        offset: src.span().start,
+                        file: ctx.file.into(),
+                        span: src.span(),
+                        resolved: None,
                     },
                 )
             } else {
@@ -1468,6 +1488,7 @@ mod tests {
         let s = src_expr(src);
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src,
             decls: &ds,
             regexes: &regexes,
@@ -1529,6 +1550,7 @@ mod tests {
         let s = src_expr("i+3 < n");
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src: "i+3 < n",
             decls: &with_k,
             regexes: &regexes,
@@ -1603,6 +1625,7 @@ mod tests {
         let s = src_expr(src);
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src,
             decls: &ds,
             regexes: &regexes,
@@ -1610,7 +1633,12 @@ mod tests {
         let mut st = MatchState::default();
         assert!(match_expr(&ctx, &p, &s, &mut st));
         match st.env.get("p").unwrap() {
-            Value::Pos { offset } => assert_eq!(*offset, 2),
+            Value::Pos { file, span, .. } => {
+                assert_eq!(file.as_ref(), "t.c");
+                // `fn@p(el)` annotates the callee identifier, so the
+                // span covers `foo`.
+                assert_eq!((span.start, span.end), (2, 5));
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -1627,12 +1655,43 @@ mod tests {
         let s = src_expr(src);
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src,
             decls: &ds,
             regexes: &regexes,
         };
         let mut st = MatchState::default();
-        st.env.bind("p", Value::Pos { offset: 99 });
+        st.env.bind(
+            "p",
+            Value::Pos {
+                file: "t.c".into(),
+                span: Span::new(99, 105),
+                resolved: None,
+            },
+        );
+        assert!(!match_expr(&ctx, &p, &s, &mut st));
+        // The *right* inherited position does match.
+        let mut st = MatchState::default();
+        st.env.bind(
+            "p",
+            Value::Pos {
+                file: "t.c".into(),
+                span: Span::new(0, 3),
+                resolved: None,
+            },
+        );
+        assert!(match_expr(&ctx, &p, &s, &mut st));
+        // Same span in a *different file* refuses: positions carry file
+        // identity, so offset collisions across a corpus cannot alias.
+        let mut st = MatchState::default();
+        st.env.bind(
+            "p",
+            Value::Pos {
+                file: "other.c".into(),
+                span: Span::new(0, 3),
+                resolved: None,
+            },
+        );
         assert!(!match_expr(&ctx, &p, &s, &mut st));
     }
 
@@ -1646,6 +1705,7 @@ mod tests {
         let Stmt::Block(b) = &srcs[0] else { panic!() };
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src: src_text,
             decls: &ds,
             regexes: &regexes,
@@ -1666,6 +1726,7 @@ mod tests {
         let Stmt::Block(b) = &srcs[0] else { panic!() };
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src: same,
             decls: &ds,
             regexes: &regexes,
@@ -1677,6 +1738,7 @@ mod tests {
         let srcs2 = parse_statements(diff, ParseOptions::c(), &NoMeta).unwrap();
         let Stmt::Block(b2) = &srcs2[0] else { panic!() };
         let ctx2 = MatchCtx {
+            file: "t.c",
             src: diff,
             decls: &ds,
             regexes: &regexes,
@@ -1703,6 +1765,7 @@ mod tests {
         let srcs = parse_statements(src_text, ParseOptions::c(), &NoMeta).unwrap();
         let regexes = HashMap::new();
         let ctx = MatchCtx {
+            file: "t.c",
             src: src_text,
             decls: &ds,
             regexes: &regexes,
@@ -1730,6 +1793,7 @@ mod tests {
             span: Span::new(0, 1),
         };
         let ctx = MatchCtx {
+            file: "t.c",
             src: "",
             decls: &ds,
             regexes: &regexes,
@@ -1771,6 +1835,7 @@ mod tests {
         let p = pat_expr("f(1)", &ds);
         let s = src_expr(src);
         let ctx = MatchCtx {
+            file: "t.c",
             src,
             decls: &ds,
             regexes: &regexes,
@@ -1781,6 +1846,7 @@ mod tests {
         let src2 = "other_fn(1)";
         let s2 = src_expr(src2);
         let ctx2 = MatchCtx {
+            file: "t.c",
             src: src2,
             decls: &ds,
             regexes: &regexes,

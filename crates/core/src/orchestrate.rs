@@ -19,12 +19,13 @@
 use crate::compile::CompiledPatch;
 use crate::edits::EditSet;
 use crate::env::{Env, ExportedEnv, Value};
+use crate::findings::{self, Finding, Resolver};
 use crate::matcher::{self, MatchCtx, MatchState};
 use crate::rewrite;
 use cocci_cast::ast::*;
 use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
 use cocci_cast::visit;
-use cocci_script::{Interp, Value as ScriptValue};
+use cocci_script::{Interp, PosInfo, Value as ScriptValue};
 use cocci_smpl::{
     Constraint, DepExpr, FreshPart, MetaDeclKind, Pattern, Rule, ScriptRule, SemanticPatch,
     TransformRule,
@@ -85,6 +86,10 @@ pub struct ApplyStats {
     /// rules — every match of such a rule is one witness, so forked
     /// cross-branch bindings count once per path.
     pub witnesses: usize,
+    /// Findings produced by reporting-only rules (pure-context bodies)
+    /// and by script rules via `coccilib.report.print_report` — one per
+    /// match witness.
+    pub findings: Vec<Finding>,
 }
 
 /// Applies a parsed semantic patch to files.
@@ -152,8 +157,22 @@ impl Patcher {
             matches_per_rule: vec![0; self.compiled.patch.rules.len()],
             edits: 0,
             witnesses: 0,
+            findings: Vec::new(),
         };
         let mut finalizers = Vec::new();
+        // Line/col resolution for findings and script positions, built
+        // lazily over the *current* text and invalidated whenever a
+        // transform rule rewrites it — several reporting/script rules
+        // over one file share a single line-table build.
+        let mut resolver: Option<Resolver> = None;
+        // Auto-findings of reporting rules whose bindings feed a script
+        // rule are *deferred*: if that script ends up authoring findings
+        // (via `coccilib.report.print_report`), the generic `matched`
+        // records are dropped — emitting both would double-report every
+        // site — but a script that never reports must not silently
+        // swallow the matches either.
+        let mut deferred: Vec<(String, Vec<Finding>)> = Vec::new();
+        let mut scripts_reporting: HashSet<String> = HashSet::new();
 
         // Clone the Arc handle (not the rules) so rule iteration does not
         // conflict with the `&self` borrows of the helper methods.
@@ -182,7 +201,17 @@ impl Patcher {
                     if !deps_ok(s.depends.as_ref(), &matched) {
                         continue;
                     }
-                    self.run_script_rule(s, &mut interp, &mut streams, &mut matched, name)?;
+                    self.run_script_rule(
+                        s,
+                        &mut interp,
+                        &mut streams,
+                        &mut matched,
+                        name,
+                        &current,
+                        &mut resolver,
+                        &mut stats.findings,
+                        &mut scripts_reporting,
+                    )?;
                 }
                 Rule::Transform(t) => {
                     if !deps_ok(t.depends.as_ref(), &matched) {
@@ -207,9 +236,39 @@ impl Patcher {
                     // matches (over-budget functions) keep 0 and are
                     // not counted as witnesses.
                     let (all_matches, new_streams, edits) =
-                        self.run_transform_rule(ri, t, &tu, &current, &streams)?;
+                        self.run_transform_rule(ri, t, &tu, name, &current, &streams)?;
                     stats.matches_per_rule[ri] = all_matches.len();
                     stats.witnesses += all_matches.iter().filter(|m| m.witness_group != 0).count();
+                    // Reporting-only rules (pure-context bodies) route
+                    // their witnesses to findings: one finding per
+                    // witness, anchored at the rule's first bound
+                    // position metavariable (or the match root), with
+                    // line/col resolved against the *current* text.
+                    // Rules whose bindings feed a script rule defer
+                    // theirs (see `deferred` above).
+                    if self.compiled.rules[ri].report_only && !all_matches.is_empty() {
+                        let rule_name = t.name.as_deref().unwrap_or("<anonymous>");
+                        let r = resolver.get_or_insert_with(|| Resolver::new(name, &current));
+                        let mut auto = Vec::with_capacity(all_matches.len());
+                        for m in &all_matches {
+                            auto.push(findings::finding_for_match(
+                                rule_name,
+                                &t.metavars,
+                                m,
+                                r,
+                                &current,
+                            ));
+                        }
+                        let feeds_script = t
+                            .name
+                            .as_ref()
+                            .is_some_and(|n| self.compiled.script_inherited_from.contains(n));
+                        if feeds_script {
+                            deferred.push((rule_name.to_string(), auto));
+                        } else {
+                            stats.findings.extend(auto);
+                        }
+                    }
                     if !all_matches.is_empty() {
                         if let Some(n) = &t.name {
                             matched.insert(n.clone());
@@ -226,9 +285,30 @@ impl Patcher {
                                 ))
                             })?;
                             changed = true;
+                            // The line table describes the pre-edit
+                            // text now; rebuild on next use.
+                            resolver = None;
                         }
                     }
                 }
+            }
+        }
+        // Settle the deferred auto-findings: a rule whose inheriting
+        // script reported keeps only the script's messages; if no such
+        // script reported anything, the generic findings stand in so
+        // the matches do not silently vanish from report output.
+        for (rname, auto) in deferred {
+            let authored = compiled.patch.rules.iter().any(|r| match r {
+                Rule::Script(s) => {
+                    s.inputs.iter().any(|(_, from, _)| *from == rname)
+                        && s.name
+                            .as_ref()
+                            .is_some_and(|n| scripts_reporting.contains(n))
+                }
+                _ => false,
+            });
+            if !authored {
+                stats.findings.extend(auto);
             }
         }
         for code in finalizers {
@@ -240,6 +320,7 @@ impl Patcher {
         Ok(if changed { Some(current) } else { None })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_script_rule(
         &self,
         s: &ScriptRule,
@@ -247,9 +328,18 @@ impl Patcher {
         streams: &mut Vec<ExportedEnv>,
         matched: &mut HashSet<String>,
         file: &str,
+        src: &str,
+        resolver: &mut Option<Resolver>,
+        findings: &mut Vec<Finding>,
+        scripts_reporting: &mut HashSet<String>,
     ) -> Result<(), ApplyError> {
         let mut new_streams = Vec::new();
         let mut any = false;
+        // The shared resolver is built lazily (most script rules inherit
+        // no positions) over the caller's *current* text. Positions were
+        // bound against the current text of their rule's run; report
+        // mode is restricted to transformation-free patches, so the
+        // text — and with it the line table — cannot have moved since.
         for ex in streams.iter() {
             // Gather inputs; environments lacking them pass through
             // unchanged (the script does not run for them).
@@ -257,6 +347,40 @@ impl Patcher {
             let mut complete = true;
             for (local, from, var) in &s.inputs {
                 match ex.get(from, var) {
+                    Some(Value::Pos {
+                        file: pf,
+                        span,
+                        resolved,
+                    }) => {
+                        // Exported positions carry their bind-time
+                        // line/col (the text may have been rewritten
+                        // since); resolving the raw span against the
+                        // current text is only a fallback for
+                        // positions that never crossed the export path.
+                        let (line, column, line_end, column_end) = match resolved {
+                            Some(rp) => (rp.line, rp.col, rp.end_line, rp.end_col),
+                            None => {
+                                let r = resolver.get_or_insert_with(|| Resolver::new(file, src));
+                                let (line, column) = r.line_col(span.start);
+                                let (line_end, column_end) = r.line_col(span.end);
+                                (line, column, line_end, column_end)
+                            }
+                        };
+                        inputs.insert(
+                            local.clone(),
+                            // Coccinelle hands scripts a *list* of
+                            // positions per metavariable; this engine
+                            // binds one site per witness, so the list
+                            // is a singleton — `p[0]`.
+                            ScriptValue::List(vec![ScriptValue::Pos(PosInfo {
+                                file: pf.to_string(),
+                                line: i64::from(line),
+                                column: i64::from(column),
+                                line_end: i64::from(line_end),
+                                column_end: i64::from(column_end),
+                            })]),
+                        );
+                    }
                     Some(v) => {
                         inputs.insert(local.clone(), ScriptValue::Str(v.render("")));
                     }
@@ -270,10 +394,27 @@ impl Patcher {
                 new_streams.push(ex.clone());
                 continue;
             }
-            match interp
+            let run = interp
                 .run_script(&s.code, &inputs)
-                .map_err(|e| aerr(format!("{file}: script rule: {e}")))?
-            {
+                .map_err(|e| aerr(format!("{file}: script rule: {e}")))?;
+            // `coccilib.report.print_report` calls become findings,
+            // attributed to this script rule.
+            for r in interp.take_reports() {
+                if let Some(n) = &s.name {
+                    scripts_reporting.insert(n.clone());
+                }
+                findings.push(Finding {
+                    path: r.pos.file,
+                    line: r.pos.line.max(0) as u32,
+                    col: r.pos.column.max(0) as u32,
+                    end_line: r.pos.line_end.max(0) as u32,
+                    end_col: r.pos.column_end.max(0) as u32,
+                    rule: s.name.clone().unwrap_or_else(|| "<script>".to_string()),
+                    message: r.message,
+                    bindings: Vec::new(),
+                });
+            }
+            match run {
                 Some(outputs) => {
                     let mut ex2 = ex.clone();
                     if let Some(rname) = &s.name {
@@ -306,11 +447,13 @@ impl Patcher {
     /// stream, and the emitted edit set for those matches, ready to
     /// apply.
     #[allow(clippy::type_complexity)]
+    #[allow(clippy::too_many_arguments)]
     fn run_transform_rule(
         &self,
         ri: usize,
         t: &TransformRule,
         tu: &TranslationUnit,
+        file: &str,
         src: &str,
         streams: &[ExportedEnv],
     ) -> Result<(Vec<MatchState>, Option<Vec<ExportedEnv>>, EditSet), ApplyError> {
@@ -370,10 +513,17 @@ impl Patcher {
         }
 
         let ctx = MatchCtx {
+            file,
             src,
             decls: &t.metavars,
             regexes: &self.compiled.rules[ri].regexes,
         };
+        // Positions crossing a rule boundary capture their line/col
+        // *now*, against the text this rule matched — later transform
+        // rules may rewrite the in-memory text and shift the byte
+        // offsets out from under the span. Built lazily: only rules
+        // that export positions pay for the line table.
+        let mut export_resolver: Option<Resolver> = None;
 
         // Flow-sensitive rules route through the CFG path engine
         // (all-paths dots semantics); everything else — and every rule
@@ -539,7 +689,34 @@ impl Patcher {
                         let mut ex2 = ex.map(|e| (*e).clone()).unwrap_or_default();
                         let mut detached = Env::new();
                         for (k, v) in m.env.iter() {
-                            detached.bind(k, v.detach(src));
+                            let dv = match v {
+                                // Freshly bound positions resolve here;
+                                // a position inherited already-resolved
+                                // keeps its original (bind-time)
+                                // coordinates.
+                                Value::Pos {
+                                    file: pf,
+                                    span,
+                                    resolved: None,
+                                } => {
+                                    let r = export_resolver
+                                        .get_or_insert_with(|| Resolver::new(file, src));
+                                    let (line, col) = r.line_col(span.start);
+                                    let (end_line, end_col) = r.line_col(span.end);
+                                    Value::Pos {
+                                        file: pf.clone(),
+                                        span: *span,
+                                        resolved: Some(crate::env::ResolvedPos {
+                                            line,
+                                            col,
+                                            end_line,
+                                            end_col,
+                                        }),
+                                    }
+                                }
+                                v => v.detach(src),
+                            };
+                            detached.bind(k, dv);
                         }
                         if let Some(n) = &t.name {
                             ex2.absorb(n, &detached);

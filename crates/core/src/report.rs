@@ -8,6 +8,7 @@
 //! crates.io dependencies, so there is no serde to lean on.
 
 use crate::driver::FileOutcome;
+use crate::findings::{finding_from_json, finding_to_json, Finding};
 use std::fmt;
 
 /// Classified outcome of one file.
@@ -103,6 +104,9 @@ pub struct FileReport {
     /// Error message when `status` is [`FileStatus::Error`] or
     /// [`FileStatus::Timeout`].
     pub error: Option<String>,
+    /// Findings from reporting-only rules (and script `print_report`
+    /// calls). `--resume` carries them forward for unchanged files.
+    pub findings: Vec<Finding>,
 }
 
 impl FileReport {
@@ -129,6 +133,7 @@ impl FileReport {
             seconds: o.seconds,
             hash: o.hash,
             error: o.error.clone(),
+            findings: o.findings.clone(),
         }
     }
 }
@@ -223,6 +228,16 @@ impl ApplyReport {
             if let Some(e) = &f.error {
                 let _ = write!(out, ", \"error\": {}", json::escape(e));
             }
+            if !f.findings.is_empty() {
+                out.push_str(", \"findings\": [");
+                for (j, fd) in f.findings.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&finding_to_json(fd));
+                }
+                out.push(']');
+            }
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
@@ -297,6 +312,12 @@ impl ApplyReport {
                 .get("error")
                 .and_then(json::Value::as_str)
                 .map(str::to_string);
+            let mut findings = Vec::new();
+            if let Some(arr) = fo.get("findings").and_then(json::Value::as_array) {
+                for fv in arr {
+                    findings.push(finding_from_json(fv)?);
+                }
+            }
             files.push(FileReport {
                 name,
                 status,
@@ -305,6 +326,7 @@ impl ApplyReport {
                 seconds,
                 hash,
                 error,
+                findings,
             });
         }
         Ok(ApplyReport {
@@ -583,6 +605,16 @@ mod tests {
                     seconds: 1e-4,
                     hash: 0xDEADBEEFCAFE0123,
                     error: None,
+                    findings: vec![Finding {
+                        path: "a/b.c".into(),
+                        line: 3,
+                        col: 5,
+                        end_line: 3,
+                        end_col: 12,
+                        rule: "scan".into(),
+                        message: "matched".into(),
+                        bindings: vec![("e".into(), "q".into())],
+                    }],
                 },
                 FileReport {
                     name: "a/skip.c".into(),
@@ -592,6 +624,7 @@ mod tests {
                     seconds: 2e-6,
                     hash: content_hash("void f(void) {}\n"),
                     error: None,
+                    findings: Vec::new(),
                 },
                 FileReport {
                     name: "slow.c".into(),
@@ -601,6 +634,7 @@ mod tests {
                     seconds: 1.0,
                     hash: 7,
                     error: Some("exceeded per-file time budget".into()),
+                    findings: Vec::new(),
                 },
                 FileReport {
                     name: "bad.c".into(),
@@ -610,6 +644,7 @@ mod tests {
                     seconds: 5e-5,
                     hash: 0,
                     error: Some("cannot parse \"target\"".into()),
+                    findings: Vec::new(),
                 },
             ],
         }
@@ -632,6 +667,9 @@ mod tests {
             back.files[3].error.as_deref(),
             Some("cannot parse \"target\"")
         );
+        // Findings survive the round trip exactly.
+        assert_eq!(back.files[0].findings, r.files[0].findings);
+        assert!(back.files[1].findings.is_empty());
         // Hashes and the resumed count survive the round trip exactly.
         assert_eq!(back.resumed, 1);
         assert_eq!(back.patch_hash, r.patch_hash);

@@ -7,11 +7,15 @@
 //! * assignments `name = expr` and `coccinelle.name = expr`
 //! * string and integer literals, names
 //! * dict literals `{ "k": "v", … }` (multi-line)
-//! * subscripts `d[k]`, attribute access `a.b`, calls `f(x, y)`
+//! * subscripts `d[k]` / `l[0]`, attribute access `a.b`, calls `f(x, y)`
 //! * `+` (string concatenation / integer addition)
 //! * the `cocci` builtins: `make_ident`, `make_type`, `make_pragmainfo`,
 //!   `make_expr` (all wrap a string for the engine to splice), plus
 //!   `str`, `len`, `print` (to stderr)
+//! * the `coccilib.report` subset: inherited position metavariables
+//!   arrive as lists of position objects (`p[0].file`, `p[0].line`,
+//!   `p[0].column`), and `coccilib.report.print_report(p[0], msg)`
+//!   records a finding the engine surfaces through report mode
 //! * `\`-continuations, `#`/`//` comments, optional trailing `;`
 //!
 //! Execution model matches Coccinelle's: `@initialize@` blocks populate a
@@ -36,8 +40,40 @@ pub enum Value {
     Int(i64),
     /// A dictionary with string keys.
     Dict(BTreeMap<String, Value>),
+    /// A list (chiefly: the list of position objects an inherited
+    /// `position` metavariable arrives as).
+    List(Vec<Value>),
+    /// A source position (`p[0]` of an inherited position metavariable)
+    /// with `.file`, `.line`, `.column` (and `.line_end`/`.column_end`)
+    /// attributes.
+    Pos(PosInfo),
     /// Python's `None`.
     None,
+}
+
+/// The payload of a position object handed to script rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PosInfo {
+    /// Target file name.
+    pub file: String,
+    /// 1-based start line.
+    pub line: i64,
+    /// 1-based start column.
+    pub column: i64,
+    /// 1-based end line.
+    pub line_end: i64,
+    /// 1-based end column.
+    pub column_end: i64,
+}
+
+/// One `coccilib.report.print_report(pos, msg)` call recorded during a
+/// script run, for the engine to convert into a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Where the finding points.
+    pub pos: PosInfo,
+    /// The authored message.
+    pub message: String,
 }
 
 impl Value {
@@ -47,6 +83,12 @@ impl Value {
             Value::Str(s) => s.clone(),
             Value::Int(i) => i.to_string(),
             Value::Dict(_) => "<dict>".to_string(),
+            Value::List(items) => items
+                .iter()
+                .map(Value::render)
+                .collect::<Vec<_>>()
+                .join(", "),
+            Value::Pos(p) => format!("{}:{}:{}", p.file, p.line, p.column),
             Value::None => "None".to_string(),
         }
     }
@@ -83,6 +125,7 @@ fn serr(message: impl Into<String>) -> ScriptError {
 #[derive(Debug, Default, Clone)]
 pub struct Interp {
     globals: BTreeMap<String, Value>,
+    reports: Vec<Report>,
 }
 
 impl Interp {
@@ -94,6 +137,12 @@ impl Interp {
     /// Read a global (for tests and diagnostics).
     pub fn global(&self, name: &str) -> Option<&Value> {
         self.globals.get(name)
+    }
+
+    /// Drain the `coccilib.report.print_report` calls recorded since the
+    /// last drain (the engine converts them into findings).
+    pub fn take_reports(&mut self) -> Vec<Report> {
+        std::mem::take(&mut self.reports)
     }
 
     /// Run an `@initialize@` block: statements execute against the global
@@ -160,7 +209,11 @@ impl Interp {
         }
     }
 
-    fn eval(&self, e: &ExprNode, locals: &BTreeMap<String, Value>) -> Result<Value, ScriptError> {
+    fn eval(
+        &mut self,
+        e: &ExprNode,
+        locals: &BTreeMap<String, Value>,
+    ) -> Result<Value, ScriptError> {
         match e {
             ExprNode::Str(s) => Ok(Value::Str(s.clone())),
             ExprNode::Int(i) => Ok(Value::Int(*i)),
@@ -203,7 +256,29 @@ impl Interp {
                         }
                         _ => Err(serr("bad string index")),
                     },
+                    Value::List(items) => match i {
+                        Value::Int(idx) if idx >= 0 && (idx as usize) < items.len() => {
+                            Ok(items[idx as usize].clone())
+                        }
+                        _ => Err(serr("list index out of range")),
+                    },
                     other => Err(serr(format!("cannot index {other:?}"))),
+                }
+            }
+            ExprNode::Attr { base, field } => {
+                let b = self.eval(base, locals)?;
+                match b {
+                    Value::Pos(p) => match field.as_str() {
+                        "file" => Ok(Value::Str(p.file.clone())),
+                        "line" => Ok(Value::Int(p.line)),
+                        "column" => Ok(Value::Int(p.column)),
+                        "line_end" => Ok(Value::Int(p.line_end)),
+                        "column_end" => Ok(Value::Int(p.column_end)),
+                        other => Err(serr(format!("position has no attribute `{other}`"))),
+                    },
+                    other => Err(serr(format!(
+                        "attribute `{field}` unsupported on {other:?}"
+                    ))),
                 }
             }
             ExprNode::Add(a, b) => {
@@ -227,7 +302,7 @@ impl Interp {
         }
     }
 
-    fn call(&self, func: &FuncRef, args: Vec<Value>) -> Result<Value, ScriptError> {
+    fn call(&mut self, func: &FuncRef, args: Vec<Value>) -> Result<Value, ScriptError> {
         let one = |args: &[Value]| -> Result<Value, ScriptError> {
             if args.len() == 1 {
                 Ok(args[0].clone())
@@ -244,11 +319,30 @@ impl Interp {
                 }
                 other => Err(serr(format!("unknown cocci builtin `{other}`"))),
             },
+            FuncRef::CoccilibReport(name) => match name.as_str() {
+                "print_report" => {
+                    let [pos, msg] = args.as_slice() else {
+                        return Err(serr("print_report takes (position, message)"));
+                    };
+                    let Value::Pos(p) = pos else {
+                        return Err(serr(
+                            "print_report: first argument must be a position (p[0])",
+                        ));
+                    };
+                    self.reports.push(Report {
+                        pos: p.clone(),
+                        message: msg.render(),
+                    });
+                    Ok(Value::None)
+                }
+                other => Err(serr(format!("unknown coccilib.report function `{other}`"))),
+            },
             FuncRef::Bare(name) => match name.as_str() {
                 "str" => Ok(Value::Str(one(&args)?.render())),
                 "len" => match one(&args)? {
                     Value::Str(s) => Ok(Value::Int(s.len() as i64)),
                     Value::Dict(d) => Ok(Value::Int(d.len() as i64)),
+                    Value::List(l) => Ok(Value::Int(l.len() as i64)),
                     _ => Err(serr("len() of unsupported value")),
                 },
                 "print" => {
@@ -287,6 +381,10 @@ enum ExprNode {
         base: Box<ExprNode>,
         index: Box<ExprNode>,
     },
+    Attr {
+        base: Box<ExprNode>,
+        field: String,
+    },
     Add(Box<ExprNode>, Box<ExprNode>),
     Call {
         func: FuncRef,
@@ -298,6 +396,8 @@ enum ExprNode {
 enum FuncRef {
     /// `cocci.<name>(…)`
     Cocci(String),
+    /// `coccilib.report.<name>(…)`
+    CoccilibReport(String),
     /// bare `<name>(…)`
     Bare(String),
 }
@@ -480,21 +580,33 @@ impl P {
                 };
                 if self.eat('(') {
                     let args = self.args()?;
-                    let base_name = match &e {
-                        ExprNode::Name(n) => n.clone(),
-                        _ => return Err(serr("method calls only supported on names")),
+                    let func = match &e {
+                        ExprNode::Name(n) if n == "cocci" || n == "coccinelle" => {
+                            FuncRef::Cocci(field)
+                        }
+                        ExprNode::Attr { base, field: mid }
+                            if mid == "report"
+                                && matches!(base.as_ref(),
+                                            ExprNode::Name(n) if n == "coccilib") =>
+                        {
+                            FuncRef::CoccilibReport(field)
+                        }
+                        _ => {
+                            return Err(serr(format!(
+                                "method calls only supported on `cocci` and \
+                                 `coccilib.report`, not `.{field}` here"
+                            )))
+                        }
                     };
-                    if base_name != "cocci" && base_name != "coccinelle" {
-                        return Err(serr(format!(
-                            "method calls only supported on `cocci`, got `{base_name}`"
-                        )));
-                    }
-                    e = ExprNode::Call {
-                        func: FuncRef::Cocci(field),
-                        args,
-                    };
+                    e = ExprNode::Call { func, args };
                 } else {
-                    return Err(serr(format!("attribute `{field}` only usable as a call")));
+                    // Plain attribute access (`p[0].file`, the
+                    // `coccilib.report` path prefix); resolved at eval
+                    // or consumed by a trailing call.
+                    e = ExprNode::Attr {
+                        base: Box::new(e),
+                        field,
+                    };
                 }
             } else if self.eat('(') {
                 let args = self.args()?;
@@ -710,6 +822,72 @@ mod tests {
                 .unwrap();
             assert_eq!(out.get("nf").unwrap().render(), h);
         }
+    }
+
+    fn pos(file: &str, line: i64, col: i64) -> Value {
+        Value::Pos(PosInfo {
+            file: file.into(),
+            line,
+            column: col,
+            line_end: line,
+            column_end: col + 7,
+        })
+    }
+
+    #[test]
+    fn print_report_records_findings() {
+        let mut it = Interp::new();
+        let mut ins = inputs(&[("e", "q + 1")]);
+        ins.insert("p".to_string(), Value::List(vec![pos("src/a.c", 3, 5)]));
+        let out = it
+            .run_script(
+                "coccilib.report.print_report(p[0], \"old_api called with \" + e)",
+                &ins,
+            )
+            .unwrap()
+            .unwrap();
+        assert!(out.is_empty(), "print_report writes no bindings");
+        let reports = it.take_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].pos.file, "src/a.c");
+        assert_eq!(reports[0].pos.line, 3);
+        assert_eq!(reports[0].pos.column, 5);
+        assert_eq!(reports[0].message, "old_api called with q + 1");
+        assert!(it.take_reports().is_empty(), "drained");
+    }
+
+    #[test]
+    fn position_attribute_access() {
+        let mut it = Interp::new();
+        let mut ins = BTreeMap::new();
+        ins.insert("p".to_string(), Value::List(vec![pos("b.c", 12, 9)]));
+        let out = it
+            .run_script(
+                "coccilib.report.print_report(p[0], p[0].file + \":\" + str(p[0].line) + \":\" + str(p[0].column))\ncoccinelle.out = str(len(p));",
+                &ins,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(out.get("out").unwrap().render(), "1");
+        let reports = it.take_reports();
+        assert_eq!(reports[0].message, "b.c:12:9");
+    }
+
+    #[test]
+    fn print_report_requires_a_position() {
+        let mut it = Interp::new();
+        let err = it
+            .run_script(
+                "coccilib.report.print_report(\"not a pos\", \"msg\")",
+                &BTreeMap::new(),
+            )
+            .unwrap_err();
+        assert!(err.message.contains("position"), "{err}");
+        // Unknown coccilib.report functions are hard errors too.
+        let err = it
+            .run_script("coccilib.report.bogus(1)", &BTreeMap::new())
+            .unwrap_err();
+        assert!(err.message.contains("bogus"), "{err}");
     }
 
     #[test]

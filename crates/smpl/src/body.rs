@@ -239,6 +239,14 @@ impl RuleBody {
         })
     }
 
+    /// Whether the body is **pure context**: no `-` or `+` line at all,
+    /// so matching it can never produce an edit. Such rules are compiled
+    /// as *reporting-only* — their match witnesses become findings
+    /// (`file:line:col` diagnostics) instead of rewrites.
+    pub fn is_pure_context(&self) -> bool {
+        self.lines.iter().all(|l| l.annot == Annot::Context)
+    }
+
     /// Index of the line containing body offset `off`.
     pub fn line_of_offset(&self, off: u32) -> usize {
         match self.lines.binary_search_by(|l| l.start.cmp(&off)) {

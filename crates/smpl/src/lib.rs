@@ -52,6 +52,17 @@ impl SemanticPatch {
     pub fn rule(&self, name: &str) -> Option<&Rule> {
         self.rules.iter().find(|r| r.name() == Some(name))
     }
+
+    /// Whether the patch is **transformation-free**: every transform
+    /// rule's body is pure context (no `-`/`+` lines), so applying it
+    /// can only ever produce findings, never edits. `spatch` auto-selects
+    /// report mode for such patches.
+    pub fn is_report_only(&self) -> bool {
+        self.rules.iter().all(|r| match r {
+            Rule::Transform(t) => t.is_report_only(),
+            _ => true,
+        })
+    }
 }
 
 /// One rule of a semantic patch.
@@ -116,6 +127,13 @@ impl TransformRule {
     /// tree-sequence gaps. See [`Pattern::has_statement_dots`].
     pub fn is_flow_sensitive(&self) -> bool {
         self.body.pattern.has_statement_dots()
+    }
+
+    /// Whether the rule is reporting-only: its body is pure context
+    /// (see [`RuleBody::is_pure_context`]), so its matches route to
+    /// findings instead of edits.
+    pub fn is_report_only(&self) -> bool {
+        self.body.is_pure_context()
     }
 }
 
@@ -453,6 +471,39 @@ position cfe.p;
             t.body.pattern.statement_dots_quants(),
             vec![DotsQuant::Default]
         );
+    }
+
+    #[test]
+    fn pure_context_bodies_classify_as_report_only() {
+        // Context-only body (a position metavariable pins the site).
+        let sp =
+            parse_semantic_patch("@r@\nexpression e;\nposition p;\n@@\nold_api(e)@p;\n").unwrap();
+        let Rule::Transform(t) = &sp.rules[0] else {
+            panic!("transform rule expected");
+        };
+        assert!(t.is_report_only());
+        assert!(sp.is_report_only());
+
+        // Any `-` or `+` line makes the rule (and patch) transforming.
+        for body in [
+            "- old_api(e);\n+ new_api(e);\n",
+            "+ extra();\nold_api(e);\n",
+        ] {
+            let sp = parse_semantic_patch(&format!("@r@\nexpression e;\n@@\n{body}")).unwrap();
+            let Rule::Transform(t) = &sp.rules[0] else {
+                panic!("transform rule expected");
+            };
+            assert!(!t.is_report_only(), "{body}");
+            assert!(!sp.is_report_only(), "{body}");
+        }
+
+        // A mixed patch (one reporting rule, one transforming rule) is
+        // not transformation-free.
+        let sp = parse_semantic_patch(
+            "@a@\nexpression e;\n@@\nold_api(e);\n\n@b@\n@@\n- gone();\n+ here();\n",
+        )
+        .unwrap();
+        assert!(!sp.is_report_only());
     }
 
     #[test]

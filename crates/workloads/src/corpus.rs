@@ -60,6 +60,7 @@ pub fn corpus_tree(spec: &CorpusTreeSpec) -> Vec<GeneratedFile> {
     add("kernels", gen::kernel_codebase(&base));
     add("cpp/search", gen::raw_loop_codebase(&base));
     add("librsb", gen::librsb_codebase(&base));
+    add("scan", gen::report_scan_codebase(&base));
 
     // Root metadata and noise a walker must tolerate / skip.
     out.push(GeneratedFile {
@@ -170,9 +171,10 @@ mod tests {
             seed: 1,
         };
         let stats = write_corpus_tree(&root, &spec).unwrap();
-        assert_eq!(stats.written, 5 * 2 + 4);
-        assert_eq!(stats.walkable, 5 * 2);
+        assert_eq!(stats.written, 6 * 2 + 4);
+        assert_eq!(stats.walkable, 6 * 2);
         assert!(root.join("omp/omp_0.c").is_file());
+        assert!(root.join("scan/scan_0.c").is_file());
         assert!(root.join(".gitignore").is_file());
         let _ = std::fs::remove_dir_all(&root);
     }

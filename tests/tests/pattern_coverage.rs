@@ -618,3 +618,136 @@ SL
     assert!(out.contains("prof_enter();"), "{out}");
     assert!(out.contains("prof_exit(); finish();"), "{out}");
 }
+
+// ---- position metavariables and the findings route ----
+
+/// Apply a reporting-only patch and return its findings (with the flow
+/// route forced on or off).
+fn findings_flow(patch: &str, target: &str, flow: bool) -> Vec<cocci_core::Finding> {
+    let sp = parse_semantic_patch(patch).unwrap_or_else(|e| panic!("patch parse: {e}"));
+    let mut p = Patcher::new(&sp).unwrap_or_else(|e| panic!("compile: {e}"));
+    p.flow_enabled = flow;
+    let out = p
+        .apply("t.c", target)
+        .unwrap_or_else(|e| panic!("apply: {e}"));
+    assert!(out.is_none(), "reporting-only rules never edit");
+    p.last_stats.findings.clone()
+}
+
+const SCAN_PAIR_PATCH: &str = r#"
+@scan@
+expression r;
+position p;
+@@
+acquire(r)@p;
+...
+release(r);
+"#;
+
+#[test]
+fn position_on_calls_binds_at_cfg_match_sites() {
+    // Flow route: the position pins the matched CFG node (the acquire
+    // call) — line 3, column 5 of this file.
+    let src = "void f(int n, double *buf) {\n    prep();\n    acquire(buf[0]);\n    work();\n    release(buf[0]);\n}\n";
+    let fs = findings_flow(SCAN_PAIR_PATCH, src, true);
+    assert_eq!(fs.len(), 1);
+    assert_eq!((fs[0].line, fs[0].col), (3, 5));
+    assert_eq!(fs[0].rule, "scan");
+    assert_eq!(fs[0].path, "t.c");
+    // The bindings carry the witness's non-position metavariables.
+    assert_eq!(
+        fs[0].bindings,
+        vec![("r".to_string(), "buf[0]".to_string())]
+    );
+
+    // All-paths semantics: an early return between the pair kills the
+    // finding on the flow route; the tree reading (--no-flow) still
+    // reports it — the disagreement the CFG route exists to fix.
+    let escaping = "void f(int n, double *buf) {\n    acquire(buf[0]);\n    if (n)\n        return;\n    release(buf[0]);\n}\n";
+    assert!(findings_flow(SCAN_PAIR_PATCH, escaping, true).is_empty());
+    assert_eq!(findings_flow(SCAN_PAIR_PATCH, escaping, false).len(), 1);
+}
+
+#[test]
+fn position_on_statement_metavars_reports_the_statement() {
+    // `S@p`: the position rides a statement metavariable; the finding
+    // pins the matched statement (tree route — statement metavariables
+    // are not CFG anchors).
+    let patch = r#"
+@after@
+statement S;
+position p;
+@@
+barrier();
+S@p
+"#;
+    let src = "void f(double *q) {\n    barrier();\n    q[0] = 1.0;\n}\n";
+    let fs = findings_flow(patch, src, true);
+    assert_eq!(fs.len(), 1);
+    assert_eq!((fs[0].line, fs[0].col), (3, 5));
+}
+
+#[test]
+fn forked_witnesses_yield_one_finding_per_path_with_distinct_positions() {
+    // The release expression binds differently per arm, so the flow
+    // engine forks one witness per path — and the findings route must
+    // surface one finding per witness, each at its own arm's site.
+    let patch = r#"
+@fork@
+expression e;
+position p;
+@@
+checkpoint();
+...
+commit(e)@p;
+"#;
+    let src = "void f(int n, double *buf) {\n    checkpoint();\n    if (n) {\n        commit(buf[1]);\n    } else {\n        commit(buf[2]);\n    }\n    wrap_up();\n}\n";
+    let mut fs = findings_flow(patch, src, true);
+    fs.sort_by_key(|f| (f.line, f.col));
+    assert_eq!(fs.len(), 2, "one finding per forked witness: {fs:?}");
+    assert_eq!((fs[0].line, fs[0].col), (4, 9));
+    assert_eq!((fs[1].line, fs[1].col), (6, 9));
+    assert_eq!(
+        fs[0].bindings,
+        vec![("e".to_string(), "buf[1]".to_string())]
+    );
+    assert_eq!(
+        fs[1].bindings,
+        vec![("e".to_string(), "buf[2]".to_string())]
+    );
+}
+
+#[test]
+fn inherited_positions_resolve_per_file_across_a_corpus() {
+    // Two files with byte-identical content: rule `use` inherits `decl`'s
+    // position and must re-match at that exact spot *in its own file* —
+    // positions carry file identity, so the (equal) offsets cannot alias
+    // across the corpus, and each file's findings name that file.
+    let patch = r#"
+@decl@
+expression e;
+position p;
+@@
+old_api(e)@p;
+
+@use depends on decl@
+position decl.p;
+expression e2;
+@@
+old_api(e2)@p;
+"#;
+    let sp = parse_semantic_patch(patch).unwrap();
+    let text = "void f(void) {\n    old_api(1);\n}\n".to_string();
+    let files = vec![
+        ("first.c".to_string(), text.clone()),
+        ("second.c".to_string(), text),
+    ];
+    let outcomes = cocci_core::apply_to_files(&sp, &files, 1).unwrap();
+    for (o, name) in outcomes.iter().zip(["first.c", "second.c"]) {
+        assert!(o.error.is_none(), "{:?}", o.error);
+        let use_findings: Vec<_> = o.findings.iter().filter(|f| f.rule == "use").collect();
+        assert_eq!(use_findings.len(), 1, "{name}: {:?}", o.findings);
+        assert_eq!(use_findings[0].path, name);
+        assert_eq!((use_findings[0].line, use_findings[0].col), (2, 5));
+    }
+}

@@ -329,3 +329,96 @@ fn patched_output_still_parses() {
                 .unwrap_or_else(|e| panic!("output no longer parses: {e}\n{out}"));
         });
 }
+
+// ---- findings engine ----
+
+/// The reporting rule the findings properties drive: pure context, a
+/// position metavariable on the opening call, statement dots to the
+/// close — flow-routed by default, tree-readable under `--no-flow`.
+const SCAN_DOTS: &str = "@scan@\nexpression r;\nposition p;\n@@\nacquire(r)@p;\n...\nrelease(r);\n";
+
+#[test]
+fn findings_lie_within_file_bounds() {
+    // Every finding a reporting-only rule emits must point at a real
+    // line/column of its file: 1-based, line within the line count,
+    // column within the line's length (+1 for the just-past-end column
+    // of an end offset).
+    use cocci_workloads::gen::{report_scan_codebase, CodebaseSpec};
+
+    let patch = parse_semantic_patch(SCAN_DOTS).unwrap();
+    Runner::new("findings_lie_within_file_bounds")
+        .cases(24)
+        .run(|rng| {
+            let spec = CodebaseSpec {
+                files: 2,
+                functions_per_file: 4 * rng.gen_range(1..4),
+                seed: rng.next_u64(),
+            };
+            for f in report_scan_codebase(&spec) {
+                let mut p = Patcher::new(&patch).unwrap();
+                let out = p.apply(&f.name, &f.text).unwrap();
+                assert!(out.is_none(), "a reporting-only rule never edits");
+                let lines: Vec<&str> = f.text.lines().collect();
+                for fd in &p.last_stats.findings {
+                    assert_eq!(fd.path, f.name);
+                    assert!(fd.line >= 1 && (fd.line as usize) <= lines.len(), "{fd:?}");
+                    let text = lines[fd.line as usize - 1];
+                    assert!(
+                        fd.col >= 1 && (fd.col as usize) <= text.len() + 1,
+                        "{fd:?} in {text:?}"
+                    );
+                    assert!(
+                        (fd.end_line, fd.end_col) >= (fd.line, fd.col),
+                        "end precedes start: {fd:?}"
+                    );
+                    assert!(fd.end_line >= 1 && (fd.end_line as usize) <= lines.len());
+                    // The position pins the `acquire` call.
+                    assert!(
+                        text[fd.col as usize - 1..].starts_with("acquire("),
+                        "{fd:?} does not point at the call in {text:?}"
+                    );
+                }
+            }
+        });
+}
+
+#[test]
+fn tree_and_flow_routes_emit_identical_findings_on_dots_free_rules() {
+    // On straight-line code the tree-sequence and all-paths readings of
+    // dots coincide, so the two routes must produce the *same finding
+    // set* — same files, same lines, same columns, same rules.
+    use cocci_workloads::gen::{linear_probe_codebase, CodebaseSpec};
+
+    let patch = parse_semantic_patch(
+        "@pair@\nexpression b;\nposition p;\n@@\nprobe_begin(b)@p;\n...\nprobe_end(b);\n",
+    )
+    .unwrap();
+    Runner::new("tree_and_flow_routes_emit_identical_findings")
+        .cases(16)
+        .run(|rng| {
+            let spec = CodebaseSpec {
+                files: 2,
+                functions_per_file: rng.gen_range(1..8),
+                seed: rng.next_u64(),
+            };
+            for f in linear_probe_codebase(&spec) {
+                let keys = |flow: bool| {
+                    let mut p = Patcher::new(&patch).unwrap();
+                    p.flow_enabled = flow;
+                    p.apply(&f.name, &f.text).unwrap();
+                    let mut ks: Vec<_> = p
+                        .last_stats
+                        .findings
+                        .iter()
+                        .map(cocci_core::Finding::key)
+                        .collect();
+                    ks.sort();
+                    ks
+                };
+                let flow = keys(true);
+                let tree = keys(false);
+                assert!(!flow.is_empty(), "{}: linear pairs must match", f.name);
+                assert_eq!(flow, tree, "{}: routes disagree", f.name);
+            }
+        });
+}
