@@ -127,6 +127,48 @@ done
 cp "$RPT_ROOT/findings.sarif" target/REPORT_scan.sarif
 echo "ok: $(wc -l < "$RPT_ROOT/set.text") findings agree across text/json/sarif (SARIF at target/REPORT_scan.sarif)"
 
+echo "== scan_rules bench smoke (N rules, one parse; JSON to target/) =="
+cargo bench --bench scan_rules --locked
+test -s target/BENCH_scan_rules.json
+grep -q scan_per_rule_ratio target/BENCH_scan_rules.json
+grep -q sieve_survivors target/BENCH_scan_rules.json
+trend_check scan_rules
+echo "ok: target/BENCH_scan_rules.json written (per-rule scaling + survivor metrics recorded)"
+
+echo "== scan-mode e2e (rule matrix: N-rule scan vs N single-rule runs) =="
+SCAN_ROOT="target/scan-e2e"
+rm -rf "$SCAN_ROOT"
+# The example materializes the rule_matrix rules/ + corpus/ trees.
+cargo run --release -q -p cocci-examples --example scan_matrix --locked -- "$SCAN_ROOT"
+for fmt in text json sarif; do
+  "$SPATCH" scan --rules "$SCAN_ROOT/rules" --format "$fmt" \
+    --quiet "$SCAN_ROOT/corpus" > "$SCAN_ROOT/scan.$fmt"
+  test -s "$SCAN_ROOT/scan.$fmt"
+done
+# Ground truth: run every rule on its own (each in a one-rule dir) and
+# collect the union of the per-rule finding sets. The N-rule scan must
+# produce exactly the same set — the shared parse and merged prefilter
+# are pure optimizations.
+rm -rf "$SCAN_ROOT/solo" && mkdir -p "$SCAN_ROOT/solo"
+: > "$SCAN_ROOT/set.solo"
+for rule in "$SCAN_ROOT"/rules/*.cocci; do
+  solo_dir="$SCAN_ROOT/solo/$(basename "$rule" .cocci)"
+  mkdir -p "$solo_dir"
+  cp "$rule" "$solo_dir/"
+  "$SPATCH" scan --rules "$solo_dir" --format text --quiet "$SCAN_ROOT/corpus" \
+    >> "$SCAN_ROOT/set.solo"
+done
+sort "$SCAN_ROOT/set.solo" -o "$SCAN_ROOT/set.solo"
+sort "$SCAN_ROOT/scan.text" > "$SCAN_ROOT/set.scan"
+test -s "$SCAN_ROOT/set.scan"
+diff "$SCAN_ROOT/set.solo" "$SCAN_ROOT/set.scan"
+# SARIF sanity on the merged run: one run, required keys, per-rule ids.
+for key in '"version": "2.1.0"' '"$schema"' '"runs"' '"results"' '"ruleId"' '"defaultConfiguration"' '"artifactLocation"'; do
+  grep -qF "$key" "$SCAN_ROOT/scan.sarif" || { echo "scan SARIF missing $key"; exit 1; }
+done
+cp "$SCAN_ROOT/scan.sarif" target/SCAN_matrix.sarif
+echo "ok: $(wc -l < "$SCAN_ROOT/set.scan") findings agree between the merged scan and per-rule runs (SARIF at target/SCAN_matrix.sarif)"
+
 if [ -n "$TREND_FAILURES" ]; then
   echo "bench trend: wall-clock regressions in:$TREND_FAILURES (budget ${BENCH_TREND_MAX_PCT}%)"
   exit 1

@@ -34,11 +34,21 @@
 //! command. Without `--in-place`/`-o`, a unified diff of every changed
 //! file is printed to stdout — the traditional spatch workflow of
 //! reviewing the change before enacting it.
+//!
+//! **Scan mode** (`spatch scan --rules <dir> <targets...>`) lints a
+//! corpus with a whole directory of rules in one pass: every `*.cocci`
+//! file is compiled once, each target file is parsed once however many
+//! rules survive the merged prefilter, and findings merge into one
+//! report (text/JSON/SARIF) attributed per rule id. Scan never writes
+//! files. `--resume`, `-j`, `--ignore`, `--timeout-ms`,
+//! `--no-prefilter`, `--no-flow`, `--report`, and `--format` behave as
+//! in patch/report mode.
 
 mod diff;
 
 use cocci_core::corpus::{apply_to_corpus_resumed, CorpusOptions, WalkSource};
-use cocci_core::ApplyReport;
+use cocci_core::scan::scan_corpus;
+use cocci_core::{ApplyReport, CompiledRuleSet, SarifRule};
 use cocci_smpl::parse_semantic_patch;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -64,7 +74,11 @@ enum Format {
 }
 
 struct Args {
-    sp_file: PathBuf,
+    /// `spatch scan ...` — rule-collection scan mode.
+    scan: bool,
+    /// Scan mode's `--rules <dir>`.
+    rules: Option<PathBuf>,
+    sp_file: Option<PathBuf>,
     targets: Vec<PathBuf>,
     in_place: bool,
     output: Option<PathBuf>,
@@ -85,12 +99,17 @@ fn usage() -> ! {
         "usage: spatch --sp-file <patch.cocci> [--mode patch|report] [--format text|json|sarif] \
          [--in-place] [-o FILE] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
+         [--quiet] <files-or-dirs...>\n\
+         \x20      spatch scan --rules <dir> [--format text|json|sarif] [-j N] [--report FILE] \
+         [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
          [--quiet] <files-or-dirs...>"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
+    let mut scan = false;
+    let mut rules = None;
     let mut sp_file = None;
     let mut targets = Vec::new();
     let mut in_place = false;
@@ -100,16 +119,23 @@ fn parse_args() -> Args {
     let mut report = None;
     let mut resume = None;
     let mut timeout_ms = None;
-    let mut ignore = Vec::new();
+    let mut ignore: Vec<String> = Vec::new();
     let mut no_prefilter = false;
     let mut no_flow = false;
     let mut mode = None;
     let mut format = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("scan") {
+        scan = true;
+        it.next();
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--sp-file" => sp_file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--mode" => {
+            "--rules" if scan => rules = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--sp-file" if !scan => {
+                sp_file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
+            "--mode" if !scan => {
                 mode = Some(match it.next().as_deref() {
                     Some("patch") => Mode::Patch,
                     Some("report") => Mode::Report,
@@ -130,8 +156,8 @@ fn parse_args() -> Args {
                     }
                 })
             }
-            "--in-place" => in_place = true,
-            "-o" => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--in-place" if !scan => in_place = true,
+            "-o" if !scan => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "-j" | "--jobs" => {
                 threads = it
                     .next()
@@ -159,11 +185,25 @@ fn parse_args() -> Args {
             other => targets.push(PathBuf::from(other)),
         }
     }
-    let Some(sp_file) = sp_file else { usage() };
+    if scan {
+        if rules.is_none() {
+            eprintln!("spatch: scan mode requires --rules <dir>");
+            usage();
+        }
+    } else if sp_file.is_none() {
+        usage();
+    }
     if targets.is_empty() {
         usage();
     }
+    // `--ignore` repeated with the identical pattern used to stack the
+    // duplicate into the walker's pattern list (and re-evaluate it per
+    // path); exact duplicates collapse, first occurrence wins.
+    let mut seen = std::collections::HashSet::new();
+    ignore.retain(|p| seen.insert(p.clone()));
     Args {
+        scan,
+        rules,
         sp_file,
         targets,
         in_place,
@@ -181,19 +221,207 @@ fn parse_args() -> Args {
     }
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-    let patch_text = match std::fs::read_to_string(&args.sp_file) {
+/// Load `--resume`'s previous report, refusing one produced by a
+/// different patch / rule set (`expected_hash` mismatch): skipping
+/// "unchanged" files is only sound against the very same rules.
+fn load_resume(
+    path: &std::path::Path,
+    expected_hash: u64,
+    what: &str,
+) -> Result<ApplyReport, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("spatch: cannot read {}: {e}", args.sp_file.display());
+            eprintln!("spatch: cannot read resume report {}: {e}", path.display());
+            return Err(ExitCode::from(2));
+        }
+    };
+    let r = match ApplyReport::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spatch: cannot parse resume report {}: {e}", path.display());
+            return Err(ExitCode::from(2));
+        }
+    };
+    if r.patch_hash != expected_hash {
+        // A report without a hash (older spatch) cannot vouch for any
+        // rules either — refuse rather than silently skip files the
+        // current rules have never seen.
+        eprintln!(
+            "spatch: {} was not produced by this {what} ({}); refusing to resume from it",
+            path.display(),
+            if r.patch.is_empty() {
+                format!("unknown {what}")
+            } else {
+                r.patch.clone()
+            }
+        );
+        return Err(ExitCode::from(2));
+    }
+    Ok(r)
+}
+
+/// `spatch scan --rules <dir>`: N rules, one parse per file.
+fn run_scan(args: &Args) -> ExitCode {
+    let rules_dir = args.rules.as_ref().expect("validated in parse_args");
+    let set = match CompiledRuleSet::load_dir(rules_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spatch: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let previous = match &args.resume {
+        Some(path) => match load_resume(path, set.hash, "rule set") {
+            Ok(r) => Some(r),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let mut source = WalkSource::discover(&args.targets, &args.ignore);
+    let opts = CorpusOptions {
+        threads: args.threads,
+        no_prefilter: args.no_prefilter,
+        no_flow: args.no_flow,
+        timeout_ms: args.timeout_ms,
+        ..Default::default()
+    };
+    let quiet = args.quiet;
+    let run = scan_corpus(
+        &set,
+        &mut source,
+        &opts,
+        previous.as_ref(),
+        |name, _original, outcome| {
+            if quiet || outcome.error.is_some() {
+                return; // errors are reported once, from the report below
+            }
+            let ran = outcome.rules.len();
+            let pruned = outcome.rules_pruned;
+            if outcome.findings.is_empty() && outcome.suppressed == 0 {
+                eprintln!("spatch: {name}: no findings ({ran} rule(s) ran, {pruned} pruned)");
+            } else {
+                eprintln!(
+                    "spatch: {name}: {} finding(s), {} suppressed ({ran} rule(s) ran, {pruned} pruned)",
+                    outcome.findings.len(),
+                    outcome.suppressed
+                );
+            }
+        },
+    );
+    let mut report = match run {
+        Ok(r) => r,
+        Err(e) => {
+            // Run-level refusal (e.g. --no-flow vs `when exists` rules).
+            eprintln!("spatch: {}: {e}", rules_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    report.patch = rules_dir.display().to_string();
+
+    let mut failures = 0usize;
+    for f in &report.files {
+        match f.status {
+            cocci_core::FileStatus::Error => {
+                eprintln!(
+                    "spatch: {}: {}",
+                    f.name,
+                    f.error.as_deref().unwrap_or("unknown error")
+                );
+                failures += 1;
+            }
+            cocci_core::FileStatus::Timeout => {
+                eprintln!(
+                    "spatch: {}: {}",
+                    f.name,
+                    f.error.as_deref().unwrap_or("timed out")
+                );
+            }
+            _ => {}
+        }
+    }
+    if report.resumed > 0 && !quiet {
+        eprintln!(
+            "spatch: resumed: {} unchanged file(s) skipped via {}",
+            report.resumed,
+            args.resume
+                .as_deref()
+                .map(|p| p.display().to_string())
+                .unwrap_or_default()
+        );
+    }
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("spatch: cannot write report {}: {e}", path.display());
+            failures += 1;
+        } else if !quiet {
+            eprintln!("spatch: report written to {}", path.display());
+        }
+    }
+
+    match args.format.unwrap_or(Format::Text) {
+        Format::Text => {
+            for f in &report.files {
+                for fd in &f.findings {
+                    println!("{}", fd.text_line());
+                }
+            }
+        }
+        Format::Json => print!("{}", report.to_json()),
+        Format::Sarif => {
+            // Every loaded rule goes into the tool section, severities
+            // and message overrides included — findingless rules keep
+            // the output shape stable run over run.
+            let rules: Vec<SarifRule> = set
+                .rules
+                .iter()
+                .map(|r| SarifRule {
+                    id: r.meta.id.clone(),
+                    level: r.meta.severity.as_str(),
+                    description: r
+                        .meta
+                        .message
+                        .clone()
+                        .unwrap_or_else(|| format!("semantic-patch rule {}", r.meta.id)),
+                })
+                .collect();
+            print!("{}", cocci_core::to_sarif_with(&report, &rules));
+        }
+    }
+    if !quiet {
+        let total_findings: usize = report.files.iter().map(|f| f.findings.len()).sum();
+        let suppressed: usize = report.files.iter().map(|f| f.suppressed).sum();
+        eprintln!(
+            "spatch: {total_findings} finding(s), {suppressed} suppressed, across {} file(s) with {} rule(s), {failures} failure(s) ({})",
+            report.files.len(),
+            set.len(),
+            report.summary()
+        );
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.scan {
+        return run_scan(&args);
+    }
+    let sp_file = args.sp_file.as_ref().expect("validated in parse_args");
+    let patch_text = match std::fs::read_to_string(sp_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("spatch: cannot read {}: {e}", sp_file.display());
             return ExitCode::from(2);
         }
     };
     let patch = match parse_semantic_patch(&patch_text) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("spatch: {}: {e}", args.sp_file.display());
+            eprintln!("spatch: {}: {e}", sp_file.display());
             return ExitCode::from(2);
         }
     };
@@ -243,41 +471,11 @@ fn main() -> ExitCode {
     }
 
     // Incremental re-apply: load the previous run's report up front so a
-    // bad path fails before any work happens, and refuse a report made
-    // by a *different* semantic patch — skipping "unchanged" files is
-    // only sound against the same patch.
+    // bad path fails before any work happens.
     let previous = match &args.resume {
-        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
-            Ok(text) => match ApplyReport::from_json(&text) {
-                Ok(r) => {
-                    if r.patch_hash != patch_hash {
-                        // A report without a patch hash (older spatch)
-                        // cannot vouch for any patch either — refuse
-                        // rather than silently skip files the current
-                        // patch has never seen.
-                        eprintln!(
-                            "spatch: {} was not produced by this semantic patch ({}); \
-                             refusing to resume from it",
-                            path.display(),
-                            if r.patch.is_empty() {
-                                "unknown patch"
-                            } else {
-                                &r.patch
-                            }
-                        );
-                        return ExitCode::from(2);
-                    }
-                    Some(r)
-                }
-                Err(e) => {
-                    eprintln!("spatch: cannot parse resume report {}: {e}", path.display());
-                    return ExitCode::from(2);
-                }
-            },
-            Err(e) => {
-                eprintln!("spatch: cannot read resume report {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
+        Some(path) => match load_resume(path, patch_hash, "semantic patch") {
+            Ok(r) => Some(r),
+            Err(code) => return code,
         },
         None => None,
     };
@@ -362,11 +560,11 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             // Patch compile error: run-level, reported exactly once.
-            eprintln!("spatch: {}: {e}", args.sp_file.display());
+            eprintln!("spatch: {}: {e}", sp_file.display());
             return ExitCode::from(2);
         }
     };
-    report.patch = args.sp_file.display().to_string();
+    report.patch = sp_file.display().to_string();
     report.patch_hash = patch_hash;
 
     // A file whose rewrite failed to land is an error, not a change —
@@ -444,8 +642,14 @@ fn main() -> ExitCode {
     }
     if !args.quiet {
         if mode == Mode::Report {
+            let suppressed: usize = report.files.iter().map(|f| f.suppressed).sum();
+            let suppressed_note = if suppressed > 0 {
+                format!(" ({suppressed} suppressed)")
+            } else {
+                String::new()
+            };
             eprintln!(
-                "spatch: {total_findings} finding(s) across {} file(s), {failures} failure(s) ({})",
+                "spatch: {total_findings} finding(s){suppressed_note} across {} file(s), {failures} failure(s) ({})",
                 report.files.len(),
                 report.summary()
             );

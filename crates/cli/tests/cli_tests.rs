@@ -1048,3 +1048,388 @@ fn non_reporting_script_does_not_swallow_findings() {
     assert!(stdout.contains(":2:5:"), "{stdout}");
     assert_eq!(stdout.lines().count(), 1, "{stdout}");
 }
+
+// ---------------------------------------------------------------------------
+// Scan mode: `spatch scan --rules <dir>` — N rules, one parse per file.
+
+/// Two report-only rules with metadata headers: `use-beta` (warning,
+/// custom message) fires on `alpha(...)`, `no-gamma` (default note) on
+/// `gamma(...)`.
+fn write_rules_dir(dir: &std::path::Path) -> PathBuf {
+    let rules = dir.join("rules");
+    fs::create_dir_all(&rules).unwrap();
+    fs::write(
+        rules.join("use_beta.cocci"),
+        "// spatch-rule: use-beta\n// spatch-severity: warning\n\
+         // spatch-message: alpha() is deprecated, use beta()\n\
+         @r@\nexpression e;\nposition p;\n@@\nalpha(e)@p;\n",
+    )
+    .unwrap();
+    fs::write(
+        rules.join("no_gamma.cocci"),
+        "// spatch-rule: no-gamma\n@r@\nexpression e;\nposition p;\n@@\ngamma(e)@p;\n",
+    )
+    .unwrap();
+    rules
+}
+
+/// Corpus for the rule dir above: two `alpha` sites (one suppressed),
+/// one `gamma` site, one file neither rule can touch.
+fn write_scan_tree(dir: &std::path::Path) -> PathBuf {
+    let tree = dir.join("tree");
+    fs::create_dir_all(&tree).unwrap();
+    fs::write(
+        tree.join("a.c"),
+        "void f(void) {\n    alpha(1);\n    // spatch-ignore use-beta\n    alpha(2);\n    gamma(3);\n}\n",
+    )
+    .unwrap();
+    fs::write(tree.join("b.c"), "void g(void) {\n    alpha(q + 7);\n}\n").unwrap();
+    fs::write(tree.join("c.c"), "void h(void) {\n    other();\n}\n").unwrap();
+    tree
+}
+
+#[test]
+fn scan_mode_attributes_findings_to_rules_and_counts_suppressions() {
+    let dir = tmpdir("scan-happy");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+
+    // a.c: alpha(1) + gamma(3) report, alpha(2) is suppressed; b.c: one.
+    let findings = text_finding_set(&stdout);
+    assert_eq!(findings.len(), 3, "{stdout}");
+    assert!(
+        stdout.contains(": use-beta: alpha() is deprecated, use beta()"),
+        "{stdout}"
+    );
+    assert!(stdout.contains(": no-gamma: "), "{stdout}");
+    assert!(!stdout.contains(":4:"), "suppressed site leaked: {stdout}");
+    assert!(stderr.contains("1 suppressed"), "{stderr}");
+    assert!(
+        stderr.contains("3 finding(s), 1 suppressed, across 3 file(s) with 2 rule(s)"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn scan_mode_flag_validation() {
+    // scan without --rules.
+    let out = spatch().arg("scan").arg("x.c").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("scan mode requires --rules"), "{stderr}");
+
+    // Patch-only flags are rejected inside scan mode.
+    for bad in [&["--in-place"][..], &["--sp-file", "p.cocci"][..]] {
+        let dir = tmpdir("scan-flags");
+        let rules = write_rules_dir(&dir);
+        let out = spatch()
+            .arg("scan")
+            .arg("--rules")
+            .arg(&rules)
+            .args(bad)
+            .arg("x.c")
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bad:?}: {out:?}");
+    }
+}
+
+#[test]
+fn scan_refuses_duplicate_rule_ids_naming_both_sources() {
+    let dir = tmpdir("scan-dup");
+    let rules = dir.join("rules");
+    fs::create_dir_all(&rules).unwrap();
+    let rule = "// spatch-rule: dup\n@r@\nexpression e;\nposition p;\n@@\nalpha(e)@p;\n";
+    fs::write(rules.join("one.cocci"), rule).unwrap();
+    fs::write(rules.join("two.cocci"), rule).unwrap();
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("x.c")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("duplicate rule id `dup`"), "{stderr}");
+    assert!(stderr.contains("one.cocci"), "{stderr}");
+    assert!(stderr.contains("two.cocci"), "{stderr}");
+}
+
+#[test]
+fn scan_load_error_names_the_offending_file() {
+    let dir = tmpdir("scan-badrule");
+    let rules = dir.join("rules");
+    fs::create_dir_all(&rules).unwrap();
+    fs::write(rules.join("broken.cocci"), "this is not smpl\n").unwrap();
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("x.c")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("broken.cocci"), "{stderr}");
+
+    // An empty rules dir is refused too.
+    let empty = dir.join("empty");
+    fs::create_dir_all(&empty).unwrap();
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&empty)
+        .arg("x.c")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no .cocci files"), "{stderr}");
+}
+
+#[test]
+fn scan_runs_transform_rules_without_writing() {
+    let dir = tmpdir("scan-mixed");
+    let rules = write_rules_dir(&dir);
+    fs::write(
+        rules.join("rename.cocci"),
+        format!("// spatch-rule: rename-old\n{RENAME_PATCH}"),
+    )
+    .unwrap();
+    let tree = dir.join("tree");
+    fs::create_dir_all(&tree).unwrap();
+    let body = "void f(void) {\n    old_api(1);\n    alpha(2);\n}\n";
+    fs::write(tree.join("a.c"), body).unwrap();
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .args(["--format", "json"])
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // The transform rule reports would-change; the file is untouched.
+    assert_eq!(fs::read_to_string(tree.join("a.c")).unwrap(), body);
+    let report =
+        cocci_core::ApplyReport::from_json(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let file = &report.files[0];
+    let rename = file
+        .rules
+        .iter()
+        .find(|r| r.id == "rename-old")
+        .expect("per-rule outcome recorded");
+    assert_eq!(rename.status, cocci_core::FileStatus::Changed);
+    assert_eq!(rename.matches, 1);
+    let beta = file.rules.iter().find(|r| r.id == "use-beta").unwrap();
+    assert_eq!(beta.findings, 1);
+}
+
+#[test]
+fn scan_resume_checks_ruleset_hash_and_skips_unchanged() {
+    let dir = tmpdir("scan-resume");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+    let report = dir.join("scan.json");
+
+    let first = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("--report")
+        .arg(&report)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(first.status.success(), "{first:?}");
+
+    // Resuming with a different rule set is refused up front.
+    let other = dir.join("other-rules");
+    fs::create_dir_all(&other).unwrap();
+    fs::write(
+        other.join("solo.cocci"),
+        "@r@\nexpression e;\nposition p;\n@@\nalpha(e)@p;\n",
+    )
+    .unwrap();
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&other)
+        .arg("--resume")
+        .arg(&report)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not produced by this rule set"), "{stderr}");
+
+    // Same rule set: every unchanged file is skipped, findings carried.
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("--resume")
+        .arg(&report)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("resumed: 3 unchanged file(s) skipped"),
+        "{stderr}"
+    );
+    let findings = text_finding_set(&String::from_utf8(out.stdout).unwrap());
+    assert_eq!(findings.len(), 3, "carried findings");
+}
+
+#[test]
+fn scan_no_flow_refusal_names_the_rule() {
+    let dir = tmpdir("scan-noflow");
+    let rules = dir.join("rules");
+    fs::create_dir_all(&rules).unwrap();
+    fs::write(
+        rules.join("pair.cocci"),
+        "// spatch-rule: pair-exists\n@pair@\nexpression b;\nposition p;\n@@\n\
+         probe_begin(b)@p;\n... when exists\nprobe_end(b);\n",
+    )
+    .unwrap();
+    let tree = dir.join("tree");
+    fs::create_dir_all(&tree).unwrap();
+    fs::write(
+        tree.join("a.c"),
+        "void f(void) { probe_begin(1); probe_end(1); }\n",
+    )
+    .unwrap();
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("--no-flow")
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("pair-exists"), "{stderr}");
+    assert!(stderr.contains("when exists"), "{stderr}");
+}
+
+#[test]
+fn scan_sarif_lists_every_rule_with_severity_levels() {
+    use cocci_core::report::json;
+
+    let dir = tmpdir("scan-sarif");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .args(["--format", "sarif", "--quiet"])
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let sarif = json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let top = sarif.as_object().unwrap();
+    assert_eq!(
+        top.get("version").unwrap().as_str().unwrap(),
+        "2.1.0",
+        "required SARIF key"
+    );
+    assert!(top.contains_key("$schema"), "required SARIF key");
+    let run = top.get("runs").unwrap().as_array().unwrap()[0]
+        .as_object()
+        .unwrap();
+    let driver = run
+        .get("tool")
+        .unwrap()
+        .as_object()
+        .unwrap()
+        .get("driver")
+        .unwrap()
+        .as_object()
+        .unwrap();
+    let listed: Vec<(String, String)> = driver
+        .get("rules")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|r| {
+            let o = r.as_object().unwrap();
+            let level = o
+                .get("defaultConfiguration")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .get("level")
+                .unwrap()
+                .as_str()
+                .unwrap();
+            (
+                o.get("id").unwrap().as_str().unwrap().to_string(),
+                level.to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        listed,
+        vec![
+            ("no-gamma".to_string(), "note".to_string()),
+            ("use-beta".to_string(), "warning".to_string()),
+        ],
+        "all loaded rules listed, sorted, with metadata severities"
+    );
+    // Every result carries a listed ruleId and its rule's level.
+    for r in run.get("results").unwrap().as_array().unwrap() {
+        let o = r.as_object().unwrap();
+        let id = o.get("ruleId").unwrap().as_str().unwrap();
+        assert!(listed.iter().any(|(lid, _)| lid == id), "{id}");
+        assert!(o.contains_key("level"));
+    }
+}
+
+#[test]
+fn scan_output_is_byte_identical_across_runs_and_ignore_duplicates() {
+    let dir = tmpdir("scan-determinism");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+
+    let run = |fmt: &str| -> Vec<u8> {
+        let out = spatch()
+            .arg("scan")
+            .arg("--rules")
+            .arg(&rules)
+            .args(["--format", fmt, "--quiet", "-j", "4"])
+            // The same --ignore pattern twice: deduplicated, not an error.
+            .args(["--ignore", "*.tmp", "--ignore", "*.tmp"])
+            .arg(&tree)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{fmt}: {out:?}");
+        out.stdout
+    };
+    for fmt in ["text", "sarif"] {
+        assert_eq!(run(fmt), run(fmt), "{fmt} output drifted between runs");
+    }
+}

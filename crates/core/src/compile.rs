@@ -14,9 +14,144 @@
 use crate::flowmatch::{self, FlowPattern};
 use crate::orchestrate::ApplyError;
 use cocci_cast::DotsQuant;
-use cocci_rex::Regex;
+use cocci_rex::{MultiLiteral, Regex};
 use cocci_smpl::{prefilter, Constraint, Pattern, Rule, SemanticPatch};
 use std::collections::{HashMap, HashSet};
+
+/// One prefilterable unit for [`AtomSieve::build`] — a patch (or a scan
+/// rule) described by its literal-atom conjunctions.
+#[derive(Debug, Clone)]
+pub struct SieveUnit {
+    /// Pruning is allowed for this unit. `false` (script/initialize/
+    /// finalize side effects) makes the unit survive every text.
+    pub prunable: bool,
+    /// One clause per transform rule: the unit survives a text if *any*
+    /// clause's atoms all occur in it. An empty clause (a rule with no
+    /// required atoms) makes the unit unprunable too.
+    pub clauses: Vec<Vec<String>>,
+}
+
+/// A merged multi-pattern prefilter over N units' literal atoms.
+///
+/// All units' atoms are interned into one [`MultiLiteral`] automaton;
+/// a **single scan** of the file text then answers "which units may
+/// match?" — replacing N independent `str::contains` sweeps. Small atom
+/// sets skip the automaton: for the one-patch/few-atoms case,
+/// memchr-accelerated `str::contains` beats a byte-at-a-time DFA walk,
+/// so [`CompiledPatch::may_match`] keeps its old cost there.
+#[derive(Debug, Clone)]
+pub struct AtomSieve {
+    /// Interned distinct atoms.
+    lits: Vec<String>,
+    /// Automaton over `lits` (built only above the contains cutoff).
+    scanner: Option<MultiLiteral>,
+    /// `(unit, atom ids)` conjunctions.
+    clauses: Vec<(u32, Vec<u32>)>,
+    /// Units that survive every text (unprunable, or an empty clause).
+    always: Vec<u32>,
+    /// Total number of units.
+    units: usize,
+}
+
+/// Below this many distinct atoms the sieve evaluates clauses with
+/// plain `str::contains` instead of the automaton.
+const SIEVE_CONTAINS_CUTOFF: usize = 4;
+
+impl AtomSieve {
+    /// Intern all units' atoms and prepare the merged scanner.
+    pub fn build(units: &[SieveUnit]) -> AtomSieve {
+        let mut ids: HashMap<&str, u32> = HashMap::new();
+        let mut lits: Vec<String> = Vec::new();
+        let mut clauses = Vec::new();
+        let mut always = Vec::new();
+        for (ui, unit) in units.iter().enumerate() {
+            let ui = ui as u32;
+            if !unit.prunable || unit.clauses.iter().any(|c| c.is_empty()) {
+                always.push(ui);
+                continue;
+            }
+            for clause in &unit.clauses {
+                let lit_ids = clause
+                    .iter()
+                    .map(|a| {
+                        *ids.entry(a.as_str()).or_insert_with(|| {
+                            lits.push(a.clone());
+                            (lits.len() - 1) as u32
+                        })
+                    })
+                    .collect();
+                clauses.push((ui, lit_ids));
+            }
+        }
+        let scanner = if lits.len() > SIEVE_CONTAINS_CUTOFF {
+            Some(MultiLiteral::new(&lits))
+        } else {
+            None
+        };
+        AtomSieve {
+            lits,
+            scanner,
+            clauses,
+            always,
+            units: units.len(),
+        }
+    }
+
+    /// Which atoms occur in `text` — one automaton pass (or a handful of
+    /// `contains` sweeps below the cutoff).
+    fn found(&self, text: &str) -> Vec<bool> {
+        match &self.scanner {
+            Some(m) => m.find_all(text),
+            None => self
+                .lits
+                .iter()
+                .map(|l| text.contains(l.as_str()))
+                .collect(),
+        }
+    }
+
+    /// Indices of units that may match `text`, ascending.
+    pub fn surviving(&self, text: &str) -> Vec<usize> {
+        let mut alive = vec![false; self.units];
+        for &u in &self.always {
+            alive[u as usize] = true;
+        }
+        if !self.clauses.is_empty() {
+            let found = self.found(text);
+            for (u, lit_ids) in &self.clauses {
+                if !alive[*u as usize] && lit_ids.iter().all(|&l| found[l as usize]) {
+                    alive[*u as usize] = true;
+                }
+            }
+        }
+        (0..self.units).filter(|&u| alive[u]).collect()
+    }
+
+    /// Does *any* unit survive `text`? Early-exits without touching the
+    /// text when an always-on unit exists.
+    pub fn any_survivor(&self, text: &str) -> bool {
+        if !self.always.is_empty() {
+            return true;
+        }
+        if self.clauses.is_empty() {
+            return false;
+        }
+        let found = self.found(text);
+        self.clauses
+            .iter()
+            .any(|(_, lit_ids)| lit_ids.iter().all(|&l| found[l as usize]))
+    }
+
+    /// Number of units the sieve was built from.
+    pub fn len(&self) -> usize {
+        self.units
+    }
+
+    /// True when built from zero units.
+    pub fn is_empty(&self) -> bool {
+        self.units == 0
+    }
+}
 
 /// Per-rule compiled artifacts.
 #[derive(Debug, Clone)]
@@ -57,6 +192,9 @@ pub struct CompiledPatch {
     /// interpreter can print), so skipping the pipeline for a pruned file
     /// would make prefiltered and unfiltered runs observably diverge.
     prunable: bool,
+    /// Single-unit merged prefilter over this patch's rule atoms —
+    /// [`may_match`](CompiledPatch::may_match) is a thin wrapper over it.
+    sieve: AtomSieve,
 }
 
 impl CompiledPatch {
@@ -146,32 +284,47 @@ impl CompiledPatch {
                 report_only,
             });
         }
+        let prunable = has_transform && !has_script;
+        let sieve = AtomSieve::build(&[Self::sieve_unit_of(prunable, &rules)]);
         Ok(CompiledPatch {
             patch: patch.clone(),
             rules,
             inherited_from,
             script_inherited_from,
-            prunable: has_transform && !has_script,
+            prunable,
+            sieve,
         })
     }
 
-    /// Cheap substring pre-scan: can any transform rule of this patch
+    fn sieve_unit_of(prunable: bool, rules: &[CompiledRule]) -> SieveUnit {
+        SieveUnit {
+            prunable,
+            clauses: rules
+                .iter()
+                .filter_map(|r| r.atoms.clone())
+                .collect::<Vec<_>>(),
+        }
+    }
+
+    /// This patch described as one prefilter unit, for merging into a
+    /// rule-set-wide [`AtomSieve`] (`spatch scan` prefilters all rules
+    /// with a single pass over each file).
+    pub fn sieve_unit(&self) -> SieveUnit {
+        Self::sieve_unit_of(self.prunable, &self.rules)
+    }
+
+    /// Cheap literal pre-scan: can any transform rule of this patch
     /// possibly match `text`? `false` is definitive (the full pipeline
     /// would find zero matches and change nothing, and no script side
     /// effects are lost — patches with script/initialize/finalize rules
     /// always return `true`); `true` means "run the real matcher".
+    /// A thin single-unit wrapper over [`AtomSieve`].
     ///
     /// Sound under sequential rule semantics: if every rule's prefilter
     /// rejects the *original* text, no rule matches it, so the text is
     /// never transformed and later rules keep seeing the original text.
     pub fn may_match(&self, text: &str) -> bool {
-        if !self.prunable {
-            return true;
-        }
-        self.rules.iter().any(|r| match &r.atoms {
-            Some(atoms) => atoms.iter().all(|a| text.contains(a.as_str())),
-            None => false,
-        })
+        self.sieve.any_survivor(text)
     }
 
     /// Prefilter atoms of rule `ri` (`None` for non-transform rules).

@@ -429,6 +429,9 @@ pub fn apply_to_corpus_resumed(
                 hash: 0,
                 error: Some(msg),
                 findings: Vec::new(),
+                rules: Vec::new(),
+                rules_pruned: 0,
+                suppressed: 0,
             });
         }
         if batch.is_empty() {
@@ -457,6 +460,9 @@ pub fn apply_to_corpus_resumed(
                         // diagnostics, and report mode would otherwise
                         // silently drop them from incremental runs.
                         findings: prev.findings.clone(),
+                        rules: prev.rules.clone(),
+                        rules_pruned: prev.rules_pruned,
+                        suppressed: prev.suppressed,
                     });
                 }
                 _ => to_run.push((name, text)),

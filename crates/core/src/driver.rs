@@ -39,6 +39,8 @@ pub struct FileOutcome {
     /// Findings from reporting-only rules and script `print_report`
     /// calls — one per match witness.
     pub findings: Vec<crate::findings::Finding>,
+    /// Findings dropped by `// spatch-ignore` suppression markers.
+    pub suppressed: usize,
     /// The prefilter skipped this file before lexing/parsing.
     pub pruned: bool,
     /// The file exceeded the per-file time budget.
@@ -224,6 +226,7 @@ fn run_one(
             matches: 0,
             witnesses: 0,
             findings: Vec::new(),
+            suppressed: 0,
             pruned: true,
             timed_out: false,
             hash,
@@ -231,18 +234,29 @@ fn run_one(
         };
     }
     match catch_matcher_panics(name, || patcher.apply(name, text)) {
-        Ok(output) => FileOutcome {
-            name: name.to_string(),
-            output,
-            error: None,
-            matches: patcher.last_stats.matches_per_rule.iter().sum(),
-            witnesses: patcher.last_stats.witnesses,
-            findings: std::mem::take(&mut patcher.last_stats.findings),
-            pruned: false,
-            timed_out: false,
-            hash,
-            seconds: t0.elapsed().as_secs_f64(),
-        },
+        Ok(output) => {
+            let findings = std::mem::take(&mut patcher.last_stats.findings);
+            // `// spatch-ignore` markers drop findings here, at the
+            // outcome boundary — matching itself never sees them.
+            let (findings, suppressed) = if findings.is_empty() {
+                (findings, 0)
+            } else {
+                crate::suppress::SuppressionIndex::parse(text).filter(findings)
+            };
+            FileOutcome {
+                name: name.to_string(),
+                output,
+                error: None,
+                matches: patcher.last_stats.matches_per_rule.iter().sum(),
+                witnesses: patcher.last_stats.witnesses,
+                findings,
+                suppressed,
+                pruned: false,
+                timed_out: false,
+                hash,
+                seconds: t0.elapsed().as_secs_f64(),
+            }
+        }
         Err(e) => FileOutcome {
             name: name.to_string(),
             output: None,
@@ -250,6 +264,7 @@ fn run_one(
             matches: 0,
             witnesses: 0,
             findings: Vec::new(),
+            suppressed: 0,
             pruned: false,
             timed_out: e.timed_out,
             hash,
@@ -435,6 +450,30 @@ mod tests {
         assert!(out.contains("c(1);"), "{out}");
         assert!(out.contains("c(2);"), "{out}");
         assert!(!out.contains("b(1)") && !out.contains("b(2)"), "{out}");
+    }
+
+    #[test]
+    fn suppression_markers_drop_findings_from_outcomes() {
+        let patch = parse_semantic_patch("@scan@\nexpression e;\nposition p;\n@@\nold_api(e)@p;\n")
+            .unwrap();
+        let files = vec![(
+            "s.c".to_string(),
+            "void f(void) {\n    old_api(1); // spatch-ignore scan\n\n    old_api(2);\n}\n"
+                .to_string(),
+        )];
+        let outcomes = apply_to_files(&patch, &files, 1).unwrap();
+        assert_eq!(outcomes[0].matches, 2, "matching still sees both sites");
+        assert_eq!(outcomes[0].findings.len(), 1);
+        assert_eq!(outcomes[0].findings[0].line, 4);
+        assert_eq!(outcomes[0].suppressed, 1);
+        // A marker naming a different rule suppresses nothing.
+        let files = vec![(
+            "s.c".to_string(),
+            "void f(void) {\n    old_api(1); // spatch-ignore other-rule\n}\n".to_string(),
+        )];
+        let outcomes = apply_to_files(&patch, &files, 1).unwrap();
+        assert_eq!(outcomes[0].findings.len(), 1);
+        assert_eq!(outcomes[0].suppressed, 0);
     }
 
     #[test]

@@ -211,15 +211,40 @@ pub fn finding_from_json(v: &json::Value) -> Result<Finding, String> {
     })
 }
 
+/// Presentation metadata for one rule in SARIF output — the bridge
+/// between a scan rule set's [`RuleMeta`](crate::RuleMeta) and the
+/// `tool.driver.rules` section.
+#[derive(Debug, Clone)]
+pub struct SarifRule {
+    /// The SARIF `ruleId`.
+    pub id: String,
+    /// The SARIF `level` (`error` | `warning` | `note`).
+    pub level: &'static str,
+    /// Short description shown by SARIF viewers.
+    pub description: String,
+}
+
 /// Render every finding of a report as a SARIF 2.1.0 document, the
 /// interchange format CI systems (GitHub code scanning among them)
 /// ingest. One run, one rule entry per distinct rule id, one result per
-/// finding with a single physical location.
+/// finding with a single physical location. Single-patch shorthand for
+/// [`to_sarif_with`] without rule metadata (every result at `note`).
 pub fn to_sarif(report: &ApplyReport) -> String {
+    to_sarif_with(report, &[])
+}
+
+/// [`to_sarif`] with per-rule metadata: `rules` entries supply the
+/// SARIF `level` and description for their ids (scan mode passes every
+/// loaded rule, so the tool section is complete — and byte-stable —
+/// even for rules with zero findings this run). Finding rule ids
+/// without a descriptor still get a generated entry at `note`.
+pub fn to_sarif_with(report: &ApplyReport, rules: &[SarifRule]) -> String {
     let findings: Vec<&Finding> = report.files.iter().flat_map(|f| &f.findings).collect();
     let mut rule_ids: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    rule_ids.extend(rules.iter().map(|r| r.id.as_str()));
     rule_ids.sort_unstable();
     rule_ids.dedup();
+    let meta = |id: &str| rules.iter().find(|r| r.id == id);
 
     let mut out = String::from("{\n");
     out.push_str("  \"version\": \"2.1.0\",\n");
@@ -232,12 +257,24 @@ pub fn to_sarif(report: &ApplyReport) -> String {
         if i > 0 {
             out.push_str(", ");
         }
+        let description = match meta(id) {
+            Some(r) => r.description.clone(),
+            None => format!("semantic-patch rule {id}"),
+        };
         let _ = write!(
             out,
-            "{{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            "{{\"id\": {}, \"shortDescription\": {{\"text\": {}}}",
             json::escape(id),
-            json::escape(&format!("semantic-patch rule {id}")),
+            json::escape(&description),
         );
+        if let Some(r) = meta(id) {
+            let _ = write!(
+                out,
+                ", \"defaultConfiguration\": {{\"level\": \"{}\"}}",
+                r.level
+            );
+        }
+        out.push('}');
     }
     out.push_str("]}},\n");
     out.push_str("    \"results\": [");
@@ -245,12 +282,14 @@ pub fn to_sarif(report: &ApplyReport) -> String {
         if i > 0 {
             out.push(',');
         }
+        let level = meta(&f.rule).map(|r| r.level).unwrap_or("note");
         let _ = write!(
             out,
-            "\n      {{\"ruleId\": {}, \"level\": \"note\", \"message\": {{\"text\": {}}}, \
+            "\n      {{\"ruleId\": {}, \"level\": \"{}\", \"message\": {{\"text\": {}}}, \
              \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
              \"region\": {{\"startLine\": {}, \"startColumn\": {}, \"endLine\": {}, \"endColumn\": {}}}}}}}]}}",
             json::escape(&f.rule),
+            level,
             json::escape(&f.message),
             json::escape(&f.path),
             f.line.max(1),
@@ -332,6 +371,9 @@ mod tests {
                 hash: 1,
                 error: None,
                 findings: vec![sample_finding()],
+                rules: Vec::new(),
+                rules_pruned: 0,
+                suppressed: 0,
             }],
         };
         let sarif = to_sarif(&report);
@@ -366,5 +408,92 @@ mod tests {
             .unwrap();
         assert_eq!(driver.get("name").unwrap().as_str(), Some("spatch"));
         assert_eq!(driver.get("rules").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sarif_rule_metadata_sets_levels_and_lists_findingless_rules() {
+        let report = ApplyReport {
+            patch: "rules/".into(),
+            patch_hash: 1,
+            threads: 1,
+            prefilter: true,
+            resumed: 0,
+            total_seconds: 0.0,
+            files: vec![FileReport {
+                name: "src/a.c".into(),
+                status: FileStatus::Matched,
+                matches: 1,
+                witnesses: 0,
+                seconds: 0.0,
+                hash: 1,
+                error: None,
+                findings: vec![sample_finding()],
+                rules: Vec::new(),
+                rules_pruned: 0,
+                suppressed: 0,
+            }],
+        };
+        let rules = vec![
+            SarifRule {
+                id: "r".into(),
+                level: "warning",
+                description: "old API is deprecated".into(),
+            },
+            // A loaded rule with zero findings this run still appears in
+            // the tool section (keeps the output shape rule-stable).
+            SarifRule {
+                id: "quiet-rule".into(),
+                level: "error",
+                description: "never fired".into(),
+            },
+        ];
+        let sarif = to_sarif_with(&report, &rules);
+        let v = json::parse(&sarif).unwrap();
+        let run = v
+            .as_object()
+            .unwrap()
+            .get("runs")
+            .unwrap()
+            .as_array()
+            .unwrap()[0]
+            .as_object()
+            .unwrap()
+            .clone();
+        let listed = run
+            .get("tool")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("driver")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("rules")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
+        let ids: Vec<&str> = listed
+            .iter()
+            .map(|r| r.as_object().unwrap().get("id").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(ids, ["quiet-rule", "r"], "sorted, findingless included");
+        let r_entry = listed[1].as_object().unwrap();
+        assert_eq!(
+            r_entry
+                .get("defaultConfiguration")
+                .unwrap()
+                .as_object()
+                .unwrap()
+                .get("level")
+                .unwrap()
+                .as_str(),
+            Some("warning")
+        );
+        let result = run.get("results").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap()
+            .clone();
+        assert_eq!(result.get("level").unwrap().as_str(), Some("warning"));
     }
 }

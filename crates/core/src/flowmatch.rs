@@ -50,10 +50,47 @@ use cocci_flow::{build_cfg, walk_gap, Cfg, NodeId, NodeKind, Quant};
 use cocci_source::Span;
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// CFG size cap above which a function falls back to tree matching
 /// ("the CFG can't be built" guard for pathological inputs).
 pub const MAX_CFG_NODES: usize = 10_000;
+
+/// Per-file cache of built CFGs, keyed by function span. The graphs
+/// depend only on the target text — not on the rule being matched — so a
+/// [`FileContext`](crate::FileContext) carries one of these and every
+/// flow-routed rule applied to the file reuses the same graphs instead
+/// of rebuilding them. `None` records an over-budget function (so the
+/// budget check also happens once).
+#[derive(Debug, Default)]
+pub struct CfgCache {
+    map: HashMap<Span, Option<Arc<Cfg>>>,
+    builds: usize,
+}
+
+impl CfgCache {
+    /// The cached CFG for `f`, building (and counting a build) on first
+    /// use. `None` means the function exceeds [`MAX_CFG_NODES`].
+    pub fn get_or_build(&mut self, f: &FunctionDef) -> Option<Arc<Cfg>> {
+        self.map
+            .entry(f.span)
+            .or_insert_with(|| {
+                self.builds += 1;
+                let cfg = build_cfg(f);
+                if cfg.len() > MAX_CFG_NODES {
+                    None
+                } else {
+                    Some(Arc::new(cfg))
+                }
+            })
+            .clone()
+    }
+
+    /// How many CFGs were actually built (cache misses).
+    pub fn builds(&self) -> usize {
+        self.builds
+    }
+}
 
 /// Cap on the witnesses one anchor attempt may fork. Each gap can
 /// multiply bindings, so a crafted file with wide branching at every
@@ -244,17 +281,31 @@ pub struct FlowSearch<'t> {
 /// the function is over the node budget (tree fallback).
 struct FnData<'t> {
     f: &'t FunctionDef,
-    cfg: Option<Cfg>,
+    cfg: Option<Arc<Cfg>>,
     by_span: HashMap<Span, &'t Stmt>,
 }
 
 impl<'t> FlowSearch<'t> {
     /// Build the per-function CFGs and span indexes for `tu`.
     pub fn new(fp: &'t FlowPattern, tree_pats: &'t [Stmt], tu: &'t TranslationUnit) -> Self {
+        let mut cache = CfgCache::default();
+        Self::with_cache(fp, tree_pats, tu, &mut cache)
+    }
+
+    /// Like [`FlowSearch::new`], but CFGs come from (and land in) a
+    /// shared per-file [`CfgCache`]: N rules applied to the same parse
+    /// build each function's graph once instead of N times. The span
+    /// index is rebuilt per search (it borrows this search's `tu`).
+    pub fn with_cache(
+        fp: &'t FlowPattern,
+        tree_pats: &'t [Stmt],
+        tu: &'t TranslationUnit,
+        cache: &mut CfgCache,
+    ) -> Self {
         let mut fns = Vec::new();
         visit::walk_functions(tu, &mut |f| {
-            let cfg = build_cfg(f);
-            if cfg.len() > MAX_CFG_NODES {
+            let cfg = cache.get_or_build(f);
+            if cfg.is_none() {
                 fns.push(FnData {
                     f,
                     cfg: None,
@@ -268,11 +319,7 @@ impl<'t> FlowSearch<'t> {
                     by_span.insert(st.span(), st);
                 });
             }
-            fns.push(FnData {
-                f,
-                cfg: Some(cfg),
-                by_span,
-            });
+            fns.push(FnData { f, cfg, by_span });
         });
         FlowSearch {
             fp,
@@ -293,7 +340,7 @@ impl<'t> FlowSearch<'t> {
                     let m = FnMatcher {
                         ctx,
                         fp: self.fp,
-                        cfg,
+                        cfg: cfg.as_ref(),
                         by_span: &data.by_span,
                     };
                     m.run(seed, &self.next_group, &mut out);

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod compile;
+pub mod context;
 pub mod corpus;
 pub mod driver;
 pub mod edits;
@@ -44,8 +45,12 @@ pub mod matcher;
 pub mod orchestrate;
 pub mod report;
 pub mod rewrite;
+pub mod ruleset;
+pub mod scan;
+pub mod suppress;
 
 pub use compile::CompiledPatch;
+pub use context::FileContext;
 pub use corpus::{
     apply_to_corpus, apply_to_corpus_resumed, BatchOptions, CorpusOptions, FileSource, IgnoreSet,
     MemorySource, WalkSource,
@@ -53,8 +58,11 @@ pub use corpus::{
 pub use driver::{apply_batch, apply_batch_opts, apply_to_files, ExecOptions, FileOutcome};
 pub use edits::{Edit, EditConflict, EditSet};
 pub use env::{Env, ExportedEnv, Value};
-pub use findings::{to_sarif, Finding};
-pub use flowmatch::{FlowPattern, FlowSearch, FlowStep};
+pub use findings::{to_sarif, to_sarif_with, Finding, SarifRule};
+pub use flowmatch::{CfgCache, FlowPattern, FlowSearch, FlowStep};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
 pub use report::{content_hash, ApplyReport, FileReport, FileStatus};
+pub use ruleset::{CompiledRuleSet, RuleMeta, ScanRule, Severity};
+pub use scan::{scan_batch, scan_corpus, RuleOutcome, ScanOutcome};
+pub use suppress::SuppressionIndex;

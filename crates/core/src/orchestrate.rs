@@ -17,6 +17,7 @@
 //!   globals, `@script@` rules compute new bindings per environment.
 
 use crate::compile::CompiledPatch;
+use crate::context::FileContext;
 use crate::edits::EditSet;
 use crate::env::{Env, ExportedEnv, Value};
 use crate::findings::{self, Finding, Resolver};
@@ -143,12 +144,26 @@ impl Patcher {
     /// Apply the patch to one file. Returns `Ok(Some(text))` when edits
     /// were made, `Ok(None)` when nothing matched.
     pub fn apply(&mut self, name: &str, src: &str) -> Result<Option<String>, ApplyError> {
+        let mut ctx = FileContext::new(name, src);
+        self.apply_ctx(&mut ctx)
+    }
+
+    /// Apply the patch against a shared [`FileContext`]. The context's
+    /// caches (parse tree, CFGs, line table, suppression index) describe
+    /// the **original** text and survive the call untouched: the scan
+    /// driver applies N compiled rule sets through one context and the
+    /// file is lexed/parsed once. When this patch's own edits land
+    /// mid-application, the patcher transparently switches to private
+    /// state for the rewritten text (sequential rule semantics are
+    /// preserved); the returned `Some(text)` is the rewritten file.
+    pub fn apply_ctx(&mut self, ctx: &mut FileContext) -> Result<Option<String>, ApplyError> {
         let t0 = std::time::Instant::now();
         let opts = ParseOptions {
             pattern: false,
             lang: self.compiled.patch.lang,
         };
-        let mut current = src.to_string();
+        let name = ctx.name().to_string();
+        let mut current: Arc<str> = ctx.text_arc();
         let mut changed = false;
         let mut interp = Interp::new();
         let mut matched: HashSet<String> = HashSet::new();
@@ -162,9 +177,11 @@ impl Patcher {
         let mut finalizers = Vec::new();
         // Line/col resolution for findings and script positions, built
         // lazily over the *current* text and invalidated whenever a
-        // transform rule rewrites it — several reporting/script rules
-        // over one file share a single line-table build.
-        let mut resolver: Option<Resolver> = None;
+        // transform rule rewrites it. While the text is still the
+        // original, the build is fetched from (and cached in) the shared
+        // context, so several rules — of this patch or any other scan
+        // rule — share a single line-table build.
+        let mut resolver: Option<Arc<Resolver>> = None;
         // Auto-findings of reporting rules whose bindings feed a script
         // rule are *deferred*: if that script ends up authoring findings
         // (via `coccilib.report.print_report`), the generic `matched`
@@ -201,14 +218,16 @@ impl Patcher {
                     if !deps_ok(s.depends.as_ref(), &matched) {
                         continue;
                     }
+                    let shared = if changed { None } else { Some(&mut *ctx) };
                     self.run_script_rule(
                         s,
                         &mut interp,
                         &mut streams,
                         &mut matched,
-                        name,
+                        &name,
                         &current,
                         &mut resolver,
+                        shared,
                         &mut stats.findings,
                         &mut scripts_reporting,
                     )?;
@@ -217,16 +236,22 @@ impl Patcher {
                     if !deps_ok(t.depends.as_ref(), &matched) {
                         continue;
                     }
-                    let tu = parse_translation_unit(&current, opts, &NoMeta).map_err(|e| {
-                        aerr(format!(
-                            "{name}: cannot parse target{}: {e}",
-                            if changed {
-                                " (after transformation)"
-                            } else {
-                                ""
-                            }
-                        ))
-                    })?;
+                    // The original text parses through the shared
+                    // context (cached across rules and across scan rule
+                    // sets); once this patch's own edits landed, the
+                    // rewritten text is private and parses privately.
+                    let tu: Arc<TranslationUnit> = if changed {
+                        parse_translation_unit(&current, opts, &NoMeta)
+                            .map(Arc::new)
+                            .map_err(|e| {
+                                aerr(format!(
+                                    "{name}: cannot parse target (after transformation): {e}"
+                                ))
+                            })?
+                    } else {
+                        ctx.parse(opts)
+                            .map_err(|e| aerr(format!("{name}: cannot parse target: {e}")))?
+                    };
                     // Contradictory witness groups are already rejected
                     // inside run_transform_rule (before they could claim
                     // territory or export environments), so every match
@@ -235,8 +260,9 @@ impl Patcher {
                     // witness; a flow-routed rule's tree-fallback
                     // matches (over-budget functions) keep 0 and are
                     // not counted as witnesses.
+                    let shared = if changed { None } else { Some(&mut *ctx) };
                     let (all_matches, new_streams, edits) =
-                        self.run_transform_rule(ri, t, &tu, name, &current, &streams)?;
+                        self.run_transform_rule(ri, t, &tu, &name, &current, &streams, shared)?;
                     stats.matches_per_rule[ri] = all_matches.len();
                     stats.witnesses += all_matches.iter().filter(|m| m.witness_group != 0).count();
                     // Reporting-only rules (pure-context bodies) route
@@ -248,14 +274,15 @@ impl Patcher {
                     // theirs (see `deferred` above).
                     if self.compiled.rules[ri].report_only && !all_matches.is_empty() {
                         let rule_name = t.name.as_deref().unwrap_or("<anonymous>");
-                        let r = resolver.get_or_insert_with(|| Resolver::new(name, &current));
+                        let shared = if changed { None } else { Some(&mut *ctx) };
+                        let r = shared_resolver(&mut resolver, shared, &name, &current);
                         let mut auto = Vec::with_capacity(all_matches.len());
                         for m in &all_matches {
                             auto.push(findings::finding_for_match(
                                 rule_name,
                                 &t.metavars,
                                 m,
-                                r,
+                                &r,
                                 &current,
                             ));
                         }
@@ -278,12 +305,15 @@ impl Patcher {
                         }
                         if !edits.is_empty() {
                             stats.edits += edits.len();
-                            current = edits.apply(&current).map_err(|e| {
-                                aerr(format!(
-                                    "{name}: rule {}: {e}",
-                                    t.name.as_deref().unwrap_or("<anonymous>")
-                                ))
-                            })?;
+                            current = edits
+                                .apply(&current)
+                                .map_err(|e| {
+                                    aerr(format!(
+                                        "{name}: rule {}: {e}",
+                                        t.name.as_deref().unwrap_or("<anonymous>")
+                                    ))
+                                })?
+                                .into();
                             changed = true;
                             // The line table describes the pre-edit
                             // text now; rebuild on next use.
@@ -317,7 +347,11 @@ impl Patcher {
                 .map_err(|e| aerr(format!("{name}: finalize block: {e}")))?;
         }
         self.last_stats = stats;
-        Ok(if changed { Some(current) } else { None })
+        Ok(if changed {
+            Some(current.to_string())
+        } else {
+            None
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -329,7 +363,8 @@ impl Patcher {
         matched: &mut HashSet<String>,
         file: &str,
         src: &str,
-        resolver: &mut Option<Resolver>,
+        resolver: &mut Option<Arc<Resolver>>,
+        mut shared: Option<&mut FileContext>,
         findings: &mut Vec<Finding>,
         scripts_reporting: &mut HashSet<String>,
     ) -> Result<(), ApplyError> {
@@ -360,7 +395,7 @@ impl Patcher {
                         let (line, column, line_end, column_end) = match resolved {
                             Some(rp) => (rp.line, rp.col, rp.end_line, rp.end_col),
                             None => {
-                                let r = resolver.get_or_insert_with(|| Resolver::new(file, src));
+                                let r = shared_resolver(resolver, shared.as_deref_mut(), file, src);
                                 let (line, column) = r.line_col(span.start);
                                 let (line_end, column_end) = r.line_col(span.end);
                                 (line, column, line_end, column_end)
@@ -456,6 +491,7 @@ impl Patcher {
         file: &str,
         src: &str,
         streams: &[ExportedEnv],
+        mut shared: Option<&mut FileContext>,
     ) -> Result<(Vec<MatchState>, Option<Vec<ExportedEnv>>, EditSet), ApplyError> {
         let exports_needed = t
             .name
@@ -523,7 +559,7 @@ impl Patcher {
         // rules may rewrite the in-memory text and shift the byte
         // offsets out from under the span. Built lazily: only rules
         // that export positions pay for the line table.
-        let mut export_resolver: Option<Resolver> = None;
+        let mut export_resolver: Option<Arc<Resolver>> = None;
 
         // Flow-sensitive rules route through the CFG path engine
         // (all-paths dots semantics); everything else — and every rule
@@ -548,9 +584,12 @@ impl Patcher {
             }
         }
         let flow_search = match (&self.compiled.rules[ri].flow, &t.body.pattern) {
-            (Some(fp), Pattern::Stmts(pats)) if self.flow_enabled => {
-                Some(crate::flowmatch::FlowSearch::new(fp, pats, tu))
-            }
+            (Some(fp), Pattern::Stmts(pats)) if self.flow_enabled => Some(match &mut shared {
+                // Shared context: this file's CFGs build once, no matter
+                // how many flow-routed rules (of how many patches) run.
+                Some(ctx) => crate::flowmatch::FlowSearch::with_cache(fp, pats, tu, ctx.cfgs()),
+                None => crate::flowmatch::FlowSearch::new(fp, pats, tu),
+            }),
             _ => None,
         };
 
@@ -699,8 +738,12 @@ impl Patcher {
                                     span,
                                     resolved: None,
                                 } => {
-                                    let r = export_resolver
-                                        .get_or_insert_with(|| Resolver::new(file, src));
+                                    let r = shared_resolver(
+                                        &mut export_resolver,
+                                        shared.as_deref_mut(),
+                                        file,
+                                        src,
+                                    );
                                     let (line, col) = r.line_col(span.start);
                                     let (end_line, end_col) = r.line_col(span.end);
                                     Value::Pos {
@@ -734,6 +777,29 @@ impl Patcher {
         };
         Ok((all_matches, streams_out, edits))
     }
+}
+
+/// The lazily-built line-table resolver for the text a rule is running
+/// against. While the text is still the file's original (`shared` is
+/// `Some`), the build comes from the shared [`FileContext`] — one line
+/// table serves every rule applied to the file; once the patch's own
+/// edits rewrote the text, `shared` is `None` and a private resolver is
+/// built over `src`. Either way the handle is memoized in `slot`.
+fn shared_resolver(
+    slot: &mut Option<Arc<Resolver>>,
+    shared: Option<&mut FileContext>,
+    name: &str,
+    src: &str,
+) -> Arc<Resolver> {
+    if let Some(r) = slot {
+        return Arc::clone(r);
+    }
+    let r = match shared {
+        Some(ctx) => ctx.resolver(),
+        None => Arc::new(Resolver::new(name, src)),
+    };
+    *slot = Some(Arc::clone(&r));
+    r
 }
 
 /// Whether an overlapping earlier claim blocks match `m`. Sibling

@@ -9,6 +9,7 @@
 
 use crate::driver::FileOutcome;
 use crate::findings::{finding_from_json, finding_to_json, Finding};
+use crate::scan::RuleOutcome;
 use std::fmt;
 
 /// Classified outcome of one file.
@@ -107,6 +108,12 @@ pub struct FileReport {
     /// Findings from reporting-only rules (and script `print_report`
     /// calls). `--resume` carries them forward for unchanged files.
     pub findings: Vec<Finding>,
+    /// Per-rule outcomes (scan mode only; empty for single-patch runs).
+    pub rules: Vec<RuleOutcome>,
+    /// Rules the merged prefilter pruned for this file (scan mode only).
+    pub rules_pruned: usize,
+    /// Findings dropped by `// spatch-ignore` markers.
+    pub suppressed: usize,
 }
 
 impl FileReport {
@@ -134,6 +141,9 @@ impl FileReport {
             hash: o.hash,
             error: o.error.clone(),
             findings: o.findings.clone(),
+            rules: Vec::new(),
+            rules_pruned: 0,
+            suppressed: o.suppressed,
         }
     }
 }
@@ -228,6 +238,22 @@ impl ApplyReport {
             if let Some(e) = &f.error {
                 let _ = write!(out, ", \"error\": {}", json::escape(e));
             }
+            if f.suppressed > 0 {
+                let _ = write!(out, ", \"suppressed\": {}", f.suppressed);
+            }
+            if f.rules_pruned > 0 {
+                let _ = write!(out, ", \"rules_pruned\": {}", f.rules_pruned);
+            }
+            if !f.rules.is_empty() {
+                out.push_str(", \"rules\": [");
+                for (j, r) in f.rules.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&r.to_json());
+                }
+                out.push(']');
+            }
             if !f.findings.is_empty() {
                 out.push_str(", \"findings\": [");
                 for (j, fd) in f.findings.iter().enumerate() {
@@ -318,6 +344,20 @@ impl ApplyReport {
                     findings.push(finding_from_json(fv)?);
                 }
             }
+            let suppressed = fo
+                .get("suppressed")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(0.0) as usize;
+            let rules_pruned = fo
+                .get("rules_pruned")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(0.0) as usize;
+            let mut rules = Vec::new();
+            if let Some(arr) = fo.get("rules").and_then(json::Value::as_array) {
+                for rv in arr {
+                    rules.push(RuleOutcome::from_json(rv)?);
+                }
+            }
             files.push(FileReport {
                 name,
                 status,
@@ -327,6 +367,9 @@ impl ApplyReport {
                 hash,
                 error,
                 findings,
+                rules,
+                rules_pruned,
+                suppressed,
             });
         }
         Ok(ApplyReport {
@@ -615,6 +658,24 @@ mod tests {
                         message: "matched".into(),
                         bindings: vec![("e".into(), "q".into())],
                     }],
+                    rules: vec![
+                        RuleOutcome {
+                            id: "use-new-api".into(),
+                            status: FileStatus::Matched,
+                            matches: 2,
+                            findings: 1,
+                            suppressed: 1,
+                        },
+                        RuleOutcome {
+                            id: "no-old-free".into(),
+                            status: FileStatus::Unmatched,
+                            matches: 0,
+                            findings: 0,
+                            suppressed: 0,
+                        },
+                    ],
+                    rules_pruned: 3,
+                    suppressed: 1,
                 },
                 FileReport {
                     name: "a/skip.c".into(),
@@ -625,6 +686,9 @@ mod tests {
                     hash: content_hash("void f(void) {}\n"),
                     error: None,
                     findings: Vec::new(),
+                    rules: Vec::new(),
+                    rules_pruned: 0,
+                    suppressed: 0,
                 },
                 FileReport {
                     name: "slow.c".into(),
@@ -635,6 +699,9 @@ mod tests {
                     hash: 7,
                     error: Some("exceeded per-file time budget".into()),
                     findings: Vec::new(),
+                    rules: Vec::new(),
+                    rules_pruned: 0,
+                    suppressed: 0,
                 },
                 FileReport {
                     name: "bad.c".into(),
@@ -645,6 +712,9 @@ mod tests {
                     hash: 0,
                     error: Some("cannot parse \"target\"".into()),
                     findings: Vec::new(),
+                    rules: Vec::new(),
+                    rules_pruned: 0,
+                    suppressed: 0,
                 },
             ],
         }
@@ -670,6 +740,13 @@ mod tests {
         // Findings survive the round trip exactly.
         assert_eq!(back.files[0].findings, r.files[0].findings);
         assert!(back.files[1].findings.is_empty());
+        // Scan-mode fields (per-rule outcomes, prune/suppression counts)
+        // survive too; legacy entries default to empty/zero.
+        assert_eq!(back.files[0].rules, r.files[0].rules);
+        assert_eq!(back.files[0].rules_pruned, 3);
+        assert_eq!(back.files[0].suppressed, 1);
+        assert!(back.files[1].rules.is_empty());
+        assert_eq!(back.files[1].suppressed, 0);
         // Hashes and the resumed count survive the round trip exactly.
         assert_eq!(back.resumed, 1);
         assert_eq!(back.patch_hash, r.patch_hash);

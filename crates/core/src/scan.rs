@@ -1,0 +1,789 @@
+//! The N-rule scan driver: lint a corpus with a whole rule collection
+//! in one pass.
+//!
+//! The single-patch driver parallelises over *files*; scanning
+//! parallelises over **(file × surviving-rule) units**. Each file gets
+//! one [`FileContext`] (text, parse tree, CFG cache, line table,
+//! suppression index — built once), one pass of the rule set's merged
+//! prefilter automaton decides which rules may match it at all, and the
+//! surviving units are distributed over the worker pool. Units of the
+//! same file serialise on the file's context mutex, so fifty rules
+//! over one file share one parse — the [`ScanOutcome::parses`] probe
+//! asserts exactly that.
+//!
+//! Findings are attributed to the scan rule that produced them: each
+//! finding's `rule` field is rewritten to the rule's id and its message
+//! honours the rule's `// spatch-message:` override, so one merged
+//! report (or SARIF run) stays navigable at fifty rules.
+//!
+//! Scan mode never writes files: a transform rule that *would* change a
+//! file records a `changed` per-rule outcome and its match count, and
+//! nothing else.
+
+use crate::context::FileContext;
+use crate::corpus::{CorpusOptions, FileSource};
+use crate::driver::{catch_matcher_panics, ExecOptions};
+use crate::findings::Finding;
+use crate::orchestrate::{ApplyError, Patcher};
+use crate::report::json::{self, Value};
+use crate::report::{ApplyReport, FileReport, FileStatus};
+use crate::ruleset::CompiledRuleSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outcome of one rule on one file (scan mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleOutcome {
+    /// The rule id ([`RuleMeta::id`](crate::RuleMeta::id)).
+    pub id: String,
+    /// Per-rule status; `changed` means the (transform) rule *would*
+    /// rewrite the file — scan mode never writes.
+    pub status: FileStatus,
+    /// Matches this rule found in the file.
+    pub matches: usize,
+    /// Findings kept after suppression filtering.
+    pub findings: usize,
+    /// Findings dropped by `// spatch-ignore` markers.
+    pub suppressed: usize,
+}
+
+impl RuleOutcome {
+    /// Serialize as one JSON object (used inside file reports).
+    pub(crate) fn to_json(&self) -> String {
+        format!(
+            "{{\"id\": {}, \"status\": \"{}\", \"matches\": {}, \"findings\": {}, \"suppressed\": {}}}",
+            json::escape(&self.id),
+            self.status,
+            self.matches,
+            self.findings,
+            self.suppressed
+        )
+    }
+
+    /// Parse the [`to_json`](RuleOutcome::to_json) form back.
+    pub(crate) fn from_json(v: &Value) -> Result<RuleOutcome, String> {
+        let o = v.as_object().ok_or("rule outcome: expected an object")?;
+        let get_n = |k: &str| o.get(k).and_then(Value::as_f64).unwrap_or(0.0) as usize;
+        Ok(RuleOutcome {
+            id: o
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or("rule outcome: missing \"id\"")?
+                .to_string(),
+            status: o
+                .get("status")
+                .and_then(Value::as_str)
+                .and_then(FileStatus::parse)
+                .ok_or("rule outcome: bad \"status\"")?,
+            matches: get_n("matches"),
+            findings: get_n("findings"),
+            suppressed: get_n("suppressed"),
+        })
+    }
+}
+
+/// Result of scanning one file with a whole rule set.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// File name as passed in.
+    pub name: String,
+    /// FNV-1a hash of the file text (resume bookkeeping).
+    pub hash: u64,
+    /// Accumulated wall-clock seconds (prefilter scan + every rule).
+    pub seconds: f64,
+    /// Times the file text was parsed — the "N rules, one parse"
+    /// guarantee says this stays ≤ 1 however many rules survived.
+    pub parses: usize,
+    /// Per-function CFGs built (shared across flow-sensitive rules).
+    pub cfg_builds: usize,
+    /// Rules the merged prefilter pruned for this file without parsing.
+    pub rules_pruned: usize,
+    /// Outcomes of the surviving rules, ascending by rule id.
+    pub rules: Vec<RuleOutcome>,
+    /// All kept findings, attributed to their rule ids, grouped in rule
+    /// order.
+    pub findings: Vec<Finding>,
+    /// Total findings dropped by `// spatch-ignore` markers.
+    pub suppressed: usize,
+    /// Per-path witnesses summed over flow-routed rules.
+    pub witnesses: usize,
+    /// First per-rule failure, prefixed with the rule id.
+    pub error: Option<String>,
+}
+
+impl ScanOutcome {
+    /// Aggregate file status: the most severe per-rule status
+    /// (error > timeout > changed > matched > unmatched), or `pruned`
+    /// when no rule survived the prefilter.
+    pub fn status(&self) -> FileStatus {
+        fn rank(s: FileStatus) -> u8 {
+            match s {
+                FileStatus::Pruned => 0,
+                FileStatus::Unmatched => 1,
+                FileStatus::Matched => 2,
+                FileStatus::Changed => 3,
+                FileStatus::Timeout => 4,
+                FileStatus::Error => 5,
+            }
+        }
+        self.rules
+            .iter()
+            .map(|r| r.status)
+            .max_by_key(|s| rank(*s))
+            .unwrap_or(FileStatus::Pruned)
+    }
+
+    /// Matches summed over all rules.
+    pub fn matches(&self) -> usize {
+        self.rules.iter().map(|r| r.matches).sum()
+    }
+
+    /// The per-file report entry (per-rule outcomes included).
+    pub fn to_report(&self) -> FileReport {
+        FileReport {
+            name: self.name.clone(),
+            status: self.status(),
+            matches: self.matches(),
+            witnesses: self.witnesses,
+            seconds: self.seconds,
+            hash: self.hash,
+            error: self.error.clone(),
+            findings: self.findings.clone(),
+            rules: self.rules.clone(),
+            rules_pruned: self.rules_pruned,
+            suppressed: self.suppressed,
+        }
+    }
+}
+
+/// What one (file × rule) work unit produced.
+struct UnitResult {
+    outcome: RuleOutcome,
+    findings: Vec<Finding>,
+    witnesses: usize,
+    seconds: f64,
+    error: Option<String>,
+}
+
+/// Shared per-file state during a scan batch.
+struct Slot {
+    ctx: Mutex<FileContext>,
+    /// Rule indices that survived the merged prefilter, ascending (and
+    /// therefore in rule-id order — the set is sorted by id).
+    surviving: Vec<usize>,
+    sieve_seconds: f64,
+    /// One preassigned result cell per surviving rule, so parallel
+    /// completion order cannot reorder the output.
+    results: Mutex<Vec<Option<UnitResult>>>,
+}
+
+/// Scan one in-memory batch of files with every rule of `set`.
+///
+/// Work units are (file, surviving rule) pairs pulled from one atomic
+/// counter; units of the same file serialise on its [`FileContext`]
+/// mutex so the parse/CFG/line-table work happens once per file. The
+/// merged prefilter (one automaton pass per file) decides survival; with
+/// `opts.prefilter` off every rule runs on every file.
+pub fn scan_batch(
+    set: &CompiledRuleSet,
+    files: &[(String, String)],
+    opts: &ExecOptions,
+) -> Vec<ScanOutcome> {
+    // Phase 1: per-file contexts and surviving-rule lists.
+    let slots: Vec<Slot> = files
+        .iter()
+        .map(|(name, text)| {
+            let t0 = Instant::now();
+            let surviving = if opts.prefilter {
+                set.surviving_rules(text)
+            } else {
+                (0..set.len()).collect()
+            };
+            let n = surviving.len();
+            Slot {
+                ctx: Mutex::new(FileContext::new(name.clone(), text.as_str())),
+                surviving,
+                sieve_seconds: t0.elapsed().as_secs_f64(),
+                results: Mutex::new((0..n).map(|_| None).collect()),
+            }
+        })
+        .collect();
+
+    // Phase 2: flatten to (file, k-th surviving rule) units.
+    let units: Vec<(usize, usize)> = slots
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, s)| (0..s.surviving.len()).map(move |k| (fi, k)))
+        .collect();
+
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    };
+    let threads = threads.min(units.len().max(1));
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                if u >= units.len() {
+                    return;
+                }
+                let (fi, k) = units[u];
+                let slot = &slots[fi];
+                let rule = &set.rules[slot.surviving[k]];
+                let name = files[fi].0.as_str();
+                // One cheap Patcher per unit over the shared compile —
+                // script globals and stats are per-application state.
+                let mut patcher = Patcher::from_compiled(Arc::clone(&rule.compiled));
+                patcher.flow_enabled = opts.flow;
+                patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
+                let t0 = Instant::now();
+                let mut ctx = slot.ctx.lock().unwrap();
+                let res = catch_matcher_panics(name, || patcher.apply_ctx(&mut ctx));
+                let result = match res {
+                    Ok(output) => {
+                        let matches: usize = patcher.last_stats.matches_per_rule.iter().sum();
+                        let mut findings = std::mem::take(&mut patcher.last_stats.findings);
+                        // Attribute findings to the scan rule: its id
+                        // (not the inner SMPL rule name) keys the merged
+                        // report, and its message override wins.
+                        for f in &mut findings {
+                            f.rule = rule.meta.id.clone();
+                            if let Some(m) = &rule.meta.message {
+                                f.message = m.clone();
+                            }
+                        }
+                        let (findings, suppressed) = if findings.is_empty() {
+                            (findings, 0)
+                        } else {
+                            ctx.suppressions().filter(findings)
+                        };
+                        let status = if output.is_some() {
+                            FileStatus::Changed
+                        } else if matches > 0 {
+                            FileStatus::Matched
+                        } else {
+                            FileStatus::Unmatched
+                        };
+                        UnitResult {
+                            outcome: RuleOutcome {
+                                id: rule.meta.id.clone(),
+                                status,
+                                matches,
+                                findings: findings.len(),
+                                suppressed,
+                            },
+                            findings,
+                            witnesses: patcher.last_stats.witnesses,
+                            seconds: t0.elapsed().as_secs_f64(),
+                            error: None,
+                        }
+                    }
+                    Err(e) => UnitResult {
+                        outcome: RuleOutcome {
+                            id: rule.meta.id.clone(),
+                            status: if e.timed_out {
+                                FileStatus::Timeout
+                            } else {
+                                FileStatus::Error
+                            },
+                            matches: 0,
+                            findings: 0,
+                            suppressed: 0,
+                        },
+                        findings: Vec::new(),
+                        witnesses: 0,
+                        seconds: t0.elapsed().as_secs_f64(),
+                        error: Some(e.message),
+                    },
+                };
+                drop(ctx);
+                slot.results.lock().unwrap()[k] = Some(result);
+            });
+        }
+    });
+
+    // Phase 3: assemble per-file outcomes in input order; per-rule
+    // entries are already in rule-id order via the preassigned cells.
+    files
+        .iter()
+        .zip(slots)
+        .map(|((name, _), slot)| {
+            let Slot {
+                ctx,
+                surviving,
+                sieve_seconds,
+                results,
+            } = slot;
+            let ctx = ctx.into_inner().expect("scan worker panicked");
+            let results = results.into_inner().expect("scan worker panicked");
+            let mut rules = Vec::with_capacity(surviving.len());
+            let mut findings = Vec::new();
+            let mut suppressed = 0usize;
+            let mut witnesses = 0usize;
+            let mut seconds = sieve_seconds;
+            let mut error: Option<String> = None;
+            for r in results {
+                let r = r.expect("every unit processed");
+                seconds += r.seconds;
+                witnesses += r.witnesses;
+                suppressed += r.outcome.suppressed;
+                findings.extend(r.findings);
+                if error.is_none() {
+                    if let Some(e) = r.error {
+                        error = Some(format!("rule {}: {e}", r.outcome.id));
+                    }
+                }
+                rules.push(r.outcome);
+            }
+            ScanOutcome {
+                name: name.clone(),
+                hash: ctx.hash(),
+                seconds,
+                parses: ctx.parses(),
+                cfg_builds: ctx.cfg_builds(),
+                rules_pruned: set.len() - surviving.len(),
+                rules,
+                findings,
+                suppressed,
+                witnesses,
+                error,
+            }
+        })
+        .collect()
+}
+
+/// Scan every file of `source` with `set`, streaming batches with
+/// bounded memory; the scan counterpart of
+/// [`apply_to_corpus_resumed`](crate::apply_to_corpus_resumed).
+///
+/// `previous` enables incremental re-scan: files whose content hash and
+/// completed status match the prior report are skipped, carrying their
+/// findings *and per-rule outcomes* forward. Sound only against the same
+/// rule set — callers must compare [`ApplyReport::patch_hash`] against
+/// [`CompiledRuleSet::hash`] before resuming (the returned report
+/// records it).
+pub fn scan_corpus(
+    set: &CompiledRuleSet,
+    source: &mut dyn FileSource,
+    opts: &CorpusOptions,
+    previous: Option<&ApplyReport>,
+    mut sink: impl FnMut(&str, &str, &ScanOutcome),
+) -> Result<ApplyReport, ApplyError> {
+    if opts.no_flow {
+        if let Some(rule) = set.requires_flow() {
+            return Err(ApplyError::new(format!(
+                "rule {}: `when exists` / `when strict` require CFG path matching, \
+                 which --no-flow disables",
+                rule.meta.id
+            )));
+        }
+    }
+    let exec = ExecOptions {
+        threads: opts.threads,
+        prefilter: !opts.no_prefilter,
+        flow: !opts.no_flow,
+        timeout_ms: opts.timeout_ms,
+    };
+    let prev_by_name: HashMap<&str, &FileReport> = previous
+        .map(|r| {
+            r.files
+                .iter()
+                .filter(|f| f.hash != 0)
+                .map(|f| (f.name.as_str(), f))
+                .collect()
+        })
+        .unwrap_or_default();
+    let t0 = Instant::now();
+    let mut files = Vec::new();
+    let mut resumed = 0usize;
+    loop {
+        let batch = source.next_batch(&opts.batch);
+        for (name, msg) in source.take_errors() {
+            files.push(FileReport {
+                name,
+                status: FileStatus::Error,
+                matches: 0,
+                witnesses: 0,
+                seconds: 0.0,
+                hash: 0,
+                error: Some(msg),
+                findings: Vec::new(),
+                rules: Vec::new(),
+                rules_pruned: 0,
+                suppressed: 0,
+            });
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let mut to_run = Vec::with_capacity(batch.len());
+        for (name, text) in batch {
+            let hash = crate::report::content_hash(&text);
+            match prev_by_name.get(name.as_str()) {
+                Some(prev) if prev.hash == hash && prev.status.resumable() => {
+                    resumed += 1;
+                    files.push(FileReport {
+                        name,
+                        status: prev.status,
+                        matches: prev.matches,
+                        witnesses: prev.witnesses,
+                        seconds: 0.0,
+                        hash,
+                        error: prev.error.clone(),
+                        findings: prev.findings.clone(),
+                        // Per-rule outcomes ride forward with the skip,
+                        // like findings do — an unchanged file still has
+                        // the same per-rule story.
+                        rules: prev.rules.clone(),
+                        rules_pruned: prev.rules_pruned,
+                        suppressed: prev.suppressed,
+                    });
+                }
+                _ => to_run.push((name, text)),
+            }
+        }
+        if to_run.is_empty() {
+            continue;
+        }
+        let outcomes = scan_batch(set, &to_run, &exec);
+        for ((name, text), outcome) in to_run.iter().zip(&outcomes) {
+            sink(name, text, outcome);
+            files.push(outcome.to_report());
+        }
+    }
+    Ok(ApplyReport {
+        patch: String::new(),
+        patch_hash: set.hash,
+        threads: opts.threads,
+        prefilter: !opts.no_prefilter,
+        resumed,
+        total_seconds: t0.elapsed().as_secs_f64(),
+        files,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::MemorySource;
+
+    fn src(id: &str, text: &str) -> (String, String, String) {
+        (format!("{id}.cocci"), id.to_string(), text.to_string())
+    }
+
+    fn report_rule(callee: &str) -> String {
+        format!("@scan@\nexpression e;\nposition p;\n@@\n{callee}(e)@p;\n")
+    }
+
+    fn set3() -> CompiledRuleSet {
+        CompiledRuleSet::from_sources(&[
+            src("r-alpha", &report_rule("alpha")),
+            src("r-beta", &report_rule("beta")),
+            src("r-gamma", &report_rule("gamma")),
+        ])
+        .unwrap()
+    }
+
+    fn key(f: &Finding) -> (String, u32, u32, String) {
+        (f.path.clone(), f.line, f.col, f.rule.clone())
+    }
+
+    #[test]
+    fn scan_agrees_with_individual_runs() {
+        let set = set3();
+        let files: Vec<(String, String)> = vec![
+            (
+                "ab.c".into(),
+                "void f(void) {\n    alpha(1);\n    beta(2);\n}\n".into(),
+            ),
+            ("g.c".into(), "void g(void) {\n    gamma(3);\n}\n".into()),
+            ("none.c".into(), "void h(void) {\n    delta(4);\n}\n".into()),
+        ];
+        let outcomes = scan_batch(&set, &files, &ExecOptions::default());
+
+        // Baseline: each rule applied individually to each file.
+        let mut individual: Vec<(String, u32, u32, String)> = Vec::new();
+        for rule in &set.rules {
+            let mut p = Patcher::from_compiled(Arc::clone(&rule.compiled));
+            for (name, text) in &files {
+                p.apply(name, text).unwrap();
+                for f in std::mem::take(&mut p.last_stats.findings) {
+                    individual.push((f.path, f.line, f.col, rule.meta.id.clone()));
+                }
+            }
+        }
+        let mut merged: Vec<_> = outcomes
+            .iter()
+            .flat_map(|o| o.findings.iter().map(key))
+            .collect();
+        merged.sort();
+        individual.sort();
+        assert_eq!(merged, individual, "scan == N individual runs");
+        // Finding attribution: the scan-rule id, not the SMPL rule name.
+        assert!(merged.iter().all(|k| k.3.starts_with("r-")));
+    }
+
+    #[test]
+    fn one_parse_serves_every_rule() {
+        let rules: Vec<_> = (0..10)
+            .map(|i| src(&format!("r{i:02}"), &report_rule("shared_api")))
+            .collect();
+        let set = CompiledRuleSet::from_sources(&rules).unwrap();
+        let files = vec![(
+            "f.c".to_string(),
+            "void f(void) {\n    shared_api(1);\n}\n".to_string(),
+        )];
+        let outcomes = scan_batch(&set, &files, &ExecOptions::default());
+        assert_eq!(outcomes[0].rules.len(), 10, "all rules survive");
+        assert_eq!(outcomes[0].parses, 1, "ten rules, one parse");
+        assert_eq!(outcomes[0].findings.len(), 10);
+        // The same holds with parallel workers racing on the file.
+        let outcomes = scan_batch(
+            &set,
+            &files,
+            &ExecOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[0].parses, 1);
+    }
+
+    #[test]
+    fn merged_prefilter_prunes_per_file() {
+        let set = set3();
+        let files = vec![
+            (
+                "a.c".to_string(),
+                "void f(void) { alpha(1); }\n".to_string(),
+            ),
+            ("n.c".to_string(), "void f(void) { other(); }\n".to_string()),
+        ];
+        let outcomes = scan_batch(
+            &set,
+            &files,
+            &ExecOptions {
+                prefilter: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[0].rules_pruned, 2);
+        assert_eq!(outcomes[0].rules.len(), 1);
+        assert_eq!(outcomes[0].rules[0].id, "r-alpha");
+        assert_eq!(outcomes[0].status(), FileStatus::Matched);
+        // No survivors: the file is pruned without being parsed.
+        assert_eq!(outcomes[1].rules_pruned, 3);
+        assert_eq!(outcomes[1].status(), FileStatus::Pruned);
+        assert_eq!(outcomes[1].parses, 0);
+    }
+
+    #[test]
+    fn suppression_is_per_rule() {
+        let set = set3();
+        let files = vec![(
+            "s.c".to_string(),
+            "void f(void) {\n    alpha(1); // spatch-ignore r-alpha\n    beta(2);\n}\n".to_string(),
+        )];
+        let outcomes = scan_batch(&set, &files, &ExecOptions::default());
+        let by_id = |id: &str| outcomes[0].rules.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id("r-alpha").suppressed, 1);
+        assert_eq!(by_id("r-alpha").findings, 0);
+        assert_eq!(by_id("r-alpha").matches, 1, "suppressed, not unmatched");
+        assert_eq!(by_id("r-beta").findings, 1);
+        assert_eq!(outcomes[0].suppressed, 1);
+        assert_eq!(outcomes[0].findings.len(), 1);
+        assert_eq!(outcomes[0].findings[0].rule, "r-beta");
+    }
+
+    #[test]
+    fn transform_rules_report_would_change_without_writing() {
+        let set = CompiledRuleSet::from_sources(&[
+            src("fix-alpha", "@@ @@\n- alpha(1);\n+ alpha2(1);\n"),
+            src("scan-beta", &report_rule("beta")),
+        ])
+        .unwrap();
+        let files = vec![(
+            "m.c".to_string(),
+            "void f(void) {\n    alpha(1);\n    beta(2);\n}\n".to_string(),
+        )];
+        let outcomes = scan_batch(&set, &files, &ExecOptions::default());
+        let fix = outcomes[0]
+            .rules
+            .iter()
+            .find(|r| r.id == "fix-alpha")
+            .unwrap();
+        assert_eq!(fix.status, FileStatus::Changed);
+        assert!(fix.matches > 0);
+        assert_eq!(fix.findings, 0, "transform rules produce no findings");
+        let scan = outcomes[0]
+            .rules
+            .iter()
+            .find(|r| r.id == "scan-beta")
+            .unwrap();
+        assert_eq!(scan.status, FileStatus::Matched);
+        assert_eq!(outcomes[0].status(), FileStatus::Changed);
+    }
+
+    #[test]
+    fn unparsable_file_errors_once_per_rule_one_lex() {
+        let set = set3();
+        let files = vec![(
+            "bad.c".to_string(),
+            "alpha beta gamma void broken( {\n".to_string(),
+        )];
+        let outcomes = scan_batch(&set, &files, &ExecOptions::default());
+        assert_eq!(outcomes[0].status(), FileStatus::Error);
+        assert_eq!(outcomes[0].rules.len(), 3);
+        assert!(outcomes[0]
+            .rules
+            .iter()
+            .all(|r| r.status == FileStatus::Error));
+        assert_eq!(outcomes[0].parses, 1, "the parse failure is cached");
+        let err = outcomes[0].error.as_deref().unwrap();
+        assert!(err.starts_with("rule r-alpha:"), "{err}");
+    }
+
+    #[test]
+    fn zero_budget_times_rules_out() {
+        let set = set3();
+        let files = vec![(
+            "f.c".to_string(),
+            "void f(void) { alpha(1); }\n".to_string(),
+        )];
+        let outcomes = scan_batch(
+            &set,
+            &files,
+            &ExecOptions {
+                timeout_ms: Some(0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcomes[0].status(), FileStatus::Timeout);
+        assert!(outcomes[0]
+            .rules
+            .iter()
+            .all(|r| r.status == FileStatus::Timeout));
+    }
+
+    #[test]
+    fn outcome_order_is_deterministic_across_thread_counts() {
+        let set = set3();
+        let files: Vec<(String, String)> = (0..6)
+            .map(|i| {
+                (
+                    format!("f{i}.c"),
+                    "void f(void) {\n    alpha(1);\n    beta(2);\n    gamma(3);\n}\n".to_string(),
+                )
+            })
+            .collect();
+        type FileDigest = (String, Vec<String>, Vec<(String, u32, u32, String)>);
+        let runs: Vec<Vec<FileDigest>> = [1, 4, 8]
+            .iter()
+            .map(|&t| {
+                scan_batch(
+                    &set,
+                    &files,
+                    &ExecOptions {
+                        threads: t,
+                        ..Default::default()
+                    },
+                )
+                .iter()
+                .map(|o| {
+                    (
+                        o.name.clone(),
+                        o.rules.iter().map(|r| r.id.clone()).collect(),
+                        o.findings.iter().map(key).collect(),
+                    )
+                })
+                .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[1], runs[2]);
+        // Rule order within a file is ascending by id, not completion.
+        assert_eq!(runs[0][0].1, ["r-alpha", "r-beta", "r-gamma"]);
+    }
+
+    #[test]
+    fn scan_corpus_resumes_and_carries_rule_outcomes() {
+        let set = set3();
+        let hit = (
+            "hit.c".to_string(),
+            "void f(void) {\n    alpha(1);\n}\n".to_string(),
+        );
+        let first = scan_corpus(
+            &set,
+            &mut MemorySource::new(vec![hit.clone()]),
+            &CorpusOptions::default(),
+            None,
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(first.patch_hash, set.hash);
+        assert_eq!(first.files[0].status, FileStatus::Matched);
+        assert!(!first.files[0].rules.is_empty());
+
+        // Round-trip through JSON (the CLI resume path) and re-scan.
+        let prior = ApplyReport::from_json(&first.to_json()).unwrap();
+        let mut sunk = 0;
+        let second = scan_corpus(
+            &set,
+            &mut MemorySource::new(vec![hit]),
+            &CorpusOptions::default(),
+            Some(&prior),
+            |_, _, _| sunk += 1,
+        )
+        .unwrap();
+        assert_eq!(second.resumed, 1);
+        assert_eq!(sunk, 0, "unchanged file skipped");
+        assert_eq!(second.files[0].rules, prior.files[0].rules);
+        assert_eq!(second.files[0].findings, prior.files[0].findings);
+    }
+
+    #[test]
+    fn scan_corpus_refuses_no_flow_with_quantified_rules() {
+        let set = CompiledRuleSet::from_sources(&[src(
+            "needs-flow",
+            "@@ @@\n- a();\n+ a2();\n... when exists\nb();\n",
+        )])
+        .unwrap();
+        let err = scan_corpus(
+            &set,
+            &mut MemorySource::new(vec![(
+                "f.c".to_string(),
+                "void f(void) { a(); b(); }\n".into(),
+            )]),
+            &CorpusOptions {
+                no_flow: true,
+                ..Default::default()
+            },
+            None,
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        assert!(err.message.contains("needs-flow"), "{err}");
+        assert!(err.message.contains("when exists"), "{err}");
+    }
+
+    #[test]
+    fn rule_outcome_json_round_trips() {
+        let r = RuleOutcome {
+            id: "x\"y".into(),
+            status: FileStatus::Matched,
+            matches: 3,
+            findings: 2,
+            suppressed: 1,
+        };
+        let v = json::parse(&r.to_json()).unwrap();
+        assert_eq!(RuleOutcome::from_json(&v).unwrap(), r);
+    }
+}

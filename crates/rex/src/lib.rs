@@ -32,10 +32,12 @@
 //! ```
 
 mod ast;
+mod multi;
 mod nfa;
 mod parser;
 
 pub use ast::{ClassItem, Node};
+pub use multi::MultiLiteral;
 pub use parser::ParseError;
 
 use nfa::Program;

@@ -1,0 +1,223 @@
+//! Multi-pattern literal search: an Aho–Corasick automaton over a fixed
+//! set of literal strings.
+//!
+//! The prefilter layer extracts *required literal atoms* from compiled
+//! patches; deciding which of N rules may match a file used to take N
+//! independent `str::contains` sweeps over the file text. [`MultiLiteral`]
+//! answers "which of these literals occur in this text?" in a single pass:
+//! the classic trie + BFS failure links, with the failure function folded
+//! into a dense byte-indexed transition table so the scan inner loop is
+//! one table load per input byte.
+//!
+//! ```
+//! use cocci_rex::MultiLiteral;
+//! let m = MultiLiteral::new(&["he", "she", "hers"]);
+//! let found = m.find_all("ushers");
+//! assert_eq!(found, vec![true, true, true]);
+//! ```
+
+/// A compiled multi-literal matcher. Immutable after construction, cheap
+/// to share across threads.
+#[derive(Debug, Clone)]
+pub struct MultiLiteral {
+    /// Dense DFA: `next[state * 256 + byte]` is the successor state.
+    next: Vec<u32>,
+    /// Pattern ids that end at each state (own matches plus matches
+    /// inherited through failure links).
+    outputs: Vec<Vec<u32>>,
+    /// Number of patterns the automaton was built from.
+    patterns: usize,
+    /// Ids of zero-length patterns: they occur in every text.
+    empty: Vec<u32>,
+}
+
+impl MultiLiteral {
+    /// Build the automaton. Duplicate patterns are allowed (each id is
+    /// reported independently); empty patterns match every text.
+    pub fn new<S: AsRef<str>>(patterns: &[S]) -> MultiLiteral {
+        // ---- trie ----
+        // goto[state][byte] = child, 0 = absent (state 0 is the root and
+        // never a child).
+        let mut goto: Vec<[u32; 256]> = vec![[0u32; 256]];
+        let mut out: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut empty = Vec::new();
+        for (id, pat) in patterns.iter().enumerate() {
+            let bytes = pat.as_ref().as_bytes();
+            if bytes.is_empty() {
+                empty.push(id as u32);
+                continue;
+            }
+            let mut s = 0usize;
+            for &b in bytes {
+                let t = goto[s][b as usize];
+                if t != 0 {
+                    s = t as usize;
+                } else {
+                    goto.push([0u32; 256]);
+                    out.push(Vec::new());
+                    let new = (goto.len() - 1) as u32;
+                    goto[s][b as usize] = new;
+                    s = new as usize;
+                }
+            }
+            out[s].push(id as u32);
+        }
+
+        // ---- BFS failure links, folded into a dense DFA ----
+        let n = goto.len();
+        let mut fail = vec![0u32; n];
+        let mut next = vec![0u32; n * 256];
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256 {
+            let t = goto[0][b];
+            next[b] = t;
+            if t != 0 {
+                fail[t as usize] = 0;
+                queue.push_back(t);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = fail[s as usize] as usize;
+            // Inherit the failure state's outputs so a match ending at a
+            // proper suffix is still reported.
+            let inherited = out[f].clone();
+            out[s as usize].extend(inherited);
+            for b in 0..256 {
+                let t = goto[s as usize][b];
+                if t != 0 {
+                    fail[t as usize] = next[f * 256 + b];
+                    queue.push_back(t);
+                    next[s as usize * 256 + b] = t;
+                } else {
+                    next[s as usize * 256 + b] = next[f * 256 + b];
+                }
+            }
+        }
+
+        MultiLiteral {
+            next,
+            outputs: out,
+            patterns: patterns.len(),
+            empty,
+        }
+    }
+
+    /// Number of patterns this automaton was built from.
+    pub fn len(&self) -> usize {
+        self.patterns
+    }
+
+    /// True if the automaton was built from zero patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns == 0
+    }
+
+    /// One pass over `text`: `found[i]` is true iff pattern `i` occurs as
+    /// a substring. Stops early once every pattern has been seen.
+    pub fn find_all(&self, text: &str) -> Vec<bool> {
+        let mut found = vec![false; self.patterns];
+        let mut remaining = self.patterns;
+        for &id in &self.empty {
+            if !found[id as usize] {
+                found[id as usize] = true;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 || self.next.is_empty() {
+            return found;
+        }
+        let mut state = 0usize;
+        for &b in text.as_bytes() {
+            state = self.next[state * 256 + b as usize] as usize;
+            if !self.outputs[state].is_empty() {
+                for &id in &self.outputs[state] {
+                    if !found[id as usize] {
+                        found[id as usize] = true;
+                        remaining -= 1;
+                    }
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classic_suffix_outputs() {
+        let m = MultiLiteral::new(&strs(&["he", "she", "his", "hers"]));
+        assert_eq!(m.find_all("ushers"), vec![true, true, false, true]);
+        assert_eq!(m.find_all("his"), vec![false, false, true, false]);
+        assert_eq!(m.find_all(""), vec![false; 4]);
+    }
+
+    #[test]
+    fn agrees_with_contains() {
+        let pats = strs(&[
+            "old_api",
+            "cudaMalloc",
+            "api_3_",
+            "loc",
+            "rsb__BCSR",
+            "xyzzy",
+        ]);
+        let m = MultiLiteral::new(&pats);
+        let texts = [
+            "void f(void) { old_api(1); cudaMallocManaged(p); }",
+            "int rsb__BCSR_spmv(void);",
+            "no hits at all",
+            "api_3_ api_3_ loc loc loc",
+        ];
+        for t in texts {
+            let got = m.find_all(t);
+            for (i, p) in pats.iter().enumerate() {
+                assert_eq!(got[i], t.contains(p.as_str()), "{p:?} in {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_empty_patterns() {
+        let m = MultiLiteral::new(&strs(&["ab", "ab", "", "b"]));
+        assert_eq!(m.find_all("xaby"), vec![true, true, true, true]);
+        assert_eq!(m.find_all("zzz"), vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn overlapping_matches_in_one_pass() {
+        let m = MultiLiteral::new(&strs(&["aa", "aaa", "baa"]));
+        assert_eq!(m.find_all("baaa"), vec![true, true, true]);
+    }
+
+    #[test]
+    fn non_ascii_bytes() {
+        let m = MultiLiteral::new(&strs(&["é", "日本"]));
+        assert_eq!(m.find_all("café 日本語"), vec![true, true]);
+        assert_eq!(m.find_all("plain"), vec![false, false]);
+    }
+
+    #[test]
+    fn zero_patterns() {
+        let m = MultiLiteral::new::<String>(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.find_all("anything"), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn early_exit_is_not_observable() {
+        // All patterns found early; the tail of the text must not matter.
+        let m = MultiLiteral::new(&strs(&["a", "b"]));
+        let long = format!("ab{}", "x".repeat(10_000));
+        assert_eq!(m.find_all(&long), vec![true, true]);
+    }
+}

@@ -19,7 +19,10 @@
 //!   memory-layout effect itself is measurable;
 //! * [`corpus`] — mixed on-disk corpus *trees* (nested directories, noise
 //!   files, `.gitignore`d artifacts) for directory-mode driver runs and
-//!   the prefilter bench.
+//!   the prefilter bench;
+//! * [`rule_matrix`] — N report-only rules with controllable
+//!   prefilter-atom overlap plus a matching corpus, driving the
+//!   `spatch scan` bench and CI's N-rules-vs-1-rule agreement check.
 
 pub mod adversarial;
 pub mod corpus;
@@ -27,9 +30,11 @@ pub mod gen;
 pub mod kernels;
 pub mod patches;
 pub mod rng;
+pub mod rule_matrix;
 
 pub use corpus::{corpus_tree, write_corpus_tree, CorpusTreeSpec};
 pub use gen::{CodebaseSpec, GeneratedFile};
+pub use rule_matrix::{rule_matrix_codebase, rule_matrix_id, rule_matrix_rules, RuleMatrixSpec};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,237 @@
+//! Rule-matrix workload: many report-only rules over a mixed corpus,
+//! with controllable prefilter-atom overlap.
+//!
+//! `spatch scan` compiles a whole directory of rules and prefilters
+//! them with one merged literal automaton per file. Measuring that
+//! requires a workload where *how many rules share a prefilter atom*
+//! is a parameter: when every rule has a distinct atom the automaton
+//! prunes almost everything, and when `overlap` rules share an atom a
+//! single occurrence wakes the whole group even though only one member
+//! can match.
+//!
+//! The generator exploits a deliberate property of atom extraction
+//! (`cocci-smpl`'s prefilter): **integer literals contribute no
+//! atoms** (the const-fold isomorphism compares values, not text), so
+//! the rule `api_3(e, 1);` prefilters on `api_3` alone. Rule `i` of a
+//! matrix is therefore
+//!
+//! ```text
+//! group  g = i / overlap     -> callee name   api_g   (the shared atom)
+//! member j = i % overlap     -> second arg    j       (invisible to the prefilter)
+//! ```
+//!
+//! so all `overlap` members of a group survive the same files, but
+//! each matches only its own `api_g(_, j)` call sites: finding sets
+//! stay disjoint per rule, which is what lets CI diff an N-rule scan
+//! against N single-rule runs.
+
+use crate::gen::GeneratedFile;
+use crate::rng::SplitMix64;
+
+/// Shape of a rule-matrix workload: a directory of `rules` scanning
+/// rules (grouped `overlap` to a prefilter atom) plus a corpus of
+/// `files` C files with `functions_per_file` functions each.
+#[derive(Debug, Clone)]
+pub struct RuleMatrixSpec {
+    /// How many `.cocci` rules to generate.
+    pub rules: usize,
+    /// How many corpus files to generate.
+    pub files: usize,
+    /// Functions per corpus file.
+    pub functions_per_file: usize,
+    /// Rules per prefilter-atom group (clamped to at least 1). With
+    /// `overlap == 1` every rule has its own atom; with `overlap == n`
+    /// each atom hit wakes `n` rules of which at most one matches a
+    /// given call.
+    pub overlap: usize,
+    /// PRNG seed; equal specs generate byte-identical output.
+    pub seed: u64,
+}
+
+impl Default for RuleMatrixSpec {
+    fn default() -> Self {
+        RuleMatrixSpec {
+            rules: 10,
+            files: 8,
+            functions_per_file: 8,
+            overlap: 2,
+            seed: 0xC0CC1,
+        }
+    }
+}
+
+/// Severity rotation for generated rules, exercising the per-rule
+/// SARIF level plumbing.
+const SEVERITIES: [&str; 3] = ["error", "warning", "note"];
+
+/// Rule id for matrix index `i`: zero-padded so the filesystem sort of
+/// the generated directory equals the id sort the scan engine uses.
+pub fn rule_matrix_id(i: usize, overlap: usize) -> String {
+    format!("r{:03}-g{}", i, i / overlap.max(1))
+}
+
+/// Generate the `.cocci` rule files of the matrix. Rule `i` scans for
+/// `api_{g}(e, {j});` with `g = i / overlap`, `j = i % overlap`; its
+/// metadata header carries a stable id ([`rule_matrix_id`]), a rotating
+/// severity, and a message naming the deprecated arm.
+pub fn rule_matrix_rules(spec: &RuleMatrixSpec) -> Vec<GeneratedFile> {
+    let overlap = spec.overlap.max(1);
+    (0..spec.rules)
+        .map(|i| {
+            let g = i / overlap;
+            let j = i % overlap;
+            let id = rule_matrix_id(i, overlap);
+            let text = format!(
+                "// spatch-rule: {id}\n\
+                 // spatch-severity: {}\n\
+                 // spatch-message: api_{g} arm {j} is deprecated\n\
+                 @scan@\n\
+                 expression e;\n\
+                 position p;\n\
+                 @@\n\
+                 api_{g}(e, {j})@p;\n",
+                SEVERITIES[i % SEVERITIES.len()],
+            );
+            GeneratedFile {
+                name: format!("r{i:03}.cocci"),
+                text,
+            }
+        })
+        .collect()
+}
+
+/// Generate the corpus the matrix scans. Per function one of:
+///
+/// * a **matching** call `api_{g}(buf[k], {j})` for a seeded rule
+///   `(g, j)` — exactly one rule's finding;
+/// * a **decoy** call `api_{g}(buf[k], {overlap + d})` — contains the
+///   group's prefilter atom (the whole group survives the sieve) but
+///   its arm number is past every member's, so no rule matches;
+/// * **quiet** arithmetic with no `api_` call at all.
+///
+/// Every fourth file is entirely quiet, so a scan always has files the
+/// merged automaton prunes outright (`parses == 0` for them).
+pub fn rule_matrix_codebase(spec: &RuleMatrixSpec) -> Vec<GeneratedFile> {
+    let overlap = spec.overlap.max(1);
+    let rules = spec.rules.max(1);
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
+    (0..spec.files)
+        .map(|fi| {
+            let quiet_file = fi % 4 == 3;
+            let mut text = String::new();
+            for fj in 0..spec.functions_per_file {
+                text.push_str(&format!("void m_{fi}_{fj}(int n, double *buf) {{\n"));
+                let roll = rng.gen_range(0..4);
+                let k = rng.gen_range(0..8);
+                if quiet_file || roll == 3 {
+                    text.push_str(&format!("    buf[{k}] = buf[{k}] * 2.0;\n"));
+                } else if roll == 2 {
+                    let g = rng.gen_range(0..rules) / overlap;
+                    let d = rng.gen_range(0..3);
+                    text.push_str(&format!("    api_{g}(buf[{k}], {});\n", overlap + d));
+                } else {
+                    let i = rng.gen_range(0..rules);
+                    text.push_str(&format!(
+                        "    api_{}(buf[{k}], {});\n",
+                        i / overlap,
+                        i % overlap
+                    ));
+                }
+                text.push_str("}\n\n");
+            }
+            GeneratedFile {
+                name: format!("matrix_{fi}.c"),
+                text,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let spec = RuleMatrixSpec {
+            rules: 12,
+            files: 6,
+            functions_per_file: 5,
+            overlap: 3,
+            seed: 7,
+        };
+        let (r1, c1) = (rule_matrix_rules(&spec), rule_matrix_codebase(&spec));
+        let (r2, c2) = (rule_matrix_rules(&spec), rule_matrix_codebase(&spec));
+        assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+        let other = rule_matrix_codebase(&RuleMatrixSpec { seed: 8, ..spec });
+        assert_ne!(c1, other);
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_sorted_like_filenames() {
+        let spec = RuleMatrixSpec {
+            rules: 50,
+            overlap: 5,
+            ..RuleMatrixSpec::default()
+        };
+        let rules = rule_matrix_rules(&spec);
+        assert_eq!(rules.len(), 50);
+        let ids: Vec<String> = rules
+            .iter()
+            .map(|r| {
+                r.text
+                    .lines()
+                    .next()
+                    .unwrap()
+                    .trim_start_matches("// spatch-rule: ")
+                    .to_string()
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, ids, "ids unique and already in sorted order");
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        let orig = names.clone();
+        names.sort();
+        assert_eq!(names, orig, "filesystem sort preserves rule order");
+    }
+
+    #[test]
+    fn groups_share_callee_and_members_differ_by_arm() {
+        let spec = RuleMatrixSpec {
+            rules: 6,
+            overlap: 3,
+            ..RuleMatrixSpec::default()
+        };
+        let rules = rule_matrix_rules(&spec);
+        for (i, r) in rules.iter().enumerate() {
+            let pat = format!("api_{}(e, {})@p;", i / 3, i % 3);
+            assert!(r.text.contains(&pat), "{}: missing {pat}", r.name);
+        }
+    }
+
+    #[test]
+    fn corpus_mixes_matching_decoy_and_quiet_files() {
+        let spec = RuleMatrixSpec {
+            rules: 8,
+            files: 8,
+            functions_per_file: 16,
+            overlap: 2,
+            seed: 1,
+        };
+        let files = rule_matrix_codebase(&spec);
+        assert_eq!(files.len(), 8);
+        // Every fourth file carries no api_ calls at all.
+        for (fi, f) in files.iter().enumerate() {
+            if fi % 4 == 3 {
+                assert!(!f.text.contains("api_"), "{} should be quiet", f.name);
+            }
+        }
+        let joined: String = files.iter().map(|f| f.text.as_str()).collect();
+        assert!(joined.contains("api_0(buf["));
+        // Decoy arms sit past the overlap, so they match no rule.
+        assert!(joined.contains(", 2);") || joined.contains(", 3);") || joined.contains(", 4);"));
+    }
+}
