@@ -96,6 +96,17 @@ grep -q findings target/BENCH_cfg_match.json
 trend_check cfg_match
 echo "ok: target/BENCH_cfg_match.json written (overhead + witness + findings metrics recorded)"
 
+echo "== scaling bench smoke (corpus thread sweep + alloc probe; JSON to target/) =="
+cargo bench --bench scaling --locked
+test -s target/BENCH_scaling.json
+grep -q speedup_max target/BENCH_scaling.json
+grep -q allocs_per_parsed_file target/BENCH_scaling.json
+grep -q peak_rss_bytes target/BENCH_scaling.json
+# trend_check also gates the parallel-scaling ratio: bench_trend fails
+# when speedup_max keeps less than 70% of the previous run's ratio.
+trend_check scaling
+echo "ok: target/BENCH_scaling.json written (speedups + alloc/file + peak RSS recorded)"
+
 echo "== report-mode e2e (findings over a generated corpus; format agreement + SARIF shape) =="
 RPT_ROOT="target/report-e2e"
 rm -rf "$RPT_ROOT"

@@ -1,18 +1,33 @@
 //! Experiment E3: throughput and parallel scaling — the "thousands of
 //! loops across a GADGET-scale codebase" claim.
 //!
-//! Two sweeps:
+//! Three sweeps:
 //!
 //! * `size` — single-thread apply time vs. per-file size (loops per
 //!   function), expecting ~linear growth;
 //! * `threads` — multi-file driver over a fixed corpus with 1..=8
-//!   workers, expecting near-linear speedup until core count.
+//!   workers, expecting near-linear speedup until core count;
+//! * `corpus` — the generated mixed corpus tree through the streaming
+//!   work-stealing corpus driver at 1/2/4/all threads, with derived
+//!   `speedup_*` metrics (trend-gated: CI fails when the max-thread
+//!   speedup decays below 70% of the previous run's ratio).
+//!
+//! The binary also installs a counting allocator and records allocator
+//! traffic per parsed corpus file — the number string interning is
+//! meant to keep down — plus the process peak RSS every harness run
+//! records.
 
+use cocci_bench::alloc::CountingAlloc;
 use cocci_bench::timing::{Harness, Throughput};
-use cocci_core::apply_to_files;
+use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
+use cocci_core::{apply_to_corpus, apply_to_files, CorpusOptions, MemorySource};
 use cocci_smpl::parse_semantic_patch;
+use cocci_workloads::corpus::{corpus_tree, CorpusTreeSpec};
 use cocci_workloads::gen::sized_codebase;
 use cocci_workloads::patches::UC1_LIKWID;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn size_sweep(h: &mut Harness) {
     let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
@@ -57,9 +72,96 @@ fn thread_sweep(h: &mut Harness) {
     }
 }
 
+/// The mixed corpus tree through the streaming corpus driver (persistent
+/// worker pool + work-stealing queue), small batches so the pool's
+/// cross-batch overlap is actually exercised.
+fn corpus_sweep(h: &mut Harness) {
+    let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
+    let files = corpus_tree(&CorpusTreeSpec::default());
+    let inputs: Vec<(String, String)> = files
+        .iter()
+        .map(|f| (f.name.clone(), f.text.clone()))
+        .collect();
+    let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
+
+    let all = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1usize, 2, 4];
+    if all > 4 {
+        counts.push(all);
+    }
+    for &t in &counts {
+        h.bench(
+            "scaling_corpus",
+            &t.to_string(),
+            Throughput::Bytes(bytes as u64),
+            || {
+                let mut src = MemorySource::new(inputs.clone());
+                apply_to_corpus(
+                    &patch,
+                    &mut src,
+                    &CorpusOptions {
+                        threads: t,
+                        ..Default::default()
+                    },
+                    |_, _, _| {},
+                )
+                .unwrap()
+            },
+        );
+    }
+    let base = h.median_s("scaling_corpus", "1").expect("1-thread record");
+    for &t in &counts[1..] {
+        let m = h.median_s("scaling_corpus", &t.to_string()).unwrap();
+        h.metric("scaling_corpus", &format!("speedup_{t}"), base / m);
+    }
+    let max_t = *counts.last().unwrap();
+    let m = h.median_s("scaling_corpus", &max_t.to_string()).unwrap();
+    h.metric("scaling_corpus", "speedup_max", base / m);
+    h.metric("scaling_corpus", "threads_max", max_t as f64);
+}
+
+/// Allocator traffic per parsed corpus file — the interning payoff, as
+/// a recorded (not trend-gated) metric next to the timings.
+fn alloc_probe(h: &mut Harness) {
+    let files = corpus_tree(&CorpusTreeSpec::default());
+    // Warm up once so lazily-initialised tables (keyword sets, the
+    // interner's steady-state vocabulary) don't land in the measurement.
+    for f in &files {
+        let _ = parse_translation_unit(&f.text, ParseOptions::cpp(), &NoMeta);
+    }
+    let before = ALLOC.snapshot();
+    let mut parsed = 0u64;
+    for f in &files {
+        let opts = if f.name.ends_with(".cpp") || f.name.ends_with(".cu") {
+            ParseOptions::cpp()
+        } else {
+            ParseOptions::c()
+        };
+        if parse_translation_unit(&f.text, opts, &NoMeta).is_ok() {
+            parsed += 1;
+        }
+    }
+    let d = ALLOC.snapshot().delta(before);
+    h.metric("alloc", "parsed_files", parsed as f64);
+    h.metric(
+        "alloc",
+        "allocs_per_parsed_file",
+        d.allocs as f64 / parsed.max(1) as f64,
+    );
+    h.metric(
+        "alloc",
+        "bytes_per_parsed_file",
+        d.bytes as f64 / parsed.max(1) as f64,
+    );
+}
+
 fn main() {
     let mut h = Harness::new("scaling").sample_size(12);
     size_sweep(&mut h);
     thread_sweep(&mut h);
+    corpus_sweep(&mut h);
+    alloc_probe(&mut h);
     h.finish().expect("write BENCH_scaling.json");
 }

@@ -1,0 +1,41 @@
+//! Allocation probe: parse every C-family file of the generated mixed
+//! corpus and report allocator traffic per parsed file. Used to compare
+//! pre/post interning allocation counts; the `scaling` bench records the
+//! same number as a trend-gated metric.
+
+use cocci_bench::alloc::CountingAlloc;
+use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
+use cocci_workloads::corpus::{corpus_tree, CorpusTreeSpec};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+fn main() {
+    let files = corpus_tree(&CorpusTreeSpec::default());
+    // Warm up once so lazily-initialised tables don't land in the
+    // measured region.
+    for f in &files {
+        let _ = parse_translation_unit(&f.text, ParseOptions::cpp(), &NoMeta);
+    }
+    let before = ALLOC.snapshot();
+    let mut parsed = 0u64;
+    for f in &files {
+        let opts = if f.name.ends_with(".cpp") || f.name.ends_with(".cu") {
+            ParseOptions::cpp()
+        } else {
+            ParseOptions::c()
+        };
+        if parse_translation_unit(&f.text, opts, &NoMeta).is_ok() {
+            parsed += 1;
+        }
+    }
+    let d = ALLOC.snapshot().delta(before);
+    println!(
+        "parsed={} allocs={} bytes={} allocs_per_file={:.1} bytes_per_file={:.0}",
+        parsed,
+        d.allocs,
+        d.bytes,
+        d.allocs as f64 / parsed as f64,
+        d.bytes as f64 / parsed as f64
+    );
+}

@@ -1,0 +1,139 @@
+//! A counting global allocator for allocation-probe benches.
+//!
+//! Bench binaries that want allocation counts install it with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: cocci_bench::alloc::CountingAlloc = cocci_bench::alloc::CountingAlloc::new();
+//! ```
+//!
+//! and bracket the measured region with [`CountingAlloc::snapshot`] /
+//! [`AllocSnapshot::delta`]. Counting is two relaxed atomic increments
+//! per allocation — cheap enough to leave on for a whole bench run, but
+//! this type is only meant for bench/test builds, never the shipped
+//! binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps [`System`], counting every allocation and allocated byte.
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// A point-in-time reading of the counters; subtract two with
+/// [`AllocSnapshot::delta`] to get the cost of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Total allocation calls since process start.
+    pub allocs: u64,
+    /// Total bytes requested since process start.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Counters accumulated between `earlier` and `self`.
+    pub fn delta(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+impl CountingAlloc {
+    /// A fresh counter (counts start at zero).
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Read the current counters.
+    pub fn snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers every allocation to `System`; the counters are plain
+// atomics and never allocate themselves.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let a = AllocSnapshot {
+            allocs: 10,
+            bytes: 100,
+        };
+        let b = AllocSnapshot {
+            allocs: 25,
+            bytes: 640,
+        };
+        assert_eq!(
+            b.delta(a),
+            AllocSnapshot {
+                allocs: 15,
+                bytes: 540
+            }
+        );
+        // Saturates rather than wrapping if snapshots are swapped.
+        assert_eq!(
+            a.delta(b),
+            AllocSnapshot {
+                allocs: 0,
+                bytes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn counting_alloc_counts_through_system() {
+        // Not installed as the global allocator here; exercise the
+        // GlobalAlloc impl directly.
+        let c = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = c.alloc(layout);
+            assert!(!p.is_null());
+            c.dealloc(p, layout);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.allocs, 1);
+        assert_eq!(s.bytes, 64);
+    }
+}

@@ -11,6 +11,7 @@
 //! | `scaling`   | E3         | throughput vs codebase size and threads |
 //! | `aos_soa`   | E4         | AoS vs SoA particle-update throughput |
 
+pub mod alloc;
 pub mod timing;
 pub mod trend;
 

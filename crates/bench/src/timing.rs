@@ -114,6 +114,15 @@ impl Harness {
         });
     }
 
+    /// Median seconds of an already-recorded benchmark, for deriving
+    /// metrics from timings (e.g. a thread-sweep's speedup ratios).
+    pub fn median_s(&self, group: &str, id: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.group == group && r.id == id)
+            .map(Record::median)
+    }
+
     /// Set the per-benchmark sample count (unless `$BENCH_SAMPLES`
     /// overrides it at run time).
     pub fn sample_size(mut self, n: usize) -> Self {
@@ -164,7 +173,14 @@ impl Harness {
 
     /// Print the table and write `BENCH_<experiment>.json`. Returns the
     /// JSON path.
-    pub fn finish(self) -> std::io::Result<PathBuf> {
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        // Every experiment records its memory high-water mark alongside
+        // the timings (0 on platforms without /proc).
+        self.metrics.push(Metric {
+            group: "process".to_string(),
+            id: "peak_rss_bytes".to_string(),
+            value: peak_rss_bytes() as f64,
+        });
         eprintln!(
             "\n{} ({} samples/benchmark):",
             self.experiment,
@@ -264,6 +280,29 @@ impl Harness {
     }
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+/// A high-water mark, not a point sample: it covers everything the
+/// process has done so far, which for a bench binary is exactly the
+/// "how much memory did this experiment need" question.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 fn fmt_secs(s: f64) -> String {
     if s < 1e-6 {
         format!("{:.1} ns", s * 1e9)
@@ -319,7 +358,17 @@ mod tests {
         assert!(json.contains("\"median_s\""));
         assert!(json.contains("\"id\": \"hit_rate\""));
         assert!(json.contains("\"value\": 7.5e-1"));
+        assert!(json.contains("\"id\": \"peak_rss_bytes\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_rss_is_sane() {
+        let rss = peak_rss_bytes();
+        // On Linux this is at least a few pages; elsewhere it is 0.
+        if cfg!(target_os = "linux") {
+            assert!(rss > 4096, "VmHWM should exceed a page, got {rss}");
+        }
     }
 
     #[test]

@@ -11,24 +11,34 @@
 //! Every node carries a [`Span`] into the file it was parsed from, so the
 //! transformation engine can splice edits into the original text.
 
-use cocci_source::Span;
+use cocci_source::{Span, Symbol};
 
 /// An identifier with its source span.
+///
+/// The name is an interned [`Symbol`]: comparing identifiers is an
+/// integer compare, cloning is a copy, and the string itself is
+/// resolved only at render/diagnostic boundaries via
+/// [`Symbol::as_str`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ident {
-    /// The name.
-    pub name: String,
+    /// The interned name.
+    pub name: Symbol,
     /// Source location.
     pub span: Span,
 }
 
 impl Ident {
     /// Construct a synthetic identifier (no source location).
-    pub fn synthetic(name: impl Into<String>) -> Self {
+    pub fn synthetic(name: impl Into<Symbol>) -> Self {
         Ident {
             name: name.into(),
             span: Span::SYNTHETIC,
         }
+    }
+
+    /// The identifier's text.
+    pub fn as_str(&self) -> &'static str {
+        self.name.as_str()
     }
 }
 
@@ -228,17 +238,17 @@ pub enum TypeKind {
     /// arguments (`std::vector<double>` — kept as raw text).
     Named {
         /// Canonical name, single-space separated (e.g. `unsigned long`,
-        /// `struct particle`).
-        name: String,
+        /// `struct particle`), interned.
+        name: Symbol,
         /// Raw template-argument text including angle brackets, if any.
         template_args: Option<String>,
     },
     /// A `struct`/`union`/`enum` *definition* with a body.
     Record {
         /// `struct`, `union` or `enum`.
-        keyword: String,
+        keyword: Symbol,
         /// Tag name, if any.
-        name: Option<String>,
+        name: Option<Symbol>,
         /// Raw body text including braces (fields are not modelled;
         /// semantic patches in this workspace do not destructure them).
         raw_body: String,
@@ -251,20 +261,20 @@ pub enum TypeKind {
     /// the front, sorted).
     Qualified {
         /// Sorted qualifier names.
-        quals: Vec<String>,
+        quals: Vec<Symbol>,
         /// Qualified type.
         inner: Box<Type>,
     },
     /// Pattern-only: a type metavariable occurrence.
     Meta {
         /// Metavariable name.
-        name: String,
+        name: Symbol,
     },
 }
 
 impl Type {
     /// Construct a named type without template args.
-    pub fn named(name: impl Into<String>, span: Span) -> Self {
+    pub fn named(name: impl Into<Symbol>, span: Span) -> Self {
         Type {
             kind: TypeKind::Named {
                 name: name.into(),
@@ -275,9 +285,9 @@ impl Type {
     }
 
     /// The base name if this is (possibly qualified) a named type.
-    pub fn base_name(&self) -> Option<&str> {
+    pub fn base_name(&self) -> Option<&'static str> {
         match &self.kind {
-            TypeKind::Named { name, .. } => Some(name),
+            TypeKind::Named { name, .. } => Some(name.as_str()),
             TypeKind::Qualified { inner, .. } => inner.base_name(),
             _ => None,
         }
@@ -459,16 +469,16 @@ pub enum Stmt {
     /// with a position attachment (`fc@p`).
     MetaStmt {
         /// Metavariable name.
-        name: String,
+        name: Symbol,
         /// Position metavariable attached with `@`, if any.
-        pos: Option<String>,
+        pos: Option<Symbol>,
         /// Span of the occurrence.
         span: Span,
     },
     /// Pattern-only: a `statement list` metavariable occurrence.
     MetaStmtList {
         /// Metavariable name.
-        name: String,
+        name: Symbol,
         /// Span of the occurrence.
         span: Span,
     },
@@ -657,29 +667,29 @@ pub enum Expr {
     IntLit {
         /// Parsed value (suffixes stripped).
         value: i128,
-        /// Raw text.
-        raw: String,
+        /// Raw text (interned — small literals repeat heavily).
+        raw: Symbol,
         /// Source span.
         span: Span,
     },
     /// Floating literal (kept as raw text; value irrelevant to matching).
     FloatLit {
-        /// Raw text.
-        raw: String,
+        /// Raw text, interned.
+        raw: Symbol,
         /// Source span.
         span: Span,
     },
     /// String literal, quotes included in `raw`.
     StrLit {
-        /// Raw text with quotes.
-        raw: String,
+        /// Raw text with quotes, interned.
+        raw: Symbol,
         /// Source span.
         span: Span,
     },
     /// Character literal, quotes included in `raw`.
     CharLit {
-        /// Raw text with quotes.
-        raw: String,
+        /// Raw text with quotes, interned.
+        raw: Symbol,
         /// Source span.
         span: Span,
     },
@@ -793,8 +803,8 @@ pub enum Expr {
     },
     /// `sizeof(e)` / `sizeof(T)` (argument kept as raw text).
     Sizeof {
-        /// Raw text of the operand (parens stripped).
-        arg: String,
+        /// Raw text of the operand (parens stripped), interned.
+        arg: Symbol,
         /// Full span.
         span: Span,
     },
@@ -823,7 +833,7 @@ pub enum Expr {
         /// Annotated expression.
         inner: Box<Expr>,
         /// Position metavariable name.
-        pos: String,
+        pos: Symbol,
         /// Full span.
         span: Span,
     },
@@ -895,7 +905,7 @@ mod tests {
     fn type_base_name_through_qualifiers() {
         let t = Type {
             kind: TypeKind::Qualified {
-                quals: vec!["const".into()],
+                quals: vec![Symbol::intern("const")],
                 inner: Box::new(Type::named("double", Span::SYNTHETIC)),
             },
             span: Span::SYNTHETIC,

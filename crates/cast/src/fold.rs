@@ -15,7 +15,7 @@ pub fn eval_const(expr: &Expr) -> Option<i128> {
         Expr::IntLit { value, .. } => Some(*value),
         Expr::CharLit { raw, .. } => {
             // 'a' or simple escapes.
-            let inner = raw.strip_prefix('\'')?.strip_suffix('\'')?;
+            let inner = raw.as_str().strip_prefix('\'')?.strip_suffix('\'')?;
             let mut chars = inner.chars();
             match (chars.next()?, chars.next()) {
                 (c, None) => Some(c as i128),

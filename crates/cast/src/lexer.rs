@@ -11,7 +11,7 @@
 //! inter-token span gaps, which is all the minimal-diff unparser needs.
 
 use crate::token::{Punct, Token, TokenKind};
-use cocci_source::Span;
+use cocci_source::{Span, Symbol};
 
 /// Lexing dialect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +78,7 @@ impl<'a> Lexer<'a> {
         self.tokens.push(Token {
             kind,
             span: Span::new(start as u32, self.pos as u32),
+            sym: None,
         });
         self.at_line_start = false;
     }
@@ -155,7 +156,17 @@ impl<'a> Lexer<'a> {
                     {
                         self.pos += 1;
                     }
-                    self.push(TokenKind::Ident, start);
+                    // Intern once at lex time; every later use of the
+                    // identifier (parser, matcher) is a Symbol compare.
+                    let text = std::str::from_utf8(&self.src[start..self.pos])
+                        .expect("identifier bytes are ASCII");
+                    let sym = Symbol::intern(text);
+                    self.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        span: Span::new(start as u32, self.pos as u32),
+                        sym: Some(sym),
+                    });
+                    self.at_line_start = false;
                 }
                 _ => self.operator(start)?,
             }
@@ -163,6 +174,7 @@ impl<'a> Lexer<'a> {
         self.tokens.push(Token {
             kind: TokenKind::Eof,
             span: Span::empty(self.src.len() as u32),
+            sym: None,
         });
         Ok(())
     }

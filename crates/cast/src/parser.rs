@@ -16,8 +16,10 @@
 
 use crate::ast::*;
 use crate::lexer::{lex, LexError, LexMode};
-use crate::token::{is_keyword, Punct, Token, TokenKind, DECL_SPECIFIERS};
-use cocci_source::Span;
+use crate::token::{
+    is_decl_specifier_sym, is_keyword, is_keyword_sym, Punct, Token, TokenKind, DECL_SPECIFIERS,
+};
+use cocci_source::{Span, Symbol};
 use std::collections::HashSet;
 
 /// Metavariable kinds a [`MetaLookup`] can report. Mirrors the SMPL
@@ -320,10 +322,10 @@ impl<'a> Parser<'a> {
 
     fn ident(&mut self) -> Result<Ident, ParseErr> {
         let t = self.peek();
-        if t.kind == TokenKind::Ident && !is_keyword(self.text(t)) {
+        if t.kind == TokenKind::Ident && !is_keyword_sym(t.ident_sym()) {
             self.bump();
             Ok(Ident {
-                name: self.text(t).to_string(),
+                name: t.ident_sym(),
                 span: t.span,
             })
         } else {
@@ -338,13 +340,18 @@ impl<'a> Parser<'a> {
     /// whose name contains the `::` separators.
     fn ident_path(&mut self) -> Result<Ident, ParseErr> {
         let mut id = self.ident()?;
+        if !(self.peek().is(Punct::ColonColon) && self.peek_at(1).kind == TokenKind::Ident) {
+            return Ok(id);
+        }
+        let mut path = id.as_str().to_string();
         while self.peek().is(Punct::ColonColon) && self.peek_at(1).kind == TokenKind::Ident {
             self.bump();
             let seg = self.ident()?;
-            id.name.push_str("::");
-            id.name.push_str(&seg.name);
+            path.push_str("::");
+            path.push_str(seg.as_str());
             id.span = id.span.merge(seg.span);
         }
+        id.name = Symbol::intern(&path);
         Ok(id)
     }
 
@@ -450,11 +457,11 @@ impl<'a> Parser<'a> {
     /// `std::vector<double>`, `const double`.
     fn type_specifier(&mut self) -> Result<Type, ParseErr> {
         let start = self.peek().span;
-        let mut quals: Vec<String> = Vec::new();
+        let mut quals: Vec<Symbol> = Vec::new();
         loop {
             let t = self.peek();
             if t.kind == TokenKind::Ident && Self::is_qualifier(self.text(t)) {
-                quals.push(self.text(t).to_string());
+                quals.push(t.ident_sym());
                 self.bump();
             } else {
                 break;
@@ -464,7 +471,8 @@ impl<'a> Parser<'a> {
         if t.kind != TokenKind::Ident {
             return Err(self.err_here("expected type name"));
         }
-        let first = self.text(t).to_string();
+        let first_sym = t.ident_sym();
+        let first = first_sym.as_str();
         let base = if first == "struct" || first == "union" || first == "enum" {
             self.bump();
             let name = if self.peek().kind == TokenKind::Ident {
@@ -480,7 +488,7 @@ impl<'a> Parser<'a> {
                 let span = start.merge(Span::new(body_start, body_end));
                 Type {
                     kind: TypeKind::Record {
-                        keyword: first,
+                        keyword: first_sym,
                         name,
                         raw_body,
                     },
@@ -491,28 +499,28 @@ impl<'a> Parser<'a> {
                 let end = self.toks[self.pos - 1].span;
                 Type::named(format!("{first} {name}"), start.merge(end))
             }
-        } else if self.meta.kind(&first) == Some(MetaKind::Type) {
+        } else if self.meta.kind(first) == Some(MetaKind::Type) {
             self.bump();
             Type {
-                kind: TypeKind::Meta { name: first },
+                kind: TypeKind::Meta { name: first_sym },
                 span: t.span,
             }
         } else {
             // Multi-word builtin or single named type (possibly :: path).
-            let mut words = Vec::new();
+            let mut words: Vec<&str> = Vec::new();
             let mut end = t.span;
-            if BUILTIN_TYPES.contains(&first.as_str()) {
+            if BUILTIN_TYPES.contains(&first) {
                 while self.peek().kind == TokenKind::Ident
                     && BUILTIN_TYPES.contains(&self.text(self.peek()))
                 {
                     let w = self.bump();
-                    words.push(self.text(w).to_string());
+                    words.push(w.ident_sym().as_str());
                     end = w.span;
                 }
             } else {
                 let id = self.ident_path()?;
                 end = id.span;
-                words.push(id.name);
+                words.push(id.as_str());
             }
             let mut name = words.join(" ");
             // Template arguments: capture raw balanced <...> in C++.
@@ -533,7 +541,7 @@ impl<'a> Parser<'a> {
             }
             Type {
                 kind: TypeKind::Named {
-                    name,
+                    name: Symbol::intern(&name),
                     template_args,
                 },
                 span: start.merge(end),
@@ -544,14 +552,16 @@ impl<'a> Parser<'a> {
         loop {
             let t = self.peek();
             if t.kind == TokenKind::Ident && Self::is_qualifier(self.text(t)) {
-                quals.push(self.text(t).to_string());
+                quals.push(t.ident_sym());
                 self.bump();
             } else {
                 break;
             }
         }
         if !quals.is_empty() {
-            quals.sort();
+            // Sort by name, not by symbol id: qualifier order is
+            // user-visible through the renderer.
+            quals.sort_by_key(|q| q.as_str());
             quals.dedup();
             let span = ty.span.merge(start);
             ty = Type {
@@ -795,9 +805,9 @@ impl<'a> Parser<'a> {
         let mut specs = Vec::new();
         loop {
             let t = self.peek();
-            if t.kind == TokenKind::Ident && DECL_SPECIFIERS.contains(&self.text(t)) {
+            if t.kind == TokenKind::Ident && is_decl_specifier_sym(t.ident_sym()) {
                 specs.push(Ident {
-                    name: self.text(t).to_string(),
+                    name: t.ident_sym(),
                     span: t.span,
                 });
                 self.bump();
@@ -925,7 +935,7 @@ impl<'a> Parser<'a> {
         let end = self.expect(Punct::Semi)?.span;
         if specifiers.iter().any(|s| s.name == "typedef") {
             for d in &declarators {
-                self.typedefs.insert(d.name.name.clone());
+                self.typedefs.insert(d.name.as_str().to_string());
             }
         }
         Ok(Item::Decl(Declaration {
@@ -1030,7 +1040,7 @@ impl<'a> Parser<'a> {
                 params.push(Param {
                     ty: Type::named("<paramlist>", t.span),
                     name: Some(Ident {
-                        name: self.text(t).to_string(),
+                        name: t.ident_sym(),
                         span: t.span,
                     }),
                     meta_list: true,
@@ -1258,7 +1268,7 @@ impl<'a> Parser<'a> {
                         if self.opts.pattern {
                             match self.meta.kind(kw) {
                                 Some(MetaKind::Stmt) => {
-                                    let name = kw.to_string();
+                                    let name = Symbol::intern(kw);
                                     self.bump();
                                     let mut span = t.span;
                                     let pos = if self.eat(Punct::At) {
@@ -1275,7 +1285,7 @@ impl<'a> Parser<'a> {
                                     return Ok(Stmt::MetaStmt { name, pos, span });
                                 }
                                 Some(MetaKind::StmtList) => {
-                                    let name = kw.to_string();
+                                    let name = Symbol::intern(kw);
                                     self.bump();
                                     return Ok(Stmt::MetaStmtList { name, span: t.span });
                                 }
@@ -1697,7 +1707,7 @@ impl<'a> Parser<'a> {
                 let s = self.peek().span.start;
                 self.skip_balanced(Punct::LParen, Punct::RParen)?;
                 let e = self.toks[self.pos - 1].span.end;
-                let arg = self.src[s as usize + 1..e as usize - 1].trim().to_string();
+                let arg = Symbol::intern(self.src[s as usize + 1..e as usize - 1].trim());
                 return Ok(Expr::Sizeof {
                     arg,
                     span: start.merge(Span::new(s, e)),
@@ -1706,9 +1716,9 @@ impl<'a> Parser<'a> {
             let e = self.unary()?;
             let span = start.merge(e.span());
             let arg = if e.span().is_synthetic() {
-                String::new()
+                Symbol::intern("")
             } else {
-                self.src[e.span().start as usize..e.span().end as usize].to_string()
+                Symbol::intern(&self.src[e.span().start as usize..e.span().end as usize])
             };
             return Ok(Expr::Sizeof { arg, span });
         }
@@ -1906,35 +1916,35 @@ impl<'a> Parser<'a> {
         match t.kind {
             TokenKind::IntLit => {
                 self.bump();
-                let raw = self.text(t).to_string();
-                let value = parse_int(&raw).ok_or_else(|| ParseErr {
+                let raw = self.text(t);
+                let value = parse_int(raw).ok_or_else(|| ParseErr {
                     span: t.span,
                     message: format!("bad integer literal `{raw}`"),
                 })?;
                 Ok(Expr::IntLit {
                     value,
-                    raw,
+                    raw: Symbol::intern(raw),
                     span: t.span,
                 })
             }
             TokenKind::FloatLit => {
                 self.bump();
                 Ok(Expr::FloatLit {
-                    raw: self.text(t).to_string(),
+                    raw: Symbol::intern(self.text(t)),
                     span: t.span,
                 })
             }
             TokenKind::StrLit => {
                 self.bump();
                 Ok(Expr::StrLit {
-                    raw: self.text(t).to_string(),
+                    raw: Symbol::intern(self.text(t)),
                     span: t.span,
                 })
             }
             TokenKind::CharLit => {
                 self.bump();
                 Ok(Expr::CharLit {
-                    raw: self.text(t).to_string(),
+                    raw: Symbol::intern(self.text(t)),
                     span: t.span,
                 })
             }
@@ -1969,7 +1979,7 @@ impl<'a> Parser<'a> {
                 if matches!(name, "true" | "false" | "nullptr" | "this") {
                     self.bump();
                     return Ok(Expr::Ident(Ident {
-                        name: name.to_string(),
+                        name: t.ident_sym(),
                         span: t.span,
                     }));
                 }

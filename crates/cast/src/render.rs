@@ -34,12 +34,16 @@ pub fn render_stmt(st: &Stmt) -> String {
 /// Render a parameter.
 pub fn render_param(p: &Param) -> String {
     if p.meta_list {
-        return p.name.as_ref().map(|n| n.name.clone()).unwrap_or_default();
+        return p
+            .name
+            .as_ref()
+            .map(|n| n.as_str().to_string())
+            .unwrap_or_default();
     }
     let mut s = render_type(&p.ty);
     if let Some(n) = &p.name {
         s.push(' ');
-        s.push_str(&n.name);
+        s.push_str(n.as_str());
     }
     s
 }
@@ -48,7 +52,7 @@ pub fn render_param(p: &Param) -> String {
 pub fn render_decl(d: &Declaration) -> String {
     let mut s = String::new();
     for sp in &d.specifiers {
-        s.push_str(&sp.name);
+        s.push_str(sp.as_str());
         s.push(' ');
     }
     ty(&mut s, &d.ty);
@@ -66,7 +70,7 @@ pub fn render_decl(d: &Declaration) -> String {
         if dr.reference {
             s.push('&');
         }
-        s.push_str(&dr.name.name);
+        s.push_str(dr.name.as_str());
         for a in &dr.array {
             s.push('[');
             if let Some(e) = a {
@@ -89,7 +93,7 @@ fn ty(s: &mut String, t: &Type) {
             name,
             template_args,
         } => {
-            s.push_str(name);
+            s.push_str(name.as_str());
             if let Some(ta) = template_args {
                 s.push_str(ta);
             }
@@ -99,10 +103,10 @@ fn ty(s: &mut String, t: &Type) {
             name,
             raw_body,
         } => {
-            s.push_str(keyword);
+            s.push_str(keyword.as_str());
             if let Some(n) = name {
                 s.push(' ');
-                s.push_str(n);
+                s.push_str(n.as_str());
             }
             s.push(' ');
             s.push_str(raw_body);
@@ -117,12 +121,12 @@ fn ty(s: &mut String, t: &Type) {
         }
         TypeKind::Qualified { quals, inner } => {
             for q in quals {
-                s.push_str(q);
+                s.push_str(q.as_str());
                 s.push(' ');
             }
             ty(s, inner);
         }
-        TypeKind::Meta { name } => s.push_str(name),
+        TypeKind::Meta { name } => s.push_str(name.as_str()),
     }
 }
 
@@ -204,7 +208,7 @@ fn stmt(s: &mut String, st: &Stmt) {
             if *by_ref {
                 s.push('&');
             }
-            s.push_str(&var.name);
+            s.push_str(var.as_str());
             s.push_str(" : ");
             expr(s, range);
             s.push_str(") ");
@@ -254,13 +258,13 @@ fn stmt(s: &mut String, st: &Stmt) {
         Stmt::Empty { .. } => s.push(';'),
         Stmt::Dots { .. } => s.push_str("..."),
         Stmt::MetaStmt { name, pos, .. } => {
-            s.push_str(name);
+            s.push_str(name.as_str());
             if let Some(p) = pos {
                 s.push('@');
-                s.push_str(p);
+                s.push_str(p.as_str());
             }
         }
-        Stmt::MetaStmtList { name, .. } => s.push_str(name),
+        Stmt::MetaStmtList { name, .. } => s.push_str(name.as_str()),
         Stmt::PatGroup { conj, branches, .. } => {
             s.push_str("\\( ");
             for (i, b) in branches.iter().enumerate() {
@@ -290,11 +294,11 @@ fn block(s: &mut String, b: &Block) {
 
 fn expr(s: &mut String, e: &Expr) {
     match e {
-        Expr::Ident(i) => s.push_str(&i.name),
+        Expr::Ident(i) => s.push_str(i.as_str()),
         Expr::IntLit { raw, .. }
         | Expr::FloatLit { raw, .. }
         | Expr::StrLit { raw, .. }
-        | Expr::CharLit { raw, .. } => s.push_str(raw),
+        | Expr::CharLit { raw, .. } => s.push_str(raw.as_str()),
         Expr::Paren { inner, .. } => {
             s.push('(');
             expr(s, inner);
@@ -380,7 +384,7 @@ fn expr(s: &mut String, e: &Expr) {
         } => {
             expr(s, base);
             s.push_str(if *arrow { "->" } else { "." });
-            s.push_str(&field.name);
+            s.push_str(field.as_str());
         }
         Expr::Cast {
             ty: t, expr: e2, ..
@@ -412,7 +416,7 @@ fn expr(s: &mut String, e: &Expr) {
         Expr::PosAnn { inner, pos, .. } => {
             expr(s, inner);
             s.push('@');
-            s.push_str(pos);
+            s.push_str(pos.as_str());
         }
     }
 }

@@ -5,8 +5,9 @@
 //! set, CUDA's `<<<`/`>>>` kernel-launch chevrons, C++ `::`, and the
 //! ellipsis `...` (varargs in C, "dots" in SMPL).
 
-use cocci_source::Span;
+use cocci_source::{Span, Symbol};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Lexical category of a token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -165,12 +166,20 @@ impl Punct {
 }
 
 /// A lexed token: kind plus the byte span of its text.
+///
+/// Identifier tokens additionally carry the interned [`Symbol`] of their
+/// text (minted once by the lexer), so the parser never re-slices or
+/// allocates identifier strings and keyword checks are integer compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token {
     /// Lexical category.
     pub kind: TokenKind,
     /// Where in the file the token's text lives.
     pub span: Span,
+    /// Interned text for [`TokenKind::Ident`] tokens; `None` otherwise
+    /// (punctuation text is canonical via [`Punct::text`], literal and
+    /// directive text is sliced on demand).
+    pub sym: Option<Symbol>,
 }
 
 impl Token {
@@ -181,6 +190,14 @@ impl Token {
         } else {
             &src[self.span.start as usize..self.span.end as usize]
         }
+    }
+
+    /// The interned symbol of an identifier token.
+    ///
+    /// Panics if called on a non-identifier token — parser code paths
+    /// only reach this after checking `kind == TokenKind::Ident`.
+    pub fn ident_sym(&self) -> Symbol {
+        self.sym.expect("ident_sym on non-identifier token")
     }
 
     /// Whether this token is a specific punctuation.
@@ -272,6 +289,35 @@ pub fn is_keyword(s: &str) -> bool {
     KEYWORDS.contains(&s)
 }
 
+/// Interned, id-sorted copy of a keyword table, built once on first use.
+/// Membership is then a binary search over ~50 `u32`s instead of a
+/// linear scan of string compares.
+fn sym_set(table: &[&str], cell: &'static OnceLock<Vec<Symbol>>) -> &'static [Symbol] {
+    cell.get_or_init(|| {
+        let mut v: Vec<Symbol> = table.iter().map(|s| Symbol::intern(s)).collect();
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Whether `sym` is a C/C++ keyword ([`KEYWORDS`], interned form).
+pub fn is_keyword_sym(sym: Symbol) -> bool {
+    static CELL: OnceLock<Vec<Symbol>> = OnceLock::new();
+    sym_set(KEYWORDS, &CELL).binary_search(&sym).is_ok()
+}
+
+/// Whether `sym` is in [`TYPE_KEYWORDS`] (interned form).
+pub fn is_type_keyword_sym(sym: Symbol) -> bool {
+    static CELL: OnceLock<Vec<Symbol>> = OnceLock::new();
+    sym_set(TYPE_KEYWORDS, &CELL).binary_search(&sym).is_ok()
+}
+
+/// Whether `sym` is in [`DECL_SPECIFIERS`] (interned form).
+pub fn is_decl_specifier_sym(sym: Symbol) -> bool {
+    static CELL: OnceLock<Vec<Symbol>> = OnceLock::new();
+    sym_set(DECL_SPECIFIERS, &CELL).binary_search(&sym).is_ok()
+}
+
 /// Builtin type-ish keywords that may begin a declaration specifier.
 pub const TYPE_KEYWORDS: &[&str] = &[
     "void",
@@ -318,6 +364,20 @@ mod tests {
     }
 
     #[test]
+    fn keyword_sym_tables_agree_with_string_tables() {
+        for s in ["for", "restrict", "kernel", "expression", "static", "int"] {
+            let sym = Symbol::intern(s);
+            assert_eq!(is_keyword_sym(sym), is_keyword(s), "{s}");
+            assert_eq!(is_type_keyword_sym(sym), TYPE_KEYWORDS.contains(&s), "{s}");
+            assert_eq!(
+                is_decl_specifier_sym(sym),
+                DECL_SPECIFIERS.contains(&s),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
     fn punct_text_roundtrip() {
         assert_eq!(Punct::TripleLt.text(), "<<<");
         assert_eq!(Punct::Ellipsis.text(), "...");
@@ -330,8 +390,10 @@ mod tests {
         let t = Token {
             kind: TokenKind::Ident,
             span: Span::new(4, 7),
+            sym: Some(Symbol::intern("foo")),
         };
         assert_eq!(t.text(src), "foo");
+        assert_eq!(t.ident_sym(), "foo");
     }
 
     #[test]
@@ -339,6 +401,7 @@ mod tests {
         let t = Token {
             kind: TokenKind::Ident,
             span: Span::SYNTHETIC,
+            sym: Some(Symbol::intern("")),
         };
         assert_eq!(t.text("whatever"), "");
     }

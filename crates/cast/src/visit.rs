@@ -251,7 +251,7 @@ mod tests {
         )
         .unwrap();
         let mut names = Vec::new();
-        walk_functions(&tu, &mut |fd| names.push(fd.name.name.clone()));
+        walk_functions(&tu, &mut |fd| names.push(fd.name.name));
         assert_eq!(names, vec!["f", "g"]);
     }
 }

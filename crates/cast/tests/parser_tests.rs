@@ -162,7 +162,7 @@ fn parses_struct_definition_and_typedef() {
                 raw_body,
             } => {
                 assert_eq!(keyword, "struct");
-                assert_eq!(name.as_deref(), Some("particle"));
+                assert_eq!(name.map(|n| n.as_str()), Some("particle"));
                 assert!(raw_body.contains("double x"));
             }
             other => panic!("{other:?}"),
@@ -575,9 +575,9 @@ fn adversarial_names_in_strings_and_comments() {
     let mut idents = Vec::new();
     cocci_cast::visit::walk_all_exprs(&t, &mut |e| {
         if let Expr::Ident(i) = e {
-            idents.push(i.name.clone());
+            idents.push(i.name);
         }
     });
-    assert!(idents.contains(&"printf".to_string()));
-    assert!(!idents.contains(&"curand_uniform_double".to_string()));
+    assert!(idents.iter().any(|i| *i == "printf"));
+    assert!(!idents.iter().any(|i| *i == "curand_uniform_double"));
 }

@@ -18,14 +18,15 @@
 //!   is read lazily per batch, which is where the memory goes.
 
 use crate::compile::CompiledPatch;
-use crate::driver::{apply_batch_opts, ExecOptions, FileOutcome};
-use crate::orchestrate::ApplyError;
+use crate::driver::{run_one, ExecOptions, FileOutcome};
+use crate::orchestrate::{ApplyError, Patcher};
+use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
 use crate::report::{content_hash, ApplyReport, FileReport, FileStatus};
 use cocci_smpl::SemanticPatch;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Batch size limits for streaming sources.
 #[derive(Debug, Clone, Copy)]
@@ -417,66 +418,137 @@ pub fn apply_to_corpus_resumed(
     let t0 = Instant::now();
     let mut files = Vec::new();
     let mut resumed = 0usize;
-    loop {
-        let batch = source.next_batch(&opts.batch);
-        for (name, msg) in source.take_errors() {
-            files.push(FileReport {
-                name,
-                status: FileStatus::Error,
-                matches: 0,
-                witnesses: 0,
-                seconds: 0.0,
-                hash: 0,
-                error: Some(msg),
-                findings: Vec::new(),
-                rules: Vec::new(),
-                rules_pruned: 0,
-                suppressed: 0,
+
+    // One persistent worker team for the whole run: the walker (this
+    // thread) streams file units into a work-stealing queue while the
+    // workers drain it, so there is no per-batch join barrier — a slow
+    // file in batch N overlaps with the parsing of batch N+1. Every file
+    // the producer encounters (run, resumed, or unreadable) reserves one
+    // ordered result slot, so the sink and the report observe exactly
+    // the walk order whatever the completion order was.
+    enum Done {
+        Ran(String, String, FileOutcome),
+        Skipped(FileReport),
+    }
+    struct Task {
+        slot: usize,
+        name: String,
+        text: String,
+    }
+    let threads = resolve_threads(opts.threads);
+    let queue: WorkQueue<Task> = WorkQueue::new(threads);
+    let slots: ResultSlots<Done> = ResultSlots::new();
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let (queue, slots, compiled, exec) = (&queue, &slots, &compiled, &exec);
+            scope.spawn(move || {
+                // One Patcher per worker over the shared compile:
+                // script-interpreter globals are per-application state
+                // and must not be shared, but the compiled patch is
+                // immutable.
+                let mut patcher = Patcher::from_compiled(Arc::clone(compiled));
+                patcher.flow_enabled = exec.flow;
+                patcher.time_budget = exec.timeout_ms.map(Duration::from_millis);
+                while let Some(task) = queue.pop(w) {
+                    let outcome = run_one(
+                        &mut patcher,
+                        compiled,
+                        &task.name,
+                        &task.text,
+                        exec.prefilter,
+                    );
+                    slots.set(task.slot, Done::Ran(task.name, task.text, outcome));
+                }
             });
         }
-        if batch.is_empty() {
-            break;
-        }
-        let mut to_run = Vec::with_capacity(batch.len());
-        for (name, text) in batch {
-            let hash = content_hash(&text);
-            match prev_by_name.get(name.as_str()) {
-                // Only completed statuses are copied forward: a prior
-                // `timeout`/`error` records a failed *attempt*, so the
-                // file is re-attempted even though its text is unchanged
-                // (see [`FileStatus::resumable`]).
-                Some(prev) if prev.hash == hash && prev.status.resumable() => {
-                    resumed += 1;
-                    files.push(FileReport {
-                        name,
-                        status: prev.status,
-                        matches: prev.matches,
-                        witnesses: prev.witnesses,
-                        seconds: 0.0,
-                        hash,
-                        error: prev.error.clone(),
-                        // A skipped file's *findings* carry forward too —
-                        // an unchanged file still has the same
-                        // diagnostics, and report mode would otherwise
-                        // silently drop them from incremental runs.
-                        findings: prev.findings.clone(),
-                        rules: prev.rules.clone(),
-                        rules_pruned: prev.rules_pruned,
-                        suppressed: prev.suppressed,
-                    });
+
+        let mut emit = |done: Vec<Done>, files: &mut Vec<FileReport>| {
+            for d in done {
+                match d {
+                    Done::Ran(name, text, outcome) => {
+                        sink(&name, &text, &outcome);
+                        files.push(FileReport::from_outcome(&outcome));
+                    }
+                    Done::Skipped(report) => files.push(report),
                 }
-                _ => to_run.push((name, text)),
             }
+        };
+
+        loop {
+            let batch = source.next_batch(&opts.batch);
+            for (name, msg) in source.take_errors() {
+                let i = slots.reserve(1);
+                slots.set(
+                    i,
+                    Done::Skipped(FileReport {
+                        name,
+                        status: FileStatus::Error,
+                        matches: 0,
+                        witnesses: 0,
+                        seconds: 0.0,
+                        hash: 0,
+                        error: Some(msg),
+                        findings: Vec::new(),
+                        rules: Vec::new(),
+                        rules_pruned: 0,
+                        suppressed: 0,
+                    }),
+                );
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let mut tasks = Vec::with_capacity(batch.len());
+            for (name, text) in batch {
+                let hash = content_hash(&text);
+                let i = slots.reserve(1);
+                match prev_by_name.get(name.as_str()) {
+                    // Only completed statuses are copied forward: a prior
+                    // `timeout`/`error` records a failed *attempt*, so the
+                    // file is re-attempted even though its text is
+                    // unchanged (see [`FileStatus::resumable`]).
+                    Some(prev) if prev.hash == hash && prev.status.resumable() => {
+                        resumed += 1;
+                        slots.set(
+                            i,
+                            Done::Skipped(FileReport {
+                                name,
+                                status: prev.status,
+                                matches: prev.matches,
+                                witnesses: prev.witnesses,
+                                seconds: 0.0,
+                                hash,
+                                error: prev.error.clone(),
+                                // A skipped file's *findings* carry
+                                // forward too — an unchanged file still
+                                // has the same diagnostics, and report
+                                // mode would otherwise silently drop them
+                                // from incremental runs.
+                                findings: prev.findings.clone(),
+                                rules: prev.rules.clone(),
+                                rules_pruned: prev.rules_pruned,
+                                suppressed: prev.suppressed,
+                            }),
+                        );
+                    }
+                    _ => tasks.push(Task {
+                        slot: i,
+                        name,
+                        text,
+                    }),
+                }
+            }
+            queue.push_chunk(tasks);
+            // Stream out whatever has completed so far: the sink sees
+            // results (and text memory is released) while workers chew
+            // on the rest.
+            emit(slots.drain_ready(), &mut files);
         }
-        if to_run.is_empty() {
-            continue;
-        }
-        let outcomes = apply_batch_opts(&compiled, &to_run, &exec);
-        for ((name, text), outcome) in to_run.iter().zip(&outcomes) {
-            sink(name, text, outcome);
-            files.push(FileReport::from_outcome(outcome));
-        }
-    }
+        queue.close();
+        emit(slots.drain_all(), &mut files);
+    });
+
     Ok(ApplyReport {
         patch: String::new(),
         patch_hash: 0,
@@ -797,5 +869,61 @@ mod tests {
         let errs = src.take_errors();
         assert_eq!(errs.len(), 1);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The streaming pool must not leak scheduling into observable
+    /// output: whatever the thread count, batch size, or steal pattern,
+    /// the sink stream and the report are byte-identical — and a thread
+    /// count larger than any single batch still engages every worker
+    /// (the old per-batch driver clamped threads to the batch size).
+    #[test]
+    fn corpus_output_identical_across_threads_and_batch_sizes() {
+        let patch = parse_semantic_patch("@@ @@\n- old_api(1);\n+ new_api(1);\n").unwrap();
+        let files: Vec<(String, String)> = (0..12)
+            .map(|i| {
+                let body = if i % 3 == 0 {
+                    "void f(void) { other(); }\n".to_string()
+                } else {
+                    format!("void f{i}(void) {{ old_api(1); }}\n")
+                };
+                (format!("f{i:02}.c"), body)
+            })
+            .collect();
+        let mut runs = Vec::new();
+        for threads in [1, 2, 4] {
+            for max_files in [1, 3, 100] {
+                let mut sunk = Vec::new();
+                let report = apply_to_corpus(
+                    &patch,
+                    &mut MemorySource::new(files.clone()),
+                    &CorpusOptions {
+                        threads,
+                        batch: BatchOptions {
+                            max_files,
+                            max_bytes: usize::MAX,
+                        },
+                        ..Default::default()
+                    },
+                    |name, text, outcome| {
+                        sunk.push((name.to_string(), text.to_string(), outcome.output.clone()))
+                    },
+                )
+                .unwrap();
+                let digest: Vec<(String, String, usize)> = report
+                    .files
+                    .iter()
+                    .map(|f| (f.name.clone(), f.status.to_string(), f.matches))
+                    .collect();
+                runs.push((sunk, digest));
+            }
+        }
+        for r in &runs[1..] {
+            assert_eq!(r.0, runs[0].0, "sink stream differs");
+            assert_eq!(r.1, runs[0].1, "report sequence differs");
+        }
+        // And the sink saw the files in walk order, not completion order.
+        let names: Vec<&str> = runs[0].0.iter().map(|(n, _, _)| n.as_str()).collect();
+        let expect: Vec<String> = (0..12).map(|i| format!("f{i:02}.c")).collect();
+        assert_eq!(names, expect);
     }
 }

@@ -16,10 +16,10 @@
 
 use crate::compile::CompiledPatch;
 use crate::orchestrate::{ApplyError, Patcher};
+use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
 use crate::report::content_hash;
 use cocci_smpl::SemanticPatch;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Result of patching one file.
@@ -119,46 +119,41 @@ pub fn apply_batch_opts(
     files: &[(String, String)],
     opts: &ExecOptions,
 ) -> Vec<FileOutcome> {
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    };
-    let threads = threads.min(files.len().max(1));
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<FileOutcome>>> = Mutex::new(vec![None; files.len()]);
+    // Workers are cheap (no stack pre-commit) and the queue parks the
+    // surplus, so the count is NOT clamped to `files.len()`: a caller
+    // that feeds small trailing batches through a shared `ExecOptions`
+    // gets the same team size every time. (The corpus drivers go
+    // further and keep one team alive across all batches — see
+    // [`crate::pool`].)
+    let threads = resolve_threads(opts.threads);
+    let queue: WorkQueue<usize> = WorkQueue::new(threads);
+    let slots: ResultSlots<FileOutcome> = ResultSlots::new();
+    slots.reserve(files.len());
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for w in 0..threads {
+            let (queue, slots) = (&queue, &slots);
+            scope.spawn(move || {
                 // One Patcher per worker over the shared compile:
                 // script-interpreter globals are per-application state and
                 // must not be shared, but the compiled patch is immutable.
                 let mut patcher = Patcher::from_compiled(Arc::clone(compiled));
                 patcher.flow_enabled = opts.flow;
                 patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= files.len() {
-                        return;
-                    }
+                while let Some(i) = queue.pop(w) {
                     let (name, text) = &files[i];
-                    let outcome = run_one(&mut patcher, compiled, name, text, opts.prefilter);
-                    results.lock().unwrap()[i] = Some(outcome);
+                    slots.set(
+                        i,
+                        run_one(&mut patcher, compiled, name, text, opts.prefilter),
+                    );
                 }
             });
         }
+        queue.push_chunk(0..files.len());
+        queue.close();
     });
 
-    results
-        .into_inner()
-        .expect("worker thread panicked")
-        .into_iter()
-        .map(|o| o.expect("every file processed"))
-        .collect()
+    slots.drain_ready()
 }
 
 thread_local! {
@@ -209,7 +204,7 @@ pub(crate) fn catch_matcher_panics<T>(
 }
 
 /// Run the per-file pipeline (prefilter scan, then full apply) once.
-fn run_one(
+pub(crate) fn run_one(
     patcher: &mut Patcher,
     compiled: &CompiledPatch,
     name: &str,

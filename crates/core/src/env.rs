@@ -2,7 +2,7 @@
 
 use cocci_cast::ast::{Expr, Param, Stmt, Type};
 use cocci_cast::render;
-use cocci_source::Span;
+use cocci_source::{Span, Symbol};
 use std::collections::BTreeMap;
 
 /// The value bound to a metavariable.
@@ -22,8 +22,8 @@ pub enum Value {
     Params(Vec<Param>),
     /// A bound identifier (name + where it occurred).
     Ident {
-        /// The identifier text.
-        name: String,
+        /// The identifier text (interned).
+        name: Symbol,
         /// Source occurrence (synthetic for script/fresh-made idents).
         span: Span,
     },
@@ -108,7 +108,7 @@ impl Value {
                         .join(", ")
                 })
             }
-            Value::Ident { name, .. } => name.clone(),
+            Value::Ident { name, .. } => name.as_str().to_string(),
             Value::Text(t) => t.clone(),
             Value::Int(i) => i.to_string(),
             Value::Pos { file, span, .. } => format!("<pos:{file}:{}-{}>", span.start, span.end),
@@ -164,9 +164,15 @@ pub struct ResolvedPos {
 
 /// A metavariable environment: local bindings of the rule currently being
 /// matched.
+///
+/// Keyed by interned [`Symbol`], so every lookup during matching is a
+/// handful of `u32` compares instead of string comparisons. Symbol ids
+/// reflect interning order (which varies with thread scheduling), so
+/// [`Env::iter`] re-sorts by resolved name — user-visible binding order
+/// stays alphabetical and deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
-    map: BTreeMap<String, Value>,
+    map: BTreeMap<Symbol, Value>,
 }
 
 impl Env {
@@ -176,23 +182,25 @@ impl Env {
     }
 
     /// Look up a binding.
-    pub fn get(&self, name: &str) -> Option<&Value> {
-        self.map.get(name)
+    pub fn get(&self, name: impl Into<Symbol>) -> Option<&Value> {
+        self.map.get(&name.into())
     }
 
     /// Insert a binding.
-    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+    pub fn bind(&mut self, name: impl Into<Symbol>, value: Value) {
         self.map.insert(name.into(), value);
     }
 
     /// Whether `name` is bound.
-    pub fn is_bound(&self, name: &str) -> bool {
-        self.map.contains_key(name)
+    pub fn is_bound(&self, name: impl Into<Symbol>) -> bool {
+        self.map.contains_key(&name.into())
     }
 
-    /// Iterate bindings.
-    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
-        self.map.iter()
+    /// Iterate bindings in name (alphabetical) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Value)> {
+        let mut v: Vec<(Symbol, &Value)> = self.map.iter().map(|(k, val)| (*k, val)).collect();
+        v.sort_by_key(|(k, _)| k.as_str());
+        v.into_iter()
     }
 
     /// Number of bindings.
@@ -210,7 +218,7 @@ impl Env {
 /// qualified by rule name, as visible to later rules via `rule.var`.
 #[derive(Debug, Clone, Default)]
 pub struct ExportedEnv {
-    map: BTreeMap<(String, String), Value>,
+    map: BTreeMap<(Symbol, Symbol), Value>,
 }
 
 impl ExportedEnv {
@@ -220,17 +228,18 @@ impl ExportedEnv {
     }
 
     /// Look up `rule.var`.
-    pub fn get(&self, rule: &str, var: &str) -> Option<&Value> {
-        self.map.get(&(rule.to_string(), var.to_string()))
+    pub fn get(&self, rule: impl Into<Symbol>, var: impl Into<Symbol>) -> Option<&Value> {
+        self.map.get(&(rule.into(), var.into()))
     }
 
     /// Record `rule.var = value`.
-    pub fn bind(&mut self, rule: &str, var: &str, value: Value) {
-        self.map.insert((rule.to_string(), var.to_string()), value);
+    pub fn bind(&mut self, rule: impl Into<Symbol>, var: impl Into<Symbol>, value: Value) {
+        self.map.insert((rule.into(), var.into()), value);
     }
 
     /// Merge a rule's local bindings under its name.
-    pub fn absorb(&mut self, rule: &str, env: &Env) {
+    pub fn absorb(&mut self, rule: impl Into<Symbol>, env: &Env) {
+        let rule = rule.into();
         for (k, v) in env.iter() {
             self.bind(rule, k, v.clone());
         }

@@ -43,6 +43,7 @@ pub mod findings;
 pub mod flowmatch;
 pub mod matcher;
 pub mod orchestrate;
+pub mod pool;
 pub mod report;
 pub mod rewrite;
 pub mod ruleset;
@@ -62,6 +63,7 @@ pub use findings::{to_sarif, to_sarif_with, Finding, SarifRule};
 pub use flowmatch::{CfgCache, FlowPattern, FlowSearch, FlowStep};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
+pub use pool::{resolve_threads, ResultSlots, WorkQueue};
 pub use report::{content_hash, ApplyReport, FileReport, FileStatus};
 pub use ruleset::{CompiledRuleSet, RuleMeta, ScanRule, Severity};
 pub use scan::{scan_batch, scan_corpus, RuleOutcome, ScanOutcome};

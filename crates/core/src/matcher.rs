@@ -27,7 +27,7 @@ use cocci_cast::fold::eval_const;
 use cocci_cast::visit;
 use cocci_rex::Regex;
 use cocci_smpl::{Constraint, MetaDecl, MetaDeclKind};
-use cocci_source::Span;
+use cocci_source::{Span, Symbol};
 use std::collections::HashMap;
 
 /// What a correspondence pair refers to.
@@ -121,7 +121,8 @@ pub struct MatchCtx<'a> {
 
 impl<'a> MatchCtx<'a> {
     /// Kind of metavariable `name`, if declared.
-    pub fn kind(&self, name: &str) -> Option<&MetaDeclKind> {
+    pub fn kind(&self, name: impl AsRef<str>) -> Option<&MetaDeclKind> {
+        let name = name.as_ref();
         self.decls.iter().find(|d| d.name == name).map(|d| &d.kind)
     }
 
@@ -176,7 +177,7 @@ pub(crate) fn value_eq(a: &Value, b: &Value) -> bool {
         (Value::Params(x), Value::Params(y)) => x.len() == y.len(),
         // Cross-representation comparisons (script outputs, sizeof text).
         (Value::Ident { name, .. }, Value::Text(t))
-        | (Value::Text(t), Value::Ident { name, .. }) => name == t,
+        | (Value::Text(t), Value::Ident { name, .. }) => name.as_str() == t,
         (Value::Type(ty), Value::Text(t)) | (Value::Text(t), Value::Type(ty)) => {
             cocci_cast::render::render_type(ty) == *t
         }
@@ -185,12 +186,18 @@ pub(crate) fn value_eq(a: &Value, b: &Value) -> bool {
 }
 
 /// Bind `name` to `value`, or check consistency with an existing binding.
-fn bind_or_check(ctx: &MatchCtx, st: &mut MatchState, name: &str, value: Value) -> bool {
+fn bind_or_check(
+    ctx: &MatchCtx,
+    st: &mut MatchState,
+    name: impl Into<Symbol>,
+    value: Value,
+) -> bool {
+    let name = name.into();
     if let Some(existing) = st.env.get(name) {
         return value_eq(existing, &value);
     }
     let text = value.render(ctx.src);
-    if !ctx.check_constraint(name, &text) {
+    if !ctx.check_constraint(name.as_str(), &text) {
         return false;
     }
     st.env.bind(name, value);
@@ -201,7 +208,7 @@ fn bind_or_check(ctx: &MatchCtx, st: &mut MatchState, name: &str, value: Value) 
 /// metavariables through the environment.
 fn fold_with_env(e: &Expr, env: &Env) -> Option<i128> {
     match e {
-        Expr::Ident(id) => match env.get(&id.name) {
+        Expr::Ident(id) => match env.get(id.name) {
             Some(Value::Int(v)) => Some(*v),
             _ => None,
         },
@@ -223,7 +230,7 @@ fn fold_with_env(e: &Expr, env: &Env) -> Option<i128> {
             // literal expression.
             let lit = |v: i128| Expr::IntLit {
                 value: v,
-                raw: v.to_string(),
+                raw: v.to_string().into(),
                 span: Span::SYNTHETIC,
             };
             eval_const(&Expr::Binary {
@@ -369,9 +376,9 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
                 },
             )
         }
-        Expr::Ident(id) => match ctx.kind(&id.name) {
+        Expr::Ident(id) => match ctx.kind(id.name) {
             Some(MetaDeclKind::Expression) | Some(MetaDeclKind::ExpressionList) => {
-                bind_or_check(ctx, st, &id.name, Value::Expr(src.clone()))
+                bind_or_check(ctx, st, id.name, Value::Expr(src.clone()))
             }
             Some(MetaDeclKind::Identifier)
             | Some(MetaDeclKind::Function)
@@ -379,9 +386,9 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
                 Expr::Ident(s) => bind_or_check(
                     ctx,
                     st,
-                    &id.name,
+                    id.name,
                     Value::Ident {
-                        name: s.name.clone(),
+                        name: s.name,
                         span: s.span,
                     },
                 ),
@@ -390,11 +397,11 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
             Some(MetaDeclKind::Constant) => match eval_const(src_e) {
                 Some(v) => {
                     // Set constraints compare the folded value's text.
-                    bind_or_check(ctx, st, &id.name, Value::Int(v))
+                    bind_or_check(ctx, st, id.name, Value::Int(v))
                 }
                 None => match src_e {
                     Expr::StrLit { raw, .. } | Expr::FloatLit { raw, .. } => {
-                        bind_or_check(ctx, st, &id.name, Value::Text(raw.clone()))
+                        bind_or_check(ctx, st, id.name, Value::Text(raw.as_str().to_string()))
                     }
                     _ => false,
                 },
@@ -507,13 +514,13 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
                 ..
             } => {
                 arrow == sa
-                    && match ctx.kind(&field.name) {
+                    && match ctx.kind(field.name) {
                         Some(MetaDeclKind::Identifier) => bind_or_check(
                             ctx,
                             st,
-                            &field.name,
+                            field.name,
                             Value::Ident {
-                                name: sf.name.clone(),
+                                name: sf.name,
                                 span: sf.span,
                             },
                         ),
@@ -534,7 +541,7 @@ fn match_expr_inner(ctx: &MatchCtx, pat: &Expr, src: &Expr, st: &mut MatchState)
                 // The operand is kept as raw text; a metavariable name as
                 // the whole operand binds/checks against it.
                 if ctx.kind(arg).is_some() {
-                    bind_or_check(ctx, st, arg, Value::Text(sa.clone()))
+                    bind_or_check(ctx, st, arg, Value::Text(sa.as_str().to_string()))
                 } else {
                     sa == arg
                 }
@@ -583,10 +590,10 @@ pub fn match_expr_list(ctx: &MatchCtx, pats: &[Expr], srcs: &[Expr], st: &mut Ma
                 }
                 false
             }
-            Expr::Ident(id) if ctx.kind(&id.name) == Some(&MetaDeclKind::ExpressionList) => {
+            Expr::Ident(id) if ctx.kind(id.name) == Some(&MetaDeclKind::ExpressionList) => {
                 // Bound: must match exactly that run length.
                 if let Some(Value::ExprList(bound)) =
-                    st.env.get(&id.name).map(|v| v.structural().clone())
+                    st.env.get(id.name).map(|v| v.structural().clone())
                 {
                     if bound.len() > srcs.len() {
                         return false;
@@ -604,7 +611,7 @@ pub fn match_expr_list(ctx: &MatchCtx, pats: &[Expr], srcs: &[Expr], st: &mut Ma
                     let mut attempt = st.clone();
                     attempt
                         .env
-                        .bind(&id.name, Value::ExprList(srcs[..k].to_vec()));
+                        .bind(id.name, Value::ExprList(srcs[..k].to_vec()));
                     if go(ctx, rest, &srcs[k..], &mut attempt) {
                         *st = attempt;
                         return true;
@@ -660,7 +667,7 @@ pub fn match_type(ctx: &MatchCtx, pat: &Type, src: &Type, st: &mut MatchState) -
                         st,
                         pn,
                         Value::Ident {
-                            name: sn.clone(),
+                            name: *sn,
                             span: src.span,
                         },
                     );
@@ -739,7 +746,7 @@ fn match_pragma_words(ctx: &MatchCtx, pats: &[&str], srcs: &[&str], st: &mut Mat
         if !rest.is_empty() {
             return false;
         }
-        return bind_or_check(ctx, st, p0, Value::Pragma(srcs.join(" ")));
+        return bind_or_check(ctx, st, *p0, Value::Pragma(srcs.join(" ")));
     }
     if let Some(MetaDeclKind::Identifier) = ctx.kind(p0) {
         let Some((s0, srest)) = srcs.split_first() else {
@@ -748,9 +755,9 @@ fn match_pragma_words(ctx: &MatchCtx, pats: &[&str], srcs: &[&str], st: &mut Mat
         return bind_or_check(
             ctx,
             st,
-            p0,
+            *p0,
             Value::Ident {
-                name: s0.to_string(),
+                name: Symbol::intern(s0),
                 span: Span::SYNTHETIC,
             },
         ) && match_pragma_words(ctx, rest, srest, st);
@@ -1018,15 +1025,15 @@ fn match_conj(ctx: &MatchCtx, branches: &[Vec<Stmt>], src: &Stmt, st: &mut Match
 }
 
 fn match_ident(ctx: &MatchCtx, pat: &Ident, src: &Ident, st: &mut MatchState) -> bool {
-    match ctx.kind(&pat.name) {
+    match ctx.kind(pat.name) {
         Some(MetaDeclKind::Identifier)
         | Some(MetaDeclKind::Function)
         | Some(MetaDeclKind::FreshIdentifier(_)) => bind_or_check(
             ctx,
             st,
-            &pat.name,
+            pat.name,
             Value::Ident {
-                name: src.name.clone(),
+                name: src.name,
                 span: src.span,
             },
         ),
@@ -1296,8 +1303,12 @@ pub fn match_params(
             return srcs.is_empty();
         };
         if p0.meta_list {
-            let name = p0.name.as_ref().map(|n| n.name.clone()).unwrap_or_default();
-            if let Some(Value::Params(bound)) = st.env.get(&name).map(|v| v.structural().clone()) {
+            let name = p0
+                .name
+                .as_ref()
+                .map(|n| n.name)
+                .unwrap_or_else(|| Symbol::intern(""));
+            if let Some(Value::Params(bound)) = st.env.get(name).map(|v| v.structural().clone()) {
                 if bound.len() > srcs.len() {
                     return false;
                 }
@@ -1305,7 +1316,7 @@ pub fn match_params(
             }
             for k in (0..=srcs.len()).rev() {
                 let mut attempt = st.clone();
-                attempt.env.bind(&name, Value::Params(srcs[..k].to_vec()));
+                attempt.env.bind(name, Value::Params(srcs[..k].to_vec()));
                 if go(ctx, rest, &srcs[k..], &mut attempt) {
                     *st = attempt;
                     return true;

@@ -624,7 +624,7 @@ impl Patcher {
                         m.env.bind(
                             &mv.name,
                             Value::Ident {
-                                name: text,
+                                name: text.into(),
                                 span: Span::SYNTHETIC,
                             },
                         );

@@ -25,9 +25,10 @@ use crate::corpus::{CorpusOptions, FileSource};
 use crate::driver::{catch_matcher_panics, ExecOptions};
 use crate::findings::Finding;
 use crate::orchestrate::{ApplyError, Patcher};
+use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
 use crate::report::json::{self, Value};
 use crate::report::{ApplyReport, FileReport, FileStatus};
-use crate::ruleset::CompiledRuleSet;
+use crate::ruleset::{CompiledRuleSet, ScanRule};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -167,8 +168,10 @@ struct UnitResult {
     error: Option<String>,
 }
 
-/// Shared per-file state during a scan batch.
+/// Shared per-file state during a scan run.
 struct Slot {
+    name: String,
+    text: String,
     ctx: Mutex<FileContext>,
     /// Rule indices that survived the merged prefilter, ascending (and
     /// therefore in rule-id order — the set is sorted by id).
@@ -177,6 +180,159 @@ struct Slot {
     /// One preassigned result cell per surviving rule, so parallel
     /// completion order cannot reorder the output.
     results: Mutex<Vec<Option<UnitResult>>>,
+    /// Units still outstanding; the worker that takes this to zero
+    /// assembles the file's outcome (streaming runs only care).
+    remaining: AtomicUsize,
+}
+
+/// One (file × surviving-rule) work unit on the queue.
+struct Unit {
+    slot: Arc<Slot>,
+    /// Index into `slot.surviving` / `slot.results`.
+    k: usize,
+    /// The file's [`ResultSlots`] cell (streaming runs; `scan_batch`
+    /// assembles after the join and ignores it).
+    seq: usize,
+}
+
+/// A completed entry in a streaming scan's output sequence.
+enum ScanDone {
+    /// Every unit of the file finished; assemble from the slot.
+    Ran(Arc<Slot>),
+    /// Resumed or unreadable — the report entry is already final.
+    Skipped(FileReport),
+}
+
+impl Slot {
+    /// Sieve `text` against the merged prefilter and set up the per-rule
+    /// result cells.
+    fn build(set: &CompiledRuleSet, name: String, text: String, prefilter: bool) -> Slot {
+        let t0 = Instant::now();
+        let surviving = if prefilter {
+            set.surviving_rules(&text)
+        } else {
+            (0..set.len()).collect()
+        };
+        let n = surviving.len();
+        Slot {
+            ctx: Mutex::new(FileContext::new(name.clone(), text.as_str())),
+            name,
+            text,
+            surviving,
+            sieve_seconds: t0.elapsed().as_secs_f64(),
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicUsize::new(n),
+        }
+    }
+
+    /// Fold the filled result cells into the file outcome. Callers
+    /// guarantee every unit has completed (`remaining` hit zero, or the
+    /// worker scope was joined).
+    fn assemble(&self, set: &CompiledRuleSet) -> ScanOutcome {
+        let ctx = self.ctx.lock().unwrap();
+        let results = std::mem::take(&mut *self.results.lock().unwrap());
+        let mut rules = Vec::with_capacity(self.surviving.len());
+        let mut findings = Vec::new();
+        let mut suppressed = 0usize;
+        let mut witnesses = 0usize;
+        let mut seconds = self.sieve_seconds;
+        let mut error: Option<String> = None;
+        for r in results {
+            let r = r.expect("every unit processed");
+            seconds += r.seconds;
+            witnesses += r.witnesses;
+            suppressed += r.outcome.suppressed;
+            findings.extend(r.findings);
+            if error.is_none() {
+                if let Some(e) = r.error {
+                    error = Some(format!("rule {}: {e}", r.outcome.id));
+                }
+            }
+            rules.push(r.outcome);
+        }
+        ScanOutcome {
+            name: self.name.clone(),
+            hash: ctx.hash(),
+            seconds,
+            parses: ctx.parses(),
+            cfg_builds: ctx.cfg_builds(),
+            rules_pruned: set.len() - self.surviving.len(),
+            rules,
+            findings,
+            suppressed,
+            witnesses,
+            error,
+        }
+    }
+}
+
+/// Run one (file × rule) unit, serialising on the file's context.
+fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
+    // One cheap Patcher per unit over the shared compile — script
+    // globals and stats are per-application state.
+    let mut patcher = Patcher::from_compiled(Arc::clone(&rule.compiled));
+    patcher.flow_enabled = opts.flow;
+    patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
+    let t0 = Instant::now();
+    let mut ctx = slot.ctx.lock().unwrap();
+    let res = catch_matcher_panics(&slot.name, || patcher.apply_ctx(&mut ctx));
+    match res {
+        Ok(output) => {
+            let matches: usize = patcher.last_stats.matches_per_rule.iter().sum();
+            let mut findings = std::mem::take(&mut patcher.last_stats.findings);
+            // Attribute findings to the scan rule: its id (not the inner
+            // SMPL rule name) keys the merged report, and its message
+            // override wins.
+            for f in &mut findings {
+                f.rule = rule.meta.id.clone();
+                if let Some(m) = &rule.meta.message {
+                    f.message = m.clone();
+                }
+            }
+            let (findings, suppressed) = if findings.is_empty() {
+                (findings, 0)
+            } else {
+                ctx.suppressions().filter(findings)
+            };
+            let status = if output.is_some() {
+                FileStatus::Changed
+            } else if matches > 0 {
+                FileStatus::Matched
+            } else {
+                FileStatus::Unmatched
+            };
+            UnitResult {
+                outcome: RuleOutcome {
+                    id: rule.meta.id.clone(),
+                    status,
+                    matches,
+                    findings: findings.len(),
+                    suppressed,
+                },
+                findings,
+                witnesses: patcher.last_stats.witnesses,
+                seconds: t0.elapsed().as_secs_f64(),
+                error: None,
+            }
+        }
+        Err(e) => UnitResult {
+            outcome: RuleOutcome {
+                id: rule.meta.id.clone(),
+                status: if e.timed_out {
+                    FileStatus::Timeout
+                } else {
+                    FileStatus::Error
+                },
+                matches: 0,
+                findings: 0,
+                suppressed: 0,
+            },
+            findings: Vec::new(),
+            witnesses: 0,
+            seconds: t0.elapsed().as_secs_f64(),
+            error: Some(e.message),
+        },
+    }
 }
 
 /// Scan one in-memory batch of files with every rule of `set`.
@@ -191,173 +347,37 @@ pub fn scan_batch(
     files: &[(String, String)],
     opts: &ExecOptions,
 ) -> Vec<ScanOutcome> {
-    // Phase 1: per-file contexts and surviving-rule lists.
-    let slots: Vec<Slot> = files
+    let slots: Vec<Arc<Slot>> = files
         .iter()
-        .map(|(name, text)| {
-            let t0 = Instant::now();
-            let surviving = if opts.prefilter {
-                set.surviving_rules(text)
-            } else {
-                (0..set.len()).collect()
-            };
-            let n = surviving.len();
-            Slot {
-                ctx: Mutex::new(FileContext::new(name.clone(), text.as_str())),
-                surviving,
-                sieve_seconds: t0.elapsed().as_secs_f64(),
-                results: Mutex::new((0..n).map(|_| None).collect()),
-            }
-        })
+        .map(|(name, text)| Arc::new(Slot::build(set, name.clone(), text.clone(), opts.prefilter)))
         .collect();
-
-    // Phase 2: flatten to (file, k-th surviving rule) units.
-    let units: Vec<(usize, usize)> = slots
-        .iter()
-        .enumerate()
-        .flat_map(|(fi, s)| (0..s.surviving.len()).map(move |k| (fi, k)))
-        .collect();
-
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    };
-    let threads = threads.min(units.len().max(1));
-    let next = AtomicUsize::new(0);
-
+    let total_units: usize = slots.iter().map(|s| s.surviving.len()).sum();
+    let threads = resolve_threads(opts.threads).min(total_units.max(1));
+    let queue: WorkQueue<Unit> = WorkQueue::new(threads);
+    for (seq, slot) in slots.iter().enumerate() {
+        queue.push_chunk((0..slot.surviving.len()).map(|k| Unit {
+            slot: Arc::clone(slot),
+            k,
+            seq,
+        }));
+    }
+    queue.close();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let u = next.fetch_add(1, Ordering::Relaxed);
-                if u >= units.len() {
-                    return;
+        for w in 0..threads {
+            let queue = &queue;
+            scope.spawn(move || {
+                while let Some(u) = queue.pop(w) {
+                    let rule = &set.rules[u.slot.surviving[u.k]];
+                    let result = run_unit(rule, &u.slot, opts);
+                    u.slot.results.lock().unwrap()[u.k] = Some(result);
+                    u.slot.remaining.fetch_sub(1, Ordering::SeqCst);
                 }
-                let (fi, k) = units[u];
-                let slot = &slots[fi];
-                let rule = &set.rules[slot.surviving[k]];
-                let name = files[fi].0.as_str();
-                // One cheap Patcher per unit over the shared compile —
-                // script globals and stats are per-application state.
-                let mut patcher = Patcher::from_compiled(Arc::clone(&rule.compiled));
-                patcher.flow_enabled = opts.flow;
-                patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
-                let t0 = Instant::now();
-                let mut ctx = slot.ctx.lock().unwrap();
-                let res = catch_matcher_panics(name, || patcher.apply_ctx(&mut ctx));
-                let result = match res {
-                    Ok(output) => {
-                        let matches: usize = patcher.last_stats.matches_per_rule.iter().sum();
-                        let mut findings = std::mem::take(&mut patcher.last_stats.findings);
-                        // Attribute findings to the scan rule: its id
-                        // (not the inner SMPL rule name) keys the merged
-                        // report, and its message override wins.
-                        for f in &mut findings {
-                            f.rule = rule.meta.id.clone();
-                            if let Some(m) = &rule.meta.message {
-                                f.message = m.clone();
-                            }
-                        }
-                        let (findings, suppressed) = if findings.is_empty() {
-                            (findings, 0)
-                        } else {
-                            ctx.suppressions().filter(findings)
-                        };
-                        let status = if output.is_some() {
-                            FileStatus::Changed
-                        } else if matches > 0 {
-                            FileStatus::Matched
-                        } else {
-                            FileStatus::Unmatched
-                        };
-                        UnitResult {
-                            outcome: RuleOutcome {
-                                id: rule.meta.id.clone(),
-                                status,
-                                matches,
-                                findings: findings.len(),
-                                suppressed,
-                            },
-                            findings,
-                            witnesses: patcher.last_stats.witnesses,
-                            seconds: t0.elapsed().as_secs_f64(),
-                            error: None,
-                        }
-                    }
-                    Err(e) => UnitResult {
-                        outcome: RuleOutcome {
-                            id: rule.meta.id.clone(),
-                            status: if e.timed_out {
-                                FileStatus::Timeout
-                            } else {
-                                FileStatus::Error
-                            },
-                            matches: 0,
-                            findings: 0,
-                            suppressed: 0,
-                        },
-                        findings: Vec::new(),
-                        witnesses: 0,
-                        seconds: t0.elapsed().as_secs_f64(),
-                        error: Some(e.message),
-                    },
-                };
-                drop(ctx);
-                slot.results.lock().unwrap()[k] = Some(result);
             });
         }
     });
-
-    // Phase 3: assemble per-file outcomes in input order; per-rule
-    // entries are already in rule-id order via the preassigned cells.
-    files
-        .iter()
-        .zip(slots)
-        .map(|((name, _), slot)| {
-            let Slot {
-                ctx,
-                surviving,
-                sieve_seconds,
-                results,
-            } = slot;
-            let ctx = ctx.into_inner().expect("scan worker panicked");
-            let results = results.into_inner().expect("scan worker panicked");
-            let mut rules = Vec::with_capacity(surviving.len());
-            let mut findings = Vec::new();
-            let mut suppressed = 0usize;
-            let mut witnesses = 0usize;
-            let mut seconds = sieve_seconds;
-            let mut error: Option<String> = None;
-            for r in results {
-                let r = r.expect("every unit processed");
-                seconds += r.seconds;
-                witnesses += r.witnesses;
-                suppressed += r.outcome.suppressed;
-                findings.extend(r.findings);
-                if error.is_none() {
-                    if let Some(e) = r.error {
-                        error = Some(format!("rule {}: {e}", r.outcome.id));
-                    }
-                }
-                rules.push(r.outcome);
-            }
-            ScanOutcome {
-                name: name.clone(),
-                hash: ctx.hash(),
-                seconds,
-                parses: ctx.parses(),
-                cfg_builds: ctx.cfg_builds(),
-                rules_pruned: set.len() - surviving.len(),
-                rules,
-                findings,
-                suppressed,
-                witnesses,
-                error,
-            }
-        })
-        .collect()
+    // Assemble per-file outcomes in input order; per-rule entries are
+    // already in rule-id order via the preassigned cells.
+    slots.iter().map(|slot| slot.assemble(set)).collect()
 }
 
 /// Scan every file of `source` with `set`, streaming batches with
@@ -404,61 +424,113 @@ pub fn scan_corpus(
     let t0 = Instant::now();
     let mut files = Vec::new();
     let mut resumed = 0usize;
-    loop {
-        let batch = source.next_batch(&opts.batch);
-        for (name, msg) in source.take_errors() {
-            files.push(FileReport {
-                name,
-                status: FileStatus::Error,
-                matches: 0,
-                witnesses: 0,
-                seconds: 0.0,
-                hash: 0,
-                error: Some(msg),
-                findings: Vec::new(),
-                rules: Vec::new(),
-                rules_pruned: 0,
-                suppressed: 0,
+    let threads = resolve_threads(opts.threads);
+    let queue: WorkQueue<Unit> = WorkQueue::new(threads);
+    let out: ResultSlots<ScanDone> = ResultSlots::new();
+    // One persistent worker team for the whole corpus: the producer (this
+    // thread) streams (file × rule) units while workers drain and steal.
+    // The worker that completes a file's last unit publishes it; the
+    // producer drains the filled prefix between batches, so sinks and
+    // reports observe walker order whatever the completion order was.
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let (queue, out, exec) = (&queue, &out, &exec);
+            scope.spawn(move || {
+                while let Some(u) = queue.pop(w) {
+                    let rule = &set.rules[u.slot.surviving[u.k]];
+                    let result = run_unit(rule, &u.slot, exec);
+                    u.slot.results.lock().unwrap()[u.k] = Some(result);
+                    if u.slot.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        out.set(u.seq, ScanDone::Ran(Arc::clone(&u.slot)));
+                    }
+                }
             });
         }
-        if batch.is_empty() {
-            break;
-        }
-        let mut to_run = Vec::with_capacity(batch.len());
-        for (name, text) in batch {
-            let hash = crate::report::content_hash(&text);
-            match prev_by_name.get(name.as_str()) {
-                Some(prev) if prev.hash == hash && prev.status.resumable() => {
-                    resumed += 1;
-                    files.push(FileReport {
-                        name,
-                        status: prev.status,
-                        matches: prev.matches,
-                        witnesses: prev.witnesses,
-                        seconds: 0.0,
-                        hash,
-                        error: prev.error.clone(),
-                        findings: prev.findings.clone(),
-                        // Per-rule outcomes ride forward with the skip,
-                        // like findings do — an unchanged file still has
-                        // the same per-rule story.
-                        rules: prev.rules.clone(),
-                        rules_pruned: prev.rules_pruned,
-                        suppressed: prev.suppressed,
-                    });
+
+        let mut emit = |done: Vec<ScanDone>| {
+            for d in done {
+                match d {
+                    ScanDone::Ran(slot) => {
+                        let outcome = slot.assemble(set);
+                        sink(&slot.name, &slot.text, &outcome);
+                        files.push(outcome.to_report());
+                    }
+                    ScanDone::Skipped(report) => files.push(report),
                 }
-                _ => to_run.push((name, text)),
             }
+        };
+        loop {
+            let batch = source.next_batch(&opts.batch);
+            for (name, msg) in source.take_errors() {
+                let seq = out.reserve(1);
+                out.set(
+                    seq,
+                    ScanDone::Skipped(FileReport {
+                        name,
+                        status: FileStatus::Error,
+                        matches: 0,
+                        witnesses: 0,
+                        seconds: 0.0,
+                        hash: 0,
+                        error: Some(msg),
+                        findings: Vec::new(),
+                        rules: Vec::new(),
+                        rules_pruned: 0,
+                        suppressed: 0,
+                    }),
+                );
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for (name, text) in batch {
+                let hash = crate::report::content_hash(&text);
+                let seq = out.reserve(1);
+                match prev_by_name.get(name.as_str()) {
+                    Some(prev) if prev.hash == hash && prev.status.resumable() => {
+                        resumed += 1;
+                        out.set(
+                            seq,
+                            ScanDone::Skipped(FileReport {
+                                name,
+                                status: prev.status,
+                                matches: prev.matches,
+                                witnesses: prev.witnesses,
+                                seconds: 0.0,
+                                hash,
+                                error: prev.error.clone(),
+                                findings: prev.findings.clone(),
+                                // Per-rule outcomes ride forward with the
+                                // skip, like findings do — an unchanged
+                                // file still has the same per-rule story.
+                                rules: prev.rules.clone(),
+                                rules_pruned: prev.rules_pruned,
+                                suppressed: prev.suppressed,
+                            }),
+                        );
+                    }
+                    _ => {
+                        let slot = Arc::new(Slot::build(set, name, text, exec.prefilter));
+                        if slot.surviving.is_empty() {
+                            // Pruned without a parse — no units to queue.
+                            out.set(seq, ScanDone::Ran(slot));
+                        } else {
+                            let units = (0..slot.surviving.len()).map(|k| Unit {
+                                slot: Arc::clone(&slot),
+                                k,
+                                seq,
+                            });
+                            queue.push_chunk(units);
+                        }
+                    }
+                }
+            }
+            // Release finished files (and their text) between batches.
+            emit(out.drain_ready());
         }
-        if to_run.is_empty() {
-            continue;
-        }
-        let outcomes = scan_batch(set, &to_run, &exec);
-        for ((name, text), outcome) in to_run.iter().zip(&outcomes) {
-            sink(name, text, outcome);
-            files.push(outcome.to_report());
-        }
-    }
+        queue.close();
+        emit(out.drain_all());
+    });
     Ok(ApplyReport {
         patch: String::new(),
         patch_hash: set.hash,
@@ -772,6 +844,61 @@ mod tests {
         .unwrap_err();
         assert!(err.message.contains("needs-flow"), "{err}");
         assert!(err.message.contains("when exists"), "{err}");
+    }
+
+    /// Streaming-scan counterpart of the corpus determinism test: the
+    /// (file × rule) unit pool must yield the same sink stream and
+    /// report whatever the thread count and batch size.
+    #[test]
+    fn scan_corpus_identical_across_threads_and_batch_sizes() {
+        let set = set3();
+        let files: Vec<(String, String)> = (0..9)
+            .map(|i| {
+                let body = match i % 3 {
+                    0 => "void f(void) {\n    alpha(1);\n    beta(2);\n}\n",
+                    1 => "void f(void) {\n    gamma(3);\n}\n",
+                    _ => "void f(void) {\n    delta(4);\n}\n",
+                };
+                (format!("s{i}.c"), body.to_string())
+            })
+            .collect();
+        type Digest = (Vec<String>, Vec<(String, String, usize)>);
+        let mut runs: Vec<Digest> = Vec::new();
+        for threads in [1, 2, 4] {
+            for max_files in [1, 4, 100] {
+                let mut sunk = Vec::new();
+                let report = scan_corpus(
+                    &set,
+                    &mut MemorySource::new(files.clone()),
+                    &CorpusOptions {
+                        threads,
+                        batch: crate::corpus::BatchOptions {
+                            max_files,
+                            max_bytes: usize::MAX,
+                        },
+                        ..Default::default()
+                    },
+                    None,
+                    |name, _, outcome| {
+                        sunk.push(format!("{name}:{}:{}", outcome.status(), outcome.matches()))
+                    },
+                )
+                .unwrap();
+                let digest: Vec<(String, String, usize)> = report
+                    .files
+                    .iter()
+                    .map(|f| (f.name.clone(), f.status.to_string(), f.matches))
+                    .collect();
+                runs.push((sunk, digest));
+            }
+        }
+        for r in &runs[1..] {
+            assert_eq!(r.0, runs[0].0, "sink stream differs");
+            assert_eq!(r.1, runs[0].1, "report sequence differs");
+        }
+        let expect: Vec<String> = (0..9).map(|i| format!("s{i}.c")).collect();
+        let names: Vec<String> = runs[0].1.iter().map(|(n, _, _)| n.clone()).collect();
+        assert_eq!(names, expect, "report keeps walk order");
     }
 
     #[test]

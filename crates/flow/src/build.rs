@@ -3,6 +3,7 @@
 use crate::graph::{Cfg, EdgeKind, NodeId, NodeKind};
 use cocci_cast::ast::*;
 use cocci_cast::render;
+use cocci_source::Symbol;
 use std::collections::HashMap;
 
 /// Build the control-flow graph of a function body.
@@ -35,8 +36,8 @@ struct Builder {
     g: Cfg,
     break_targets: Vec<NodeId>,
     continue_targets: Vec<NodeId>,
-    labels: HashMap<String, NodeId>,
-    pending_gotos: Vec<(NodeId, String)>,
+    labels: HashMap<Symbol, NodeId>,
+    pending_gotos: Vec<(NodeId, Symbol)>,
 }
 
 /// The "current frontier": the node control flows out of, or `None` when
@@ -255,7 +256,7 @@ impl Builder {
                     .g
                     .add(NodeKind::Stmt, format!("goto {}", label.name), *span);
                 self.g.edge(pred, n, kind);
-                self.pending_gotos.push((n, label.name.clone()));
+                self.pending_gotos.push((n, label.name));
                 None
             }
             Stmt::Label { label, stmt, span } => {
@@ -263,7 +264,7 @@ impl Builder {
                     .g
                     .add(NodeKind::Join, format!("{}:", label.name), *span);
                 self.g.edge(pred, n, kind);
-                self.labels.insert(label.name.clone(), n);
+                self.labels.insert(label.name, n);
                 self.stmt(stmt, n, EdgeKind::Seq)
             }
             Stmt::Switch {

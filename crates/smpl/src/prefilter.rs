@@ -109,20 +109,20 @@ impl Cx<'_> {
     /// An identifier occurrence that, per `match_ident`, either binds an
     /// identifier-kind metavariable or must appear literally.
     fn ident(&self, id: &Ident, out: &mut Vec<String>) {
-        match self.kind(&id.name) {
+        match self.kind(id.name.as_str()) {
             Some(
                 MetaDeclKind::Identifier
                 | MetaDeclKind::Function
                 | MetaDeclKind::FreshIdentifier(_),
-            ) => self.regex_atoms(&id.name, out),
+            ) => self.regex_atoms(id.name.as_str(), out),
             // Symbols and undeclared names match only themselves.
-            _ => push_name(&id.name, out),
+            _ => push_name(id.name.as_str(), out),
         }
     }
 
     fn expr(&self, e: &Expr, out: &mut Vec<String>) {
         match e {
-            Expr::Ident(id) => match self.kind(&id.name) {
+            Expr::Ident(id) => match self.kind(id.name.as_str()) {
                 Some(
                     MetaDeclKind::Expression
                     | MetaDeclKind::ExpressionList
@@ -133,16 +133,16 @@ impl Cx<'_> {
                     MetaDeclKind::Identifier
                     | MetaDeclKind::Function
                     | MetaDeclKind::FreshIdentifier(_),
-                ) => self.regex_atoms(&id.name, out),
-                Some(MetaDeclKind::Symbol) => push_name(&id.name, out),
+                ) => self.regex_atoms(id.name.as_str(), out),
+                Some(MetaDeclKind::Symbol) => push_name(id.name.as_str(), out),
                 // Undeclared (or non-expression-kind) names fall through to
                 // literal identifier matching in the matcher.
-                _ => push_name(&id.name, out),
+                _ => push_name(id.name.as_str(), out),
             },
             // Value-compared under the const-fold isomorphism (`4` ≘ `0x4`).
             Expr::IntLit { .. } => {}
             Expr::FloatLit { raw, .. } | Expr::StrLit { raw, .. } | Expr::CharLit { raw, .. } => {
-                out.push(raw.clone())
+                out.push(raw.as_str().to_string())
             }
             Expr::Paren { inner, .. } => self.expr(inner, out),
             Expr::Unary { expr, .. } => self.expr(expr, out),
@@ -188,9 +188,9 @@ impl Cx<'_> {
             }
             Expr::Member { base, field, .. } => {
                 self.expr(base, out);
-                match self.kind(&field.name) {
-                    Some(MetaDeclKind::Identifier) => self.regex_atoms(&field.name, out),
-                    _ => push_name(&field.name, out),
+                match self.kind(field.name.as_str()) {
+                    Some(MetaDeclKind::Identifier) => self.regex_atoms(field.name.as_str(), out),
+                    _ => push_name(field.name.as_str(), out),
                 }
             }
             Expr::Cast { ty, expr, .. } => {
@@ -199,8 +199,9 @@ impl Cx<'_> {
             }
             Expr::Sizeof { arg, .. } => {
                 out.push("sizeof".to_string());
-                if self.kind(arg).is_none() && !arg.contains(char::is_whitespace) {
-                    out.push(arg.clone());
+                if self.kind(arg.as_str()).is_none() && !arg.as_str().contains(char::is_whitespace)
+                {
+                    out.push(arg.as_str().to_string());
                 }
             }
             Expr::InitList { elems, .. } => self.expr_list(elems, out),
@@ -224,21 +225,21 @@ impl Cx<'_> {
     fn ty(&self, t: &Type, out: &mut Vec<String>) {
         match &t.kind {
             TypeKind::Named { name, .. } => {
-                if matches!(self.kind(name), Some(MetaDeclKind::Identifier)) {
-                    self.regex_atoms(name, out);
+                if matches!(self.kind(name.as_str()), Some(MetaDeclKind::Identifier)) {
+                    self.regex_atoms(name.as_str(), out);
                 } else {
-                    push_name(name, out);
+                    push_name(name.as_str(), out);
                 }
             }
             TypeKind::Record { keyword, name, .. } => {
-                out.push(keyword.clone());
+                out.push(keyword.as_str().to_string());
                 if let Some(n) = name {
-                    push_name(n, out);
+                    push_name(n.as_str(), out);
                 }
             }
             TypeKind::Ptr(inner) | TypeKind::Ref(inner) => self.ty(inner, out),
             TypeKind::Qualified { quals, inner } => {
-                out.extend(quals.iter().cloned());
+                out.extend(quals.iter().map(|q| q.as_str().to_string()));
                 self.ty(inner, out);
             }
             TypeKind::Meta { .. } => {}
@@ -272,7 +273,7 @@ impl Cx<'_> {
 
     fn decl_atoms(&self, d: &Declaration, out: &mut Vec<String>) {
         for s in &d.specifiers {
-            push_name(&s.name, out);
+            push_name(s.name.as_str(), out);
         }
         for a in &d.attrs {
             self.attr(a, out);
@@ -445,7 +446,7 @@ impl Cx<'_> {
             Item::Directive(d) => self.directive(d, out),
             Item::Function(f) => {
                 for s in &f.specifiers {
-                    push_name(&s.name, out);
+                    push_name(s.name.as_str(), out);
                 }
                 for a in &f.attrs {
                     self.attr(a, out);

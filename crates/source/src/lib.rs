@@ -8,9 +8,11 @@
 //! errors in semantic patches and target files.
 
 mod diag;
+pub mod intern;
 mod span;
 
 pub use diag::{Diagnostic, DiagnosticKind, Diagnostics};
+pub use intern::{intern, FnvBuild, Interner, Symbol};
 pub use span::{FileId, LineCol, Span};
 
 use std::fmt;

@@ -1,0 +1,158 @@
+//! Corpus-level renderer stability: the canonical renderer's output over
+//! the generated workload trees is pinned by FNV fingerprint.
+//!
+//! The fixture hashes below were captured from the renderer *before*
+//! identifiers/literals moved into the interner (`cocci_source::intern`),
+//! so a green run proves that rendering an interned parse is
+//! byte-identical to the pre-interning renderer on the `rule_matrix`
+//! and mixed `corpus_tree` (which includes the `report_scan` family)
+//! workload trees. If a deliberate renderer change moves these values,
+//! re-capture them with `RENDER_STABILITY_PRINT=1 cargo test -p
+//! cocci-workloads --test render_stability -- --nocapture`.
+
+use cocci_cast::ast::{Block, Item, TranslationUnit};
+use cocci_cast::parser::{parse_translation_unit, NoMeta, ParseOptions};
+use cocci_cast::render;
+use cocci_workloads::corpus::{corpus_tree, CorpusTreeSpec};
+use cocci_workloads::rule_matrix::{rule_matrix_codebase, RuleMatrixSpec};
+use cocci_workloads::GeneratedFile;
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn render_block(b: &Block) -> String {
+    let mut s = String::from("{\n");
+    for st in &b.stmts {
+        s.push_str(&render::render_stmt(st));
+        s.push('\n');
+    }
+    s.push('}');
+    s
+}
+
+/// Render a whole translation unit canonically — every identifier, type
+/// name, qualifier, and literal goes through the renderer's resolution
+/// path, which is exactly what interning must not change.
+fn render_tu(tu: &TranslationUnit) -> String {
+    let mut s = String::new();
+    fn item(s: &mut String, it: &Item) {
+        match it {
+            Item::Directive(d) => {
+                s.push_str(&d.raw);
+                s.push('\n');
+            }
+            Item::Function(f) => {
+                for sp in &f.specifiers {
+                    s.push_str(sp.name.as_str());
+                    s.push(' ');
+                }
+                s.push_str(&render::render_type(&f.ret));
+                s.push(' ');
+                s.push_str(f.name.name.as_str());
+                s.push('(');
+                for (i, p) in f.params.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&render::render_param(p));
+                }
+                if f.varargs {
+                    s.push_str(", ...");
+                }
+                s.push_str(") ");
+                s.push_str(&render_block(&f.body));
+                s.push('\n');
+            }
+            Item::Decl(d) => {
+                s.push_str(&render::render_decl(d));
+                s.push('\n');
+            }
+            Item::Namespace { name, items, .. } => {
+                s.push_str("namespace");
+                if let Some(n) = name {
+                    s.push(' ');
+                    s.push_str(n.name.as_str());
+                }
+                s.push_str(" {\n");
+                for it2 in items {
+                    item(s, it2);
+                }
+                s.push_str("}\n");
+            }
+            Item::ExternBlock { items, .. } => {
+                s.push_str("extern \"C\" {\n");
+                for it2 in items {
+                    item(s, it2);
+                }
+                s.push_str("}\n");
+            }
+        }
+    }
+    for it in &tu.items {
+        item(&mut s, it);
+    }
+    s
+}
+
+/// Parse and render every C-family file of `files`; returns
+/// `(files_rendered, fingerprint)`. Non-source noise files and the
+/// deliberately broken ones are skipped by parse failure, which is part
+/// of the pinned behaviour (the counts are asserted too).
+fn fingerprint(files: &[GeneratedFile]) -> (usize, u64) {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut rendered = 0usize;
+    for f in files {
+        let opts = if f.name.ends_with(".cpp") || f.name.ends_with(".cu") {
+            ParseOptions::cpp()
+        } else {
+            ParseOptions::c()
+        };
+        if let Ok(tu) = parse_translation_unit(&f.text, opts, &NoMeta) {
+            h = fnv1a(f.name.as_bytes(), h);
+            h = fnv1a(render_tu(&tu).as_bytes(), h);
+            rendered += 1;
+        }
+    }
+    (rendered, h)
+}
+
+#[test]
+fn corpus_tree_render_is_byte_identical_to_pre_interning_renderer() {
+    let files = corpus_tree(&CorpusTreeSpec::default());
+    let (rendered, hash) = fingerprint(&files);
+    if std::env::var_os("RENDER_STABILITY_PRINT").is_some() {
+        eprintln!("corpus_tree: rendered={rendered} hash={hash:#018x}");
+    }
+    assert_eq!(rendered, CORPUS_TREE_RENDERED);
+    assert_eq!(hash, CORPUS_TREE_HASH, "renderer output drifted");
+}
+
+#[test]
+fn rule_matrix_render_is_byte_identical_to_pre_interning_renderer() {
+    let files = rule_matrix_codebase(&RuleMatrixSpec::default());
+    let (rendered, hash) = fingerprint(&files);
+    if std::env::var_os("RENDER_STABILITY_PRINT").is_some() {
+        eprintln!("rule_matrix: rendered={rendered} hash={hash:#018x}");
+    }
+    assert_eq!(rendered, RULE_MATRIX_RENDERED);
+    assert_eq!(hash, RULE_MATRIX_HASH, "renderer output drifted");
+}
+
+#[test]
+fn render_is_deterministic_across_repeat_parses() {
+    // Same tree, two independent parse+render passes: the fingerprint
+    // must not depend on interner population order.
+    let files = rule_matrix_codebase(&RuleMatrixSpec::default());
+    assert_eq!(fingerprint(&files), fingerprint(&files));
+}
+
+// Captured from the pre-interning renderer (see module docs).
+const CORPUS_TREE_RENDERED: usize = 49;
+const CORPUS_TREE_HASH: u64 = 0xbcf9d4ca7d5d4ff4;
+const RULE_MATRIX_RENDERED: usize = 8;
+const RULE_MATRIX_HASH: u64 = 0x44749c94a4bb8bd8;

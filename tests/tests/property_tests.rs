@@ -18,7 +18,7 @@ use cocci_cast::render::render_expr;
 use cocci_cast::{lex, LexMode, TokenKind};
 use cocci_core::{EditSet, Patcher};
 use cocci_smpl::parse_semantic_patch;
-use cocci_source::Span;
+use cocci_source::{Span, Symbol};
 use cocci_tests::{arb_expr_text, ident_soup_word, string_of_len, Runner};
 
 const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
@@ -420,5 +420,43 @@ fn tree_and_flow_routes_emit_identical_findings_on_dots_free_rules() {
                 assert!(!flow.is_empty(), "{}: linear pairs must match", f.name);
                 assert_eq!(flow, tree, "{}: routes disagree", f.name);
             }
+        });
+}
+
+// ---- string interner ----
+
+#[test]
+fn intern_resolve_round_trips() {
+    Runner::new("intern_resolve_round_trips")
+        .cases(400)
+        .run(|rng| {
+            let s = ident_soup_word(rng);
+            let sym = Symbol::intern(&s);
+            assert_eq!(sym.as_str(), s, "resolve returns the interned text");
+            // Re-interning is stable: same string, same handle.
+            assert_eq!(Symbol::intern(&s), sym);
+            assert_eq!(Symbol::from(s.as_str()), sym);
+        });
+}
+
+#[test]
+fn symbol_equality_is_string_equality() {
+    Runner::new("symbol_equality_is_string_equality")
+        .cases(400)
+        .run(|rng| {
+            let a = ident_soup_word(rng);
+            // Half the cases compare equal strings, half independent
+            // draws (which may still collide — that must agree too).
+            let b = if rng.gen_range(0..2) == 0 {
+                a.clone()
+            } else {
+                ident_soup_word(rng)
+            };
+            let (sa, sb) = (Symbol::intern(&a), Symbol::intern(&b));
+            assert_eq!(sa == sb, a == b, "{a:?} vs {b:?}");
+            assert_eq!(sa == b.as_str(), a == b, "Symbol == &str agrees");
+            // Hash-map keying agrees with equality: one entry iff equal.
+            let set: std::collections::HashSet<Symbol> = [sa, sb].into_iter().collect();
+            assert_eq!(set.len() == 1, a == b);
         });
 }
