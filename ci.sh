@@ -102,10 +102,21 @@ test -s target/BENCH_scaling.json
 grep -q speedup_max target/BENCH_scaling.json
 grep -q allocs_per_parsed_file target/BENCH_scaling.json
 grep -q peak_rss_bytes target/BENCH_scaling.json
+grep -q pool_steals target/BENCH_scaling.json
+grep -q pool_idle_frac target/BENCH_scaling.json
+grep -q queue_depth_max target/BENCH_scaling.json
+# Telemetry must be effectively free: the bench times the corpus driver
+# with tracing enabled vs disabled (best-of-samples on both sides) and
+# the enabled run — a strict upper bound on the disabled probes' cost —
+# may exceed the untraced run by at most 2%.
+OVERHEAD=$(grep -o '"id": "trace_overhead_frac", "value": [0-9.eE+-]*' target/BENCH_scaling.json | awk '{print $NF}')
+test -n "$OVERHEAD"
+awk -v o="$OVERHEAD" 'BEGIN { exit !(o + 0 < 0.02) }' \
+  || { echo "tracing overhead ${OVERHEAD} >= 2% budget"; exit 1; }
 # trend_check also gates the parallel-scaling ratio: bench_trend fails
 # when speedup_max keeps less than 70% of the previous run's ratio.
 trend_check scaling
-echo "ok: target/BENCH_scaling.json written (speedups + alloc/file + peak RSS recorded)"
+echo "ok: target/BENCH_scaling.json written (speedups + alloc/file + pool counters + trace overhead ${OVERHEAD} recorded)"
 
 echo "== report-mode e2e (findings over a generated corpus; format agreement + SARIF shape) =="
 RPT_ROOT="target/report-e2e"
@@ -179,6 +190,46 @@ for key in '"version": "2.1.0"' '"$schema"' '"runs"' '"results"' '"ruleId"' '"de
 done
 cp "$SCAN_ROOT/scan.sarif" target/SCAN_matrix.sarif
 echo "ok: $(wc -l < "$SCAN_ROOT/set.scan") findings agree between the merged scan and per-rule runs (SARIF at target/SCAN_matrix.sarif)"
+
+echo "== traced scan e2e (Chrome trace + stats + metrics reconcile) =="
+TRACE_ROOT="target/trace-e2e"
+rm -rf "$TRACE_ROOT"
+mkdir -p "$TRACE_ROOT/rules"
+# The rule-matrix rules are all report-only tree rules; one extra flow
+# transform rule (statement dots) makes the traced run exercise every
+# phase — cfg_build, flow_match, rewrite, and render included.
+cp "$SCAN_ROOT"/rules/*.cocci "$TRACE_ROOT/rules/"
+cat > "$TRACE_ROOT/rules/flow_pair.cocci" <<'EOF'
+// spatch-rule: flow-pair
+@pair@
+expression b;
+@@
+- probe_begin(b);
++ probe_enter(b);
+...
+probe_end(b);
+EOF
+cp -r "$SCAN_ROOT/corpus" "$TRACE_ROOT/corpus"
+cat > "$TRACE_ROOT/corpus/pair.c" <<'EOF'
+void pair(int x) {
+    probe_begin(x);
+    work(x);
+    probe_end(x);
+}
+EOF
+"$SPATCH" scan --rules "$TRACE_ROOT/rules" --trace-out target/TRACE_scan.json \
+  --report "$TRACE_ROOT/report.json" --stats --quiet "$TRACE_ROOT/corpus" \
+  > /dev/null 2> "$TRACE_ROOT/stats.txt"
+test -s target/TRACE_scan.json
+# Well-formed trace JSON, at least one span for every phase, per-phase
+# totals within 5% of the report's metrics block (the --stats table is
+# printed *from* that block, so this ties all three surfaces together).
+cargo run --release -q -p cocci-examples --example trace_check --locked -- \
+  target/TRACE_scan.json "$TRACE_ROOT/report.json"
+grep -q '^  phase parse: spans=[1-9]' "$TRACE_ROOT/stats.txt"
+grep -q '^  counter files_parsed: [1-9]' "$TRACE_ROOT/stats.txt"
+grep -q '^  pool: workers=' "$TRACE_ROOT/stats.txt"
+echo "ok: traced scan reconciles across trace/stats/report (trace at target/TRACE_scan.json)"
 
 if [ -n "$TREND_FAILURES" ]; then
   echo "bench trend: wall-clock regressions in:$TREND_FAILURES (budget ${BENCH_TREND_MAX_PCT}%)"

@@ -122,6 +122,112 @@ fn corpus_sweep(h: &mut Harness) {
     h.metric("scaling_corpus", "threads_max", max_t as f64);
 }
 
+/// Telemetry probe: what the instrumentation costs, plus the pool's
+/// scheduler counters (steals, idle fraction, max queue depth) from a
+/// traced run's `metrics` block.
+///
+/// Two costs, kept apart because they answer different questions:
+///
+/// * `trace_overhead_frac` — the tax the *disabled* probes leave in a
+///   production run (ci.sh gates this under 2%). A same-binary A/B
+///   can't remove the probes, so it is computed as measured disabled
+///   probe cost (one relaxed atomic load) × probe-site executions per
+///   corpus run (from an enabled run's span count, doubled for slack
+///   to cover counter probes), over the untraced run's wall clock.
+/// * `trace_cost_enabled_frac` — enabled-vs-disabled wall clock, the
+///   price of actually recording. Recorded, not gated: ring writes are
+///   real work and sub-2% deltas of a loaded builder's wall clock are
+///   noise, which is also why the ratio uses min-over-samples
+///   (interference is one-sided).
+fn telemetry_probe(h: &mut Harness) {
+    let patch = parse_semantic_patch(UC1_LIKWID).unwrap();
+    let files = corpus_tree(&CorpusTreeSpec::default());
+    // Replicate the tree so one run is ~10ms+: a 2% fraction of a
+    // millisecond-scale run would drown in scheduler jitter.
+    let inputs: Vec<(String, String)> = (0..10)
+        .flat_map(|copy| {
+            files
+                .iter()
+                .map(move |f| (format!("copy{copy}/{}", f.name), f.text.clone()))
+        })
+        .collect();
+    let bytes: usize = inputs.iter().map(|(_, t)| t.len()).sum();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut run = || {
+        let mut src = MemorySource::new(inputs.clone());
+        apply_to_corpus(
+            &patch,
+            &mut src,
+            &CorpusOptions {
+                threads,
+                ..Default::default()
+            },
+            |_, _, _| {},
+        )
+        .unwrap()
+    };
+
+    cocci_trace::set_enabled(false);
+    h.bench(
+        "scaling_trace",
+        "off",
+        Throughput::Bytes(bytes as u64),
+        &mut run,
+    );
+    cocci_trace::set_enabled(true);
+    h.bench(
+        "scaling_trace",
+        "on",
+        Throughput::Bytes(bytes as u64),
+        &mut run,
+    );
+
+    // One more traced run with clean counters to harvest pool metrics
+    // and the number of probe sites one corpus run executes.
+    cocci_trace::reset();
+    let report = run();
+    let data = cocci_trace::collect();
+    let probes_per_run = 2.0 * (data.span_count() as u64 + data.dropped()) as f64;
+    cocci_trace::set_enabled(false);
+    let pool = report
+        .metrics
+        .as_ref()
+        .and_then(|m| m.pool.as_ref())
+        .expect("traced corpus run embeds pool metrics");
+    h.metric("pool", "pool_steals", pool.steals as f64);
+    h.metric(
+        "pool",
+        "pool_idle_frac",
+        pool.idle_frac(report.total_seconds),
+    );
+    h.metric("pool", "queue_depth_max", pool.queue_depth_max as f64);
+
+    // Disabled probe unit cost: black_box keeps the guard construction
+    // and drop (both one relaxed load) from being hoisted or elided.
+    const PROBE_ITERS: u64 = 1_000_000;
+    let t0 = std::time::Instant::now();
+    for _ in 0..PROBE_ITERS {
+        let _g = std::hint::black_box(cocci_trace::span(cocci_trace::Phase::TreeMatch));
+    }
+    let probe_ns = t0.elapsed().as_nanos() as f64 / PROBE_ITERS as f64;
+
+    let off = h.min_s("scaling_trace", "off").expect("off record");
+    let on = h.min_s("scaling_trace", "on").expect("on record");
+    h.metric(
+        "scaling_trace",
+        "trace_cost_enabled_frac",
+        ((on - off) / off).max(0.0),
+    );
+    h.metric("scaling_trace", "probe_ns", probe_ns);
+    h.metric(
+        "scaling_trace",
+        "trace_overhead_frac",
+        (probe_ns * 1e-9 * probes_per_run) / off,
+    );
+}
+
 /// Allocator traffic per parsed corpus file — the interning payoff, as
 /// a recorded (not trend-gated) metric next to the timings.
 fn alloc_probe(h: &mut Harness) {
@@ -162,6 +268,7 @@ fn main() {
     size_sweep(&mut h);
     thread_sweep(&mut h);
     corpus_sweep(&mut h);
+    telemetry_probe(&mut h);
     alloc_probe(&mut h);
     h.finish().expect("write BENCH_scaling.json");
 }

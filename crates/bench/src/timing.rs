@@ -123,6 +123,17 @@ impl Harness {
             .map(Record::median)
     }
 
+    /// Best-of-samples seconds of an already-recorded benchmark. Noise
+    /// on a loaded builder is one-sided (interference only ever slows a
+    /// sample down), so the minimum is the steadiest basis for tight
+    /// ratio gates like the tracing-overhead budget.
+    pub fn min_s(&self, group: &str, id: &str) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.group == group && r.id == id)
+            .map(Record::min)
+    }
+
     /// Set the per-benchmark sample count (unless `$BENCH_SAMPLES`
     /// overrides it at run time).
     pub fn sample_size(mut self, n: usize) -> Self {

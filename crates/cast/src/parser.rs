@@ -144,6 +144,14 @@ pub fn parse_translation_unit(
     opts: ParseOptions,
     meta: &dyn MetaLookup,
 ) -> Result<TranslationUnit, ParseErr> {
+    // Pattern snippets (SMPL compilation) are not target files: only
+    // whole-file parses count toward the run's lex/parse telemetry.
+    let _span = if opts.pattern {
+        cocci_trace::SpanGuard::disabled()
+    } else {
+        cocci_trace::count(cocci_trace::Counter::FilesParsed, 1);
+        cocci_trace::span(cocci_trace::Phase::Parse)
+    };
     let mut p = Parser::new(src, opts, meta)?;
     p.translation_unit()
 }

@@ -24,6 +24,10 @@
 //!   --ignore <PAT>      extra .gitignore-style exclusion (repeatable)
 //!   --no-prefilter      disable the literal-atom pre-scan
 //!   --no-flow           tree-sequence dots instead of CFG path matching
+//!   --trace-out <FILE>  write a Chrome trace-event JSON profile of the
+//!                       run (open in Perfetto / about:tracing)
+//!   --stats             print per-phase/per-rule aggregates, slowest
+//!                       files, and pool utilization to stderr
 //!   --quiet             suppress per-file match reports
 //! ```
 //!
@@ -45,6 +49,7 @@
 //! in patch/report mode.
 
 mod diff;
+mod telemetry;
 
 use cocci_core::corpus::{apply_to_corpus_resumed, CorpusOptions, WalkSource};
 use cocci_core::scan::scan_corpus;
@@ -92,6 +97,10 @@ struct Args {
     no_flow: bool,
     mode: Option<Mode>,
     format: Option<Format>,
+    /// Chrome trace-event JSON destination (enables tracing).
+    trace_out: Option<PathBuf>,
+    /// Print the aggregate stats table (enables tracing).
+    stats: bool,
 }
 
 fn usage() -> ! {
@@ -99,10 +108,10 @@ fn usage() -> ! {
         "usage: spatch --sp-file <patch.cocci> [--mode patch|report] [--format text|json|sarif] \
          [--in-place] [-o FILE] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
-         [--quiet] <files-or-dirs...>\n\
+         [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>\n\
          \x20      spatch scan --rules <dir> [--format text|json|sarif] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
-         [--quiet] <files-or-dirs...>"
+         [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>"
     );
     std::process::exit(2);
 }
@@ -124,6 +133,8 @@ fn parse_args() -> Args {
     let mut no_flow = false;
     let mut mode = None;
     let mut format = None;
+    let mut trace_out = None;
+    let mut stats = false;
     let mut it = std::env::args().skip(1).peekable();
     if it.peek().map(String::as_str) == Some("scan") {
         scan = true;
@@ -176,6 +187,8 @@ fn parse_args() -> Args {
             "--ignore" => ignore.push(it.next().unwrap_or_else(|| usage())),
             "--no-prefilter" => no_prefilter = true,
             "--no-flow" => no_flow = true,
+            "--trace-out" => trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--stats" => stats = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -218,6 +231,8 @@ fn parse_args() -> Args {
         no_flow,
         mode,
         format,
+        trace_out,
+        stats,
     }
 }
 
@@ -278,6 +293,7 @@ fn run_scan(args: &Args) -> ExitCode {
         },
         None => None,
     };
+    telemetry::init(args.trace_out.as_deref(), args.stats);
     let mut source = WalkSource::discover(&args.targets, &args.ignore);
     let opts = CorpusOptions {
         threads: args.threads,
@@ -287,12 +303,14 @@ fn run_scan(args: &Args) -> ExitCode {
         ..Default::default()
     };
     let quiet = args.quiet;
+    let mut heartbeat = telemetry::Heartbeat::new(source.remaining(), quiet);
     let run = scan_corpus(
         &set,
         &mut source,
         &opts,
         previous.as_ref(),
         |name, _original, outcome| {
+            heartbeat.tick(outcome.findings.len());
             if quiet || outcome.error.is_some() {
                 return; // errors are reported once, from the report below
             }
@@ -309,6 +327,7 @@ fn run_scan(args: &Args) -> ExitCode {
             }
         },
     );
+    heartbeat.finish();
     let mut report = match run {
         Ok(r) => r,
         Err(e) => {
@@ -318,6 +337,16 @@ fn run_scan(args: &Args) -> ExitCode {
         }
     };
     report.patch = rules_dir.display().to_string();
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = telemetry::write_trace(path) {
+            eprintln!("spatch: cannot write trace {}: {e}", path.display());
+        } else if !quiet {
+            eprintln!("spatch: trace written to {}", path.display());
+        }
+    }
+    if args.stats {
+        telemetry::print_stats(&report);
+    }
 
     let mut failures = 0usize;
     for f in &report.files {
@@ -480,6 +509,7 @@ fn main() -> ExitCode {
         None => None,
     };
 
+    telemetry::init(args.trace_out.as_deref(), args.stats);
     let mut source = WalkSource::discover(&args.targets, &args.ignore);
     let opts = CorpusOptions {
         threads: args.threads,
@@ -495,12 +525,14 @@ fn main() -> ExitCode {
     // (the driver outcome says "changed", but the change never landed).
     let mut changed = 0usize;
     let mut write_errors: Vec<(String, String)> = Vec::new();
+    let mut heartbeat = telemetry::Heartbeat::new(source.remaining(), args.quiet);
     let run = apply_to_corpus_resumed(
         &patch,
         &mut source,
         &opts,
         previous.as_ref(),
         |name, original, outcome| {
+            heartbeat.tick(outcome.findings.len());
             if outcome.error.is_some() {
                 return; // reported once from the report below
             }
@@ -556,6 +588,7 @@ fn main() -> ExitCode {
         },
     );
 
+    heartbeat.finish();
     let mut report = match run {
         Ok(r) => r,
         Err(e) => {
@@ -566,6 +599,16 @@ fn main() -> ExitCode {
     };
     report.patch = sp_file.display().to_string();
     report.patch_hash = patch_hash;
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = telemetry::write_trace(path) {
+            eprintln!("spatch: cannot write trace {}: {e}", path.display());
+        } else if !args.quiet {
+            eprintln!("spatch: trace written to {}", path.display());
+        }
+    }
+    if args.stats {
+        telemetry::print_stats(&report);
+    }
 
     // A file whose rewrite failed to land is an error, not a change —
     // downgrade its report entry before anything consumes it.

@@ -1433,3 +1433,121 @@ fn scan_output_is_byte_identical_across_runs_and_ignore_duplicates() {
         assert_eq!(run(fmt), run(fmt), "{fmt} output drifted between runs");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry: --trace-out Chrome profiles and the --stats table.
+
+/// Rules + corpus exercising every trace phase in one scan: a
+/// report-only tree rule (tree_match) and a flow transform rule
+/// (statement dots: cfg_build, flow_match, rewrite, render) over a
+/// walked directory (walk, prefilter, parse, report).
+fn write_telemetry_fixture(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let rules = dir.join("rules");
+    fs::create_dir_all(&rules).unwrap();
+    fs::write(
+        rules.join("use_beta.cocci"),
+        "// spatch-rule: use-beta\n@r@\nexpression e;\nposition p;\n@@\nalpha(e)@p;\n",
+    )
+    .unwrap();
+    fs::write(
+        rules.join("pair.cocci"),
+        "// spatch-rule: probe-pair\n@pair@\nexpression b;\n@@\n\
+         - probe_begin(b);\n+ probe_enter(b);\n...\nprobe_end(b);\n",
+    )
+    .unwrap();
+    let corpus = dir.join("corpus");
+    fs::create_dir_all(&corpus).unwrap();
+    fs::write(corpus.join("a.c"), "void f(void) {\n    alpha(1);\n}\n").unwrap();
+    fs::write(
+        corpus.join("pair.c"),
+        "void g(int x) {\n    probe_begin(x);\n    work(x);\n    probe_end(x);\n}\n",
+    )
+    .unwrap();
+    // No atom of any rule: exercises the pruned path.
+    fs::write(corpus.join("none.c"), "void h(void) {\n    other(2);\n}\n").unwrap();
+    (rules, corpus)
+}
+
+#[test]
+fn trace_out_writes_chrome_json_naming_every_phase() {
+    let dir = tmpdir("traceout");
+    let (rules, corpus) = write_telemetry_fixture(&dir);
+    let trace = dir.join("trace.json");
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--quiet")
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    let text = fs::read_to_string(&trace).unwrap();
+    let v = cocci_core::report::json::parse(&text).expect("trace JSON is well-formed");
+    let events = v.as_object().unwrap()["traceEvents"].as_array().unwrap();
+    let complete: Vec<_> = events
+        .iter()
+        .filter_map(|e| e.as_object())
+        .filter(|o| o.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .collect();
+    assert!(!complete.is_empty());
+    // Every complete event carries the Chrome trace-event essentials.
+    for o in &complete {
+        for key in ["pid", "tid", "ts", "dur", "name"] {
+            assert!(o.contains_key(key), "event missing {key}");
+        }
+    }
+    for phase in cocci_trace::Phase::ALL {
+        assert!(
+            complete
+                .iter()
+                .any(|o| o.get("name").and_then(|n| n.as_str()) == Some(phase.name())),
+            "trace has no {} span",
+            phase.name()
+        );
+    }
+}
+
+#[test]
+fn stats_count_totals_are_stable_across_thread_counts() {
+    let dir = tmpdir("statsdet");
+    let (rules, corpus) = write_telemetry_fixture(&dir);
+    // Count-like stats lines (span counts, counters, per-rule match and
+    // finding totals) must not depend on the worker count; wall-clock
+    // columns and the pool line may, and are stripped. Sorted because
+    // the rules table orders by per-run timing.
+    let run = |jobs: &str| -> Vec<String> {
+        let out = spatch()
+            .arg("scan")
+            .arg("--rules")
+            .arg(&rules)
+            .args(["--stats", "-j", jobs, "--quiet"])
+            .arg(&corpus)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        let mut lines: Vec<String> = err
+            .lines()
+            .filter_map(|l| {
+                let l = l.trim_start();
+                if l.starts_with("phase ") || l.starts_with("rule ") {
+                    l.split(" ms=").next().map(str::to_string)
+                } else if l.starts_with("counter ") {
+                    Some(l.to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+        lines.sort();
+        lines
+    };
+    let base = run("1");
+    assert!(base.iter().any(|l| l == "phase parse: spans=2"), "{base:?}");
+    assert_eq!(run("2"), base, "-j 2 drifted");
+    assert_eq!(run("4"), base, "-j 4 drifted");
+}

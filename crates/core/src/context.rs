@@ -103,11 +103,13 @@ impl FileContext {
     pub fn parse(&mut self, opts: ParseOptions) -> Result<Arc<TranslationUnit>, String> {
         if let Some((lang, tu)) = &self.parsed {
             if *lang == opts.lang {
+                cocci_trace::count(cocci_trace::Counter::ParseCacheHits, 1);
                 return Ok(Arc::clone(tu));
             }
         }
         if let Some((lang, e)) = &self.parse_err {
             if *lang == opts.lang {
+                cocci_trace::count(cocci_trace::Counter::ParseCacheHits, 1);
                 return Err(e.clone());
             }
         }

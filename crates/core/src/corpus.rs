@@ -21,8 +21,9 @@ use crate::compile::CompiledPatch;
 use crate::driver::{run_one, ExecOptions, FileOutcome};
 use crate::orchestrate::{ApplyError, Patcher};
 use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
-use crate::report::{content_hash, ApplyReport, FileReport, FileStatus};
+use crate::report::{content_hash, ApplyReport, FileReport, FileStatus, RunMetrics};
 use cocci_smpl::SemanticPatch;
+use cocci_trace::Phase;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -442,7 +443,8 @@ pub fn apply_to_corpus_resumed(
     std::thread::scope(|scope| {
         for w in 0..threads {
             let (queue, slots, compiled, exec) = (&queue, &slots, &compiled, &exec);
-            scope.spawn(move || {
+            let spawn = std::thread::Builder::new().name(format!("worker-{w}"));
+            let handle = spawn.spawn_scoped(scope, move || {
                 // One Patcher per worker over the shared compile:
                 // script-interpreter globals are per-application state
                 // and must not be shared, but the compiled patch is
@@ -461,10 +463,12 @@ pub fn apply_to_corpus_resumed(
                     slots.set(task.slot, Done::Ran(task.name, task.text, outcome));
                 }
             });
+            handle.expect("spawn corpus worker");
         }
 
         let mut emit = |done: Vec<Done>, files: &mut Vec<FileReport>| {
             for d in done {
+                let _report_span = cocci_trace::span(Phase::Report);
                 match d {
                     Done::Ran(name, text, outcome) => {
                         sink(&name, &text, &outcome);
@@ -476,7 +480,10 @@ pub fn apply_to_corpus_resumed(
         };
 
         loop {
-            let batch = source.next_batch(&opts.batch);
+            let batch = {
+                let _walk_span = cocci_trace::span(Phase::Walk);
+                source.next_batch(&opts.batch)
+            };
             for (name, msg) in source.take_errors() {
                 let i = slots.reserve(1);
                 slots.set(
@@ -549,6 +556,11 @@ pub fn apply_to_corpus_resumed(
         emit(slots.drain_all(), &mut files);
     });
 
+    // Workers are gone: every span for this run is recorded, so a traced
+    // run can embed an exact aggregate alongside the pool's counters.
+    let metrics = cocci_trace::is_enabled()
+        .then(|| RunMetrics::from_trace(&cocci_trace::collect(), Some(&queue.stats())));
+
     Ok(ApplyReport {
         patch: String::new(),
         patch_hash: 0,
@@ -556,6 +568,7 @@ pub fn apply_to_corpus_resumed(
         prefilter: !opts.no_prefilter,
         resumed,
         total_seconds: t0.elapsed().as_secs_f64(),
+        metrics,
         files,
     })
 }

@@ -193,6 +193,7 @@ pub(crate) fn catch_matcher_panics<T>(
     match caught {
         Ok(result) => result,
         Err(payload) => {
+            cocci_trace::count(cocci_trace::Counter::Panics, 1);
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_string())
@@ -213,7 +214,12 @@ pub(crate) fn run_one(
 ) -> FileOutcome {
     let t0 = Instant::now();
     let hash = content_hash(text);
-    if prefilter && !compiled.may_match(text) {
+    let survives = !prefilter || {
+        let _span = cocci_trace::span(cocci_trace::Phase::Prefilter);
+        compiled.may_match(text)
+    };
+    if !survives {
+        cocci_trace::count(cocci_trace::Counter::FilesPruned, 1);
         return FileOutcome {
             name: name.to_string(),
             output: None,
@@ -238,6 +244,7 @@ pub(crate) fn run_one(
             } else {
                 crate::suppress::SuppressionIndex::parse(text).filter(findings)
             };
+            cocci_trace::count(cocci_trace::Counter::Suppressions, suppressed as u64);
             FileOutcome {
                 name: name.to_string(),
                 output,

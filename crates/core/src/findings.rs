@@ -362,6 +362,7 @@ mod tests {
             prefilter: true,
             resumed: 0,
             total_seconds: 0.0,
+            metrics: None,
             files: vec![FileReport {
                 name: "src/a.c".into(),
                 status: FileStatus::Matched,
@@ -419,6 +420,7 @@ mod tests {
             prefilter: true,
             resumed: 0,
             total_seconds: 0.0,
+            metrics: None,
             files: vec![FileReport {
                 name: "src/a.c".into(),
                 status: FileStatus::Matched,

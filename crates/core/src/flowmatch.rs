@@ -76,6 +76,7 @@ impl CfgCache {
             .entry(f.span)
             .or_insert_with(|| {
                 self.builds += 1;
+                let _span = cocci_trace::span(cocci_trace::Phase::CfgBuild);
                 let cfg = build_cfg(f);
                 if cfg.len() > MAX_CFG_NODES {
                     None
@@ -474,6 +475,14 @@ impl<'a> FnMatcher<'a> {
             // marks a match as a path witness at all (tree-fallback
             // matches keep 0).
             if !witnesses.is_empty() {
+                if witnesses.len() > 1 {
+                    // Siblings beyond the first are forked per-path
+                    // witnesses — the telemetry for join-fork pressure.
+                    cocci_trace::count(
+                        cocci_trace::Counter::WitnessesForked,
+                        (witnesses.len() - 1) as u64,
+                    );
+                }
                 let id = next_group.get();
                 next_group.set(id.wrapping_add(1).max(1));
                 for w in &mut witnesses {

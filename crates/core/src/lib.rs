@@ -63,8 +63,8 @@ pub use findings::{to_sarif, to_sarif_with, Finding, SarifRule};
 pub use flowmatch::{CfgCache, FlowPattern, FlowSearch, FlowStep};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
-pub use pool::{resolve_threads, ResultSlots, WorkQueue};
-pub use report::{content_hash, ApplyReport, FileReport, FileStatus};
+pub use pool::{resolve_threads, PoolStats, ResultSlots, WorkQueue};
+pub use report::{content_hash, ApplyReport, FileReport, FileStatus, PoolMetrics, RunMetrics};
 pub use ruleset::{CompiledRuleSet, RuleMeta, ScanRule, Severity};
 pub use scan::{scan_batch, scan_corpus, RuleOutcome, ScanOutcome};
 pub use suppress::SuppressionIndex;

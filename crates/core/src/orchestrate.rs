@@ -200,6 +200,7 @@ impl Patcher {
             // the whole corpus run.
             if let Some(budget) = self.time_budget {
                 if t0.elapsed() >= budget {
+                    cocci_trace::count(cocci_trace::Counter::Timeouts, 1);
                     return Err(ApplyError::timeout(format!(
                         "{name}: exceeded per-file time budget ({} ms) before rule {}",
                         budget.as_millis(),
@@ -305,6 +306,7 @@ impl Patcher {
                         }
                         if !edits.is_empty() {
                             stats.edits += edits.len();
+                            let _render = cocci_trace::span(cocci_trace::Phase::Render);
                             current = edits
                                 .apply(&current)
                                 .map_err(|e| {
@@ -597,10 +599,17 @@ impl Patcher {
         let mut new_streams: Vec<ExportedEnv> = Vec::new();
         let mut claimed: Vec<(Span, u32)> = Vec::new();
         let mut edits = EditSet::new();
+        let rule_label = t.name.as_deref().unwrap_or("<anonymous>");
         for (ex, seed) in &seeds {
             let mut found = match &flow_search {
-                Some(fs) => fs.find(&ctx, seed),
-                None => find_matches(&ctx, &t.body.pattern, tu, seed),
+                Some(fs) => {
+                    let _span = cocci_trace::span_with(cocci_trace::Phase::FlowMatch, rule_label);
+                    fs.find(&ctx, seed)
+                }
+                None => {
+                    let _span = cocci_trace::span_with(cocci_trace::Phase::TreeMatch, rule_label);
+                    find_matches(&ctx, &t.body.pattern, tu, seed)
+                }
             };
             for m in &mut found {
                 // Fresh identifiers computed per match.
@@ -673,11 +682,14 @@ impl Patcher {
                     // visible (same-offset insertions with different
                     // text never trip a single merged set).
                     let mut member_sets = Vec::with_capacity(members.len());
-                    for m in &members {
-                        let mut set = EditSet::new();
-                        rewrite::emit_edits(&t.body, m, src, &mut set)
-                            .map_err(|e| aerr(format!("rewrite: {e}")))?;
-                        member_sets.push(set);
+                    {
+                        let _rewrite = cocci_trace::span(cocci_trace::Phase::Rewrite);
+                        for m in &members {
+                            let mut set = EditSet::new();
+                            rewrite::emit_edits(&t.body, m, src, &mut set)
+                                .map_err(|e| aerr(format!("rewrite: {e}")))?;
+                            member_sets.push(set);
+                        }
                     }
                     let contradictory = member_sets
                         .iter()
@@ -697,6 +709,7 @@ impl Patcher {
                     members.retain(|m| !member_blocked(m));
                     let mut accepted_sets: Vec<EditSet> = Vec::new();
                     let mut kept = Vec::with_capacity(members.len());
+                    let _rewrite = cocci_trace::span(cocci_trace::Phase::Rewrite);
                     for m in members {
                         let mut set = EditSet::new();
                         rewrite::emit_edits(&t.body, &m, src, &mut set)
@@ -714,6 +727,7 @@ impl Patcher {
                     if members.iter().any(member_blocked) {
                         continue;
                     }
+                    let _rewrite = cocci_trace::span(cocci_trace::Phase::Rewrite);
                     for m in &members {
                         rewrite::emit_edits(&t.body, m, src, &mut edits)
                             .map_err(|e| aerr(format!("rewrite: {e}")))?;

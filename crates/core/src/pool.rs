@@ -22,8 +22,48 @@
 //! queue overhead is noise) and blocking uses one `Condvar`.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Scheduler-health counters for one [`WorkQueue`] (one corpus run).
+///
+/// Kept unconditionally — each is a relaxed atomic touched only on the
+/// push path or the already-expensive steal/block path — so scheduler
+/// health is observable even in untraced runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Shards the queue was sized for (= worker count).
+    pub workers: usize,
+    /// Units a worker took from a neighbour's shard, per worker.
+    pub steals: Vec<u64>,
+    /// Nanoseconds each worker spent blocked waiting for work.
+    pub idle_ns: Vec<u64>,
+    /// High-water mark of units queued and not yet popped.
+    pub queue_depth_max: u64,
+}
+
+impl PoolStats {
+    /// Total steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+
+    /// Total idle nanoseconds across workers.
+    pub fn total_idle_ns(&self) -> u64 {
+        self.idle_ns.iter().sum()
+    }
+
+    /// Fraction of the team's wall-clock budget spent idle, given the
+    /// run's wall time. Clamped to `0..=1`.
+    pub fn idle_frac(&self, wall_seconds: f64) -> f64 {
+        let budget_ns = wall_seconds * 1e9 * self.workers.max(1) as f64;
+        if budget_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.total_idle_ns() as f64 / budget_ns).clamp(0.0, 1.0)
+    }
+}
 
 /// A sharded work queue: one deque per worker plus an overflow shard for
 /// producers, with stealing between shards.
@@ -47,6 +87,12 @@ pub struct WorkQueue<T> {
     pending: AtomicUsize,
     closed: Mutex<bool>,
     cond: Condvar,
+    /// Per-worker counts of units taken from a neighbour's shard.
+    steals: Box<[AtomicU64]>,
+    /// Per-worker nanoseconds spent blocked in `pop`.
+    idle_ns: Box<[AtomicU64]>,
+    /// High-water mark of `pending`.
+    depth_max: AtomicU64,
 }
 
 impl<T> WorkQueue<T> {
@@ -59,6 +105,27 @@ impl<T> WorkQueue<T> {
             pending: AtomicUsize::new(0),
             closed: Mutex::new(false),
             cond: Condvar::new(),
+            steals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            idle_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            depth_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot the scheduler-health counters accumulated so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.shards.len(),
+            steals: self
+                .steals
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            idle_ns: self
+                .idle_ns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            queue_depth_max: self.depth_max.load(Ordering::Relaxed),
         }
     }
 
@@ -71,7 +138,8 @@ impl<T> WorkQueue<T> {
     pub fn push(&self, item: T) {
         let s = self.cursor.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         self.shards[s].lock().unwrap().push_back(item);
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        let depth = self.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        self.depth_max.fetch_max(depth as u64, Ordering::Relaxed);
         let _guard = self.closed.lock().unwrap();
         self.cond.notify_one();
     }
@@ -90,7 +158,8 @@ impl<T> WorkQueue<T> {
             }
         }
         if n > 0 {
-            self.pending.fetch_add(n, Ordering::SeqCst);
+            let depth = self.pending.fetch_add(n, Ordering::SeqCst) + n;
+            self.depth_max.fetch_max(depth as u64, Ordering::Relaxed);
             let _guard = self.closed.lock().unwrap();
             self.cond.notify_all();
         }
@@ -118,6 +187,7 @@ impl<T> WorkQueue<T> {
             for off in 1..n {
                 if let Some(item) = self.shards[(w + off) % n].lock().unwrap().pop_front() {
                     self.pending.fetch_sub(1, Ordering::SeqCst);
+                    self.steals[w].fetch_add(1, Ordering::Relaxed);
                     return Some(item);
                 }
             }
@@ -131,7 +201,9 @@ impl<T> WorkQueue<T> {
             if *closed {
                 return None;
             }
+            let blocked = Instant::now();
             let _unused = self.cond.wait(closed).unwrap();
+            self.idle_ns[w].fetch_add(blocked.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -332,6 +404,43 @@ mod tests {
             h.join().unwrap()
         });
         assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_steals_and_queue_depth() {
+        let q: WorkQueue<usize> = WorkQueue::new(4);
+        q.push_chunk(0..50);
+        assert_eq!(q.stats().queue_depth_max, 50);
+        q.close();
+        std::thread::scope(|scope| {
+            let q = &q;
+            for w in 1..4 {
+                scope.spawn(move || while q.pop(w).is_some() {});
+            }
+        });
+        let stats = q.stats();
+        assert_eq!(stats.workers, 4);
+        // Shard 0's owner never popped, so everything was stolen.
+        assert_eq!(stats.total_steals(), 50);
+        assert_eq!(stats.steals[0], 0);
+    }
+
+    #[test]
+    fn blocked_pop_accrues_idle_time() {
+        let q: WorkQueue<u32> = WorkQueue::new(1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _ = q.pop(0);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.push(1);
+            q.close();
+        });
+        let stats = q.stats();
+        assert!(stats.total_idle_ns() > 0, "{stats:?}");
+        let frac = stats.idle_frac(1.0);
+        assert!(frac > 0.0 && frac <= 1.0, "{frac}");
+        assert_eq!(stats.idle_frac(0.0), 0.0);
     }
 
     #[test]

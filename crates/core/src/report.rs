@@ -9,7 +9,9 @@
 
 use crate::driver::FileOutcome;
 use crate::findings::{finding_from_json, finding_to_json, Finding};
+use crate::pool::PoolStats;
 use crate::scan::RuleOutcome;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Classified outcome of one file.
@@ -148,6 +150,179 @@ impl FileReport {
     }
 }
 
+/// Pool scheduler-health numbers carried in a [`RunMetrics`] block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Worker threads the queue was sized for.
+    pub workers: usize,
+    /// Units taken from a neighbour's shard, summed over workers.
+    pub steals: u64,
+    /// Nanoseconds spent blocked waiting for work, summed over workers.
+    pub idle_ns: u64,
+    /// High-water mark of queued-but-unpopped units.
+    pub queue_depth_max: u64,
+}
+
+impl PoolMetrics {
+    /// Collapse a per-worker [`PoolStats`] snapshot into report totals.
+    pub fn from_stats(stats: &PoolStats) -> PoolMetrics {
+        PoolMetrics {
+            workers: stats.workers,
+            steals: stats.total_steals(),
+            idle_ns: stats.total_idle_ns(),
+            queue_depth_max: stats.queue_depth_max,
+        }
+    }
+
+    /// Fraction of the team's wall-clock budget spent idle (`0..=1`).
+    pub fn idle_frac(&self, wall_seconds: f64) -> f64 {
+        let budget_ns = wall_seconds * 1e9 * self.workers.max(1) as f64;
+        if budget_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.idle_ns as f64 / budget_ns).clamp(0.0, 1.0)
+    }
+
+    /// Utilization percentage (100 − idle share) for display.
+    pub fn utilization_pct(&self, wall_seconds: f64) -> f64 {
+        (1.0 - self.idle_frac(wall_seconds)) * 100.0
+    }
+}
+
+/// Aggregated telemetry for one run, embedded in the report JSON when
+/// tracing was enabled (`--stats` / `--trace-out`). The daemon and CI
+/// consume this block instead of re-deriving numbers from trace files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Phase name -> spans recorded.
+    pub phase_counts: BTreeMap<String, u64>,
+    /// Phase name -> total nanoseconds across all threads.
+    pub phase_ns: BTreeMap<String, u64>,
+    /// Counter name -> value (see `cocci_trace::Counter`).
+    pub counters: BTreeMap<String, u64>,
+    /// Work-stealing pool health (absent for in-process batch runs that
+    /// never built a pool).
+    pub pool: Option<PoolMetrics>,
+}
+
+impl RunMetrics {
+    /// Build a metrics block from a collected trace snapshot plus an
+    /// optional pool snapshot.
+    pub fn from_trace(data: &cocci_trace::TraceData, pool: Option<&PoolStats>) -> RunMetrics {
+        let mut phase_counts = BTreeMap::new();
+        let mut phase_ns = BTreeMap::new();
+        for (name, total) in data.phase_totals() {
+            phase_counts.insert(name.to_string(), total.count);
+            phase_ns.insert(name.to_string(), total.total_ns);
+        }
+        let counters = data
+            .counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect();
+        RunMetrics {
+            phase_counts,
+            phase_ns,
+            counters,
+            pool: pool.map(PoolMetrics::from_stats),
+        }
+    }
+
+    /// Total nanoseconds recorded for one phase (0 if never entered).
+    pub fn phase_total_ns(&self, phase: &str) -> u64 {
+        self.phase_ns.get(phase).copied().unwrap_or(0)
+    }
+
+    /// Counter value by name (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serialize as a JSON object (nanosecond totals ride as numbers;
+    /// they stay far below the f64 53-bit integer limit).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"phases\": {");
+        for (i, (name, count)) in self.phase_counts.iter().enumerate() {
+            let ns = self.phase_total_ns(name);
+            let _ = write!(
+                out,
+                "{}{}: {{\"count\": {count}, \"ns\": {ns}}}",
+                if i == 0 { "" } else { ", " },
+                json::escape(name)
+            );
+        }
+        out.push_str("}, \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{}: {v}",
+                if i == 0 { "" } else { ", " },
+                json::escape(name)
+            );
+        }
+        out.push('}');
+        if let Some(pool) = &self.pool {
+            let _ = write!(
+                out,
+                ", \"pool\": {{\"workers\": {}, \"steals\": {}, \"idle_ns\": {}, \"queue_depth_max\": {}}}",
+                pool.workers, pool.steals, pool.idle_ns, pool.queue_depth_max
+            );
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse the JSON object form back.
+    pub fn from_json(v: &json::Value) -> Result<RunMetrics, String> {
+        let obj = v.as_object().ok_or("metrics: expected a JSON object")?;
+        let mut phase_counts = BTreeMap::new();
+        let mut phase_ns = BTreeMap::new();
+        if let Some(phases) = obj.get("phases").and_then(json::Value::as_object) {
+            for (name, pv) in phases {
+                let po = pv.as_object().ok_or("metrics: phase entry not an object")?;
+                let count = po.get("count").and_then(json::Value::as_f64).unwrap_or(0.0);
+                let ns = po.get("ns").and_then(json::Value::as_f64).unwrap_or(0.0);
+                phase_counts.insert(name.clone(), count as u64);
+                phase_ns.insert(name.clone(), ns as u64);
+            }
+        }
+        let mut counters = BTreeMap::new();
+        if let Some(cs) = obj.get("counters").and_then(json::Value::as_object) {
+            for (name, cv) in cs {
+                counters.insert(name.clone(), cv.as_f64().unwrap_or(0.0) as u64);
+            }
+        }
+        let pool = obj
+            .get("pool")
+            .and_then(json::Value::as_object)
+            .map(|po| PoolMetrics {
+                workers: po
+                    .get("workers")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0) as usize,
+                steals: po
+                    .get("steals")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0) as u64,
+                idle_ns: po
+                    .get("idle_ns")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0) as u64,
+                queue_depth_max: po
+                    .get("queue_depth_max")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0) as u64,
+            });
+        Ok(RunMetrics {
+            phase_counts,
+            phase_ns,
+            counters,
+            pool,
+        })
+    }
+}
+
 /// A whole corpus run, ready for JSON serialization.
 #[derive(Debug, Clone)]
 pub struct ApplyReport {
@@ -168,6 +343,9 @@ pub struct ApplyReport {
     pub resumed: usize,
     /// Total wall-clock seconds for the run.
     pub total_seconds: f64,
+    /// Aggregated telemetry (phase totals, counters, pool health);
+    /// present when the run was traced (`--stats` / `--trace-out`).
+    pub metrics: Option<RunMetrics>,
     /// Per-file entries, in processing order.
     pub files: Vec<FileReport>,
 }
@@ -218,7 +396,11 @@ impl ApplyReport {
                 self.count(s)
             );
         }
-        out.push_str("},\n  \"files\": [");
+        out.push('}');
+        if let Some(m) = &self.metrics {
+            let _ = write!(out, ",\n  \"metrics\": {}", m.to_json());
+        }
+        out.push_str(",\n  \"files\": [");
         for (i, f) in self.files.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -300,6 +482,10 @@ impl ApplyReport {
             .get("resumed")
             .and_then(json::Value::as_f64)
             .unwrap_or(0.0) as usize;
+        let metrics = match obj.get("metrics") {
+            Some(mv) => Some(RunMetrics::from_json(mv)?),
+            None => None,
+        };
         let mut files = Vec::new();
         for fv in obj
             .get("files")
@@ -379,6 +565,7 @@ impl ApplyReport {
             prefilter,
             resumed,
             total_seconds,
+            metrics,
             files,
         })
     }
@@ -639,6 +826,29 @@ mod tests {
             prefilter: true,
             resumed: 1,
             total_seconds: 0.25,
+            metrics: Some(RunMetrics {
+                phase_counts: [("parse".to_string(), 3), ("tree_match".to_string(), 5)]
+                    .into_iter()
+                    .collect(),
+                phase_ns: [
+                    ("parse".to_string(), 1_200_000),
+                    ("tree_match".to_string(), 800_000),
+                ]
+                .into_iter()
+                .collect(),
+                counters: [
+                    ("files_parsed".to_string(), 3),
+                    ("files_pruned".to_string(), 1),
+                ]
+                .into_iter()
+                .collect(),
+                pool: Some(PoolMetrics {
+                    workers: 4,
+                    steals: 7,
+                    idle_ns: 50_000_000,
+                    queue_depth_max: 12,
+                }),
+            }),
             files: vec![
                 FileReport {
                     name: "a/b.c".into(),
@@ -665,6 +875,7 @@ mod tests {
                             matches: 2,
                             findings: 1,
                             suppressed: 1,
+                            seconds: 2.5e-4,
                         },
                         RuleOutcome {
                             id: "no-old-free".into(),
@@ -672,6 +883,7 @@ mod tests {
                             matches: 0,
                             findings: 0,
                             suppressed: 0,
+                            seconds: 1e-5,
                         },
                     ],
                     rules_pruned: 3,
@@ -754,6 +966,27 @@ mod tests {
         assert_eq!(back.files[1].hash, r.files[1].hash);
         assert_eq!(back.files[3].hash, 0);
         assert_eq!(back.files[2].status, FileStatus::Timeout);
+        // The metrics block survives exactly.
+        assert_eq!(back.metrics, r.metrics);
+    }
+
+    #[test]
+    fn metrics_block_round_trips_and_is_optional() {
+        let r = sample();
+        let m = r.metrics.as_ref().unwrap();
+        assert_eq!(m.phase_total_ns("parse"), 1_200_000);
+        assert_eq!(m.phase_total_ns("flow_match"), 0);
+        assert_eq!(m.counter("files_parsed"), 3);
+        assert_eq!(m.counter("timeouts"), 0);
+        let pool = m.pool.as_ref().unwrap();
+        // 50ms idle over a 0.25s x 4-worker budget = 5% idle.
+        assert!((pool.idle_frac(r.total_seconds) - 0.05).abs() < 1e-9);
+        assert!((pool.utilization_pct(r.total_seconds) - 95.0).abs() < 1e-9);
+        // A report without a metrics block parses to None.
+        let mut bare = sample();
+        bare.metrics = None;
+        let back = ApplyReport::from_json(&bare.to_json()).unwrap();
+        assert!(back.metrics.is_none());
     }
 
     #[test]

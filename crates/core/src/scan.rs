@@ -48,18 +48,23 @@ pub struct RuleOutcome {
     pub findings: usize,
     /// Findings dropped by `// spatch-ignore` markers.
     pub suppressed: usize,
+    /// Wall-clock seconds this rule spent on this file — recorded for
+    /// *every* status, including `timeout` and `error`, so slow-rule
+    /// accounting (`--stats`) covers quarantined work too.
+    pub seconds: f64,
 }
 
 impl RuleOutcome {
     /// Serialize as one JSON object (used inside file reports).
     pub(crate) fn to_json(&self) -> String {
         format!(
-            "{{\"id\": {}, \"status\": \"{}\", \"matches\": {}, \"findings\": {}, \"suppressed\": {}}}",
+            "{{\"id\": {}, \"status\": \"{}\", \"matches\": {}, \"findings\": {}, \"suppressed\": {}, \"seconds\": {:e}}}",
             json::escape(&self.id),
             self.status,
             self.matches,
             self.findings,
-            self.suppressed
+            self.suppressed,
+            self.seconds
         )
     }
 
@@ -81,6 +86,7 @@ impl RuleOutcome {
             matches: get_n("matches"),
             findings: get_n("findings"),
             suppressed: get_n("suppressed"),
+            seconds: o.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -164,7 +170,6 @@ struct UnitResult {
     outcome: RuleOutcome,
     findings: Vec<Finding>,
     witnesses: usize,
-    seconds: f64,
     error: Option<String>,
 }
 
@@ -209,10 +214,14 @@ impl Slot {
     fn build(set: &CompiledRuleSet, name: String, text: String, prefilter: bool) -> Slot {
         let t0 = Instant::now();
         let surviving = if prefilter {
+            let _span = cocci_trace::span(cocci_trace::Phase::Prefilter);
             set.surviving_rules(&text)
         } else {
             (0..set.len()).collect()
         };
+        if prefilter && surviving.is_empty() {
+            cocci_trace::count(cocci_trace::Counter::FilesPruned, 1);
+        }
         let n = surviving.len();
         Slot {
             ctx: Mutex::new(FileContext::new(name.clone(), text.as_str())),
@@ -239,7 +248,7 @@ impl Slot {
         let mut error: Option<String> = None;
         for r in results {
             let r = r.expect("every unit processed");
-            seconds += r.seconds;
+            seconds += r.outcome.seconds;
             witnesses += r.witnesses;
             suppressed += r.outcome.suppressed;
             findings.extend(r.findings);
@@ -294,6 +303,7 @@ fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
             } else {
                 ctx.suppressions().filter(findings)
             };
+            cocci_trace::count(cocci_trace::Counter::Suppressions, suppressed as u64);
             let status = if output.is_some() {
                 FileStatus::Changed
             } else if matches > 0 {
@@ -308,13 +318,15 @@ fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
                     matches,
                     findings: findings.len(),
                     suppressed,
+                    seconds: t0.elapsed().as_secs_f64(),
                 },
                 findings,
                 witnesses: patcher.last_stats.witnesses,
-                seconds: t0.elapsed().as_secs_f64(),
                 error: None,
             }
         }
+        // Failed attempts keep their elapsed time too: a timed-out or
+        // crashing rule is exactly what slow-file accounting must see.
         Err(e) => UnitResult {
             outcome: RuleOutcome {
                 id: rule.meta.id.clone(),
@@ -326,10 +338,10 @@ fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
                 matches: 0,
                 findings: 0,
                 suppressed: 0,
+                seconds: t0.elapsed().as_secs_f64(),
             },
             findings: Vec::new(),
             witnesses: 0,
-            seconds: t0.elapsed().as_secs_f64(),
             error: Some(e.message),
         },
     }
@@ -435,7 +447,8 @@ pub fn scan_corpus(
     std::thread::scope(|scope| {
         for w in 0..threads {
             let (queue, out, exec) = (&queue, &out, &exec);
-            scope.spawn(move || {
+            let spawn = std::thread::Builder::new().name(format!("worker-{w}"));
+            let handle = spawn.spawn_scoped(scope, move || {
                 while let Some(u) = queue.pop(w) {
                     let rule = &set.rules[u.slot.surviving[u.k]];
                     let result = run_unit(rule, &u.slot, exec);
@@ -445,10 +458,12 @@ pub fn scan_corpus(
                     }
                 }
             });
+            handle.expect("spawn scan worker");
         }
 
         let mut emit = |done: Vec<ScanDone>| {
             for d in done {
+                let _report_span = cocci_trace::span(cocci_trace::Phase::Report);
                 match d {
                     ScanDone::Ran(slot) => {
                         let outcome = slot.assemble(set);
@@ -460,7 +475,10 @@ pub fn scan_corpus(
             }
         };
         loop {
-            let batch = source.next_batch(&opts.batch);
+            let batch = {
+                let _walk_span = cocci_trace::span(cocci_trace::Phase::Walk);
+                source.next_batch(&opts.batch)
+            };
             for (name, msg) in source.take_errors() {
                 let seq = out.reserve(1);
                 out.set(
@@ -531,6 +549,11 @@ pub fn scan_corpus(
         queue.close();
         emit(out.drain_all());
     });
+    // Workers joined — the trace snapshot now holds every span of this
+    // run, and the queue's counters describe its scheduling.
+    let metrics = cocci_trace::is_enabled().then(|| {
+        crate::report::RunMetrics::from_trace(&cocci_trace::collect(), Some(&queue.stats()))
+    });
     Ok(ApplyReport {
         patch: String::new(),
         patch_hash: set.hash,
@@ -538,6 +561,7 @@ pub fn scan_corpus(
         prefilter: !opts.no_prefilter,
         resumed,
         total_seconds: t0.elapsed().as_secs_f64(),
+        metrics,
         files,
     })
 }
@@ -743,6 +767,39 @@ mod tests {
             .rules
             .iter()
             .all(|r| r.status == FileStatus::Timeout));
+        // Quarantined attempts still record their elapsed time, so slow
+        // files are visible to `--stats` whatever their status.
+        assert!(
+            outcomes[0].rules.iter().all(|r| r.seconds > 0.0),
+            "{:?}",
+            outcomes[0].rules
+        );
+        assert!(outcomes[0].seconds > 0.0);
+    }
+
+    #[test]
+    fn error_outcomes_record_seconds() {
+        let set = set3();
+        let files = vec![(
+            "bad.c".to_string(),
+            "alpha beta gamma void broken( {\n".to_string(),
+        )];
+        let outcomes = scan_batch(&set, &files, &ExecOptions::default());
+        assert_eq!(outcomes[0].status(), FileStatus::Error);
+        assert!(outcomes[0].rules.iter().all(|r| r.seconds > 0.0));
+        // And the per-rule seconds survive the report JSON round trip.
+        let report = ApplyReport {
+            patch: String::new(),
+            patch_hash: 0,
+            threads: 1,
+            prefilter: true,
+            resumed: 0,
+            total_seconds: 0.0,
+            metrics: None,
+            files: outcomes.iter().map(|o| o.to_report()).collect(),
+        };
+        let back = ApplyReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.files[0].rules, report.files[0].rules);
     }
 
     #[test]
@@ -909,6 +966,7 @@ mod tests {
             matches: 3,
             findings: 2,
             suppressed: 1,
+            seconds: 1.25e-3,
         };
         let v = json::parse(&r.to_json()).unwrap();
         assert_eq!(RuleOutcome::from_json(&v).unwrap(), r);
