@@ -154,8 +154,15 @@ cargo bench --bench scan_rules --locked
 test -s target/BENCH_scan_rules.json
 grep -q scan_per_rule_ratio target/BENCH_scan_rules.json
 grep -q sieve_survivors target/BENCH_scan_rules.json
+grep -q lint_seconds target/BENCH_scan_rules.json
+# Lint-at-load must be noise: statically analysing all 50 rules may cost
+# at most 1% of actually scanning the corpus with them.
+LINT_FRAC=$(grep -o '"group": "lint_overhead_frac", "id": "50_vs_scan", "value": [0-9.eE+-]*' target/BENCH_scan_rules.json | awk '{print $NF}')
+test -n "$LINT_FRAC"
+awk -v o="$LINT_FRAC" 'BEGIN { exit !(o + 0 < 0.01) }' \
+  || { echo "lint overhead ${LINT_FRAC} >= 1% budget"; exit 1; }
 trend_check scan_rules
-echo "ok: target/BENCH_scan_rules.json written (per-rule scaling + survivor metrics recorded)"
+echo "ok: target/BENCH_scan_rules.json written (per-rule scaling + survivor metrics + lint overhead ${LINT_FRAC} recorded)"
 
 echo "== scan-mode e2e (rule matrix: N-rule scan vs N single-rule runs) =="
 SCAN_ROOT="target/scan-e2e"
@@ -230,6 +237,23 @@ grep -q '^  phase parse: spans=[1-9]' "$TRACE_ROOT/stats.txt"
 grep -q '^  counter files_parsed: [1-9]' "$TRACE_ROOT/stats.txt"
 grep -q '^  pool: workers=' "$TRACE_ROOT/stats.txt"
 echo "ok: traced scan reconciles across trace/stats/report (trace at target/TRACE_scan.json)"
+
+echo "== rule lint (every CI rule set must be deny-clean) =="
+# The rule_matrix rules are property-tested lint-clean, so the merged
+# scan set must produce zero findings of any level; the trace rules add
+# the hand-written flow transform, which must at least be deny-clean
+# (exit 0 = no deny findings; exit 1 would mean a broken CI fixture).
+"$SPATCH" lint "$SCAN_ROOT/rules" > "$SCAN_ROOT/lint.txt" 2> /dev/null
+if [ -s "$SCAN_ROOT/lint.txt" ]; then
+  echo "rule_matrix rules are not lint-clean:"; cat "$SCAN_ROOT/lint.txt"; exit 1
+fi
+"$SPATCH" lint "$TRACE_ROOT/rules" > /dev/null
+# SARIF shape for the lint surface: rule metadata plus required keys.
+"$SPATCH" lint --format sarif "$TRACE_ROOT/rules" > target/LINT_rules.sarif
+for key in '"version": "2.1.0"' '"results"' '"rules"' '"defaultConfiguration"'; do
+  grep -qF "$key" target/LINT_rules.sarif || { echo "lint SARIF missing $key"; exit 1; }
+done
+echo "ok: CI rule sets lint deny-clean (SARIF at target/LINT_rules.sarif)"
 
 if [ -n "$TREND_FAILURES" ]; then
   echo "bench trend: wall-clock regressions in:$TREND_FAILURES (budget ${BENCH_TREND_MAX_PCT}%)"

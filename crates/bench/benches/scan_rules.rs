@@ -109,6 +109,17 @@ fn main() {
     ) {
         h.metric("scan_per_rule_ratio", "50_vs_1", fifty / one);
     }
+
+    // Lint-at-load overhead: statically analysing all 50 rules must be
+    // noise next to scanning the corpus with them (CI gates the
+    // fraction at < 1% of the 50-rule scan).
+    let set = build_set(&spec, 50);
+    let cfg = cocci_lint::LintConfig::default();
+    let lint_s = median_seconds(|| cocci_lint::lint_ruleset(&set, &cfg));
+    h.metric("lint_seconds", "50_rules", lint_s);
+    if let Some((_, fifty)) = wall.iter().find(|(n, _)| *n == 50) {
+        h.metric("lint_overhead_frac", "50_vs_scan", lint_s / fifty);
+    }
     h.metric("corpus", "files", inputs.len() as f64);
     h.finish().expect("write BENCH_scan_rules.json");
 }

@@ -47,6 +47,19 @@
 //! files. `--resume`, `-j`, `--ignore`, `--timeout-ms`,
 //! `--no-prefilter`, `--no-flow`, `--report`, and `--format` behave as
 //! in patch/report mode.
+//!
+//! **Lint mode** (`spatch lint <patch.cocci|rules-dir>`) statically
+//! analyses the *rules themselves* (`cocci-lint`): unused or unbindable
+//! metavariables, unsatisfiable `=~` constraints, bad `depends on`
+//! edges, dead disjunction branches, prefilter-invisible rules,
+//! unroutable quantified dots, duplicate rules. Diagnostics print as
+//! text/JSON/SARIF; per-class levels move with `--deny/--warn/--allow
+//! <ID>`. Exit 0 when clean (warnings allowed), 1 on deny-level
+//! findings, 2 when the rules cannot be loaded at all. Scan and apply
+//! run the same analysis at load time — warnings go to stderr and
+//! deny-level findings refuse the run before the corpus walk
+//! (`--no-lint` skips it); surviving diagnostics land in the JSON
+//! report's `lints` block.
 
 mod diff;
 mod telemetry;
@@ -54,7 +67,10 @@ mod telemetry;
 use cocci_core::corpus::{apply_to_corpus_resumed, CorpusOptions, WalkSource};
 use cocci_core::scan::scan_corpus;
 use cocci_core::{ApplyReport, CompiledRuleSet, SarifRule};
-use cocci_smpl::parse_semantic_patch;
+use cocci_lint::{
+    has_deny, lint_duplicates, lint_patch, lint_ruleset, Lint, LintConfig, LintLevel,
+};
+use cocci_smpl::{parse_semantic_patch, SemanticPatch};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -81,6 +97,12 @@ enum Format {
 struct Args {
     /// `spatch scan ...` — rule-collection scan mode.
     scan: bool,
+    /// `spatch lint ...` — rule static-analysis mode.
+    lint: bool,
+    /// Skip the load-time rule lint in scan/apply.
+    no_lint: bool,
+    /// `--deny/--warn/--allow <ID>` overrides, in flag order.
+    lint_overrides: Vec<(String, LintLevel)>,
     /// Scan mode's `--rules <dir>`.
     rules: Option<PathBuf>,
     sp_file: Option<PathBuf>,
@@ -111,13 +133,31 @@ fn usage() -> ! {
          [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>\n\
          \x20      spatch scan --rules <dir> [--format text|json|sarif] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
-         [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>"
+         [--no-lint] [--deny ID]... [--warn ID]... [--allow ID]... \
+         [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>\n\
+         \x20      spatch lint [--format text|json|sarif] [--deny ID]... [--warn ID]... \
+         [--allow ID]... [--quiet] <patch.cocci|rules-dir>"
     );
     std::process::exit(2);
 }
 
+/// Build the lint enforcement config from `--deny/--warn/--allow` flags.
+fn lint_config(args: &Args) -> Result<LintConfig, ExitCode> {
+    let mut cfg = LintConfig::default();
+    for (key, level) in &args.lint_overrides {
+        if let Err(e) = cfg.set(key, *level) {
+            eprintln!("spatch: {e}");
+            return Err(ExitCode::from(2));
+        }
+    }
+    Ok(cfg)
+}
+
 fn parse_args() -> Args {
     let mut scan = false;
+    let mut lint = false;
+    let mut no_lint = false;
+    let mut lint_overrides = Vec::new();
     let mut rules = None;
     let mut sp_file = None;
     let mut targets = Vec::new();
@@ -136,17 +176,34 @@ fn parse_args() -> Args {
     let mut trace_out = None;
     let mut stats = false;
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().map(String::as_str) == Some("scan") {
-        scan = true;
-        it.next();
+    match it.peek().map(String::as_str) {
+        Some("scan") => {
+            scan = true;
+            it.next();
+        }
+        Some("lint") => {
+            lint = true;
+            it.next();
+        }
+        _ => {}
     }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--rules" if scan => rules = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
-            "--sp-file" if !scan => {
+            "--sp-file" if !scan && !lint => {
                 sp_file = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
             }
-            "--mode" if !scan => {
+            "--deny" => {
+                lint_overrides.push((it.next().unwrap_or_else(|| usage()), LintLevel::Deny))
+            }
+            "--warn" => {
+                lint_overrides.push((it.next().unwrap_or_else(|| usage()), LintLevel::Warn))
+            }
+            "--allow" => {
+                lint_overrides.push((it.next().unwrap_or_else(|| usage()), LintLevel::Allow))
+            }
+            "--no-lint" if !lint => no_lint = true,
+            "--mode" if !scan && !lint => {
                 mode = Some(match it.next().as_deref() {
                     Some("patch") => Mode::Patch,
                     Some("report") => Mode::Report,
@@ -167,8 +224,10 @@ fn parse_args() -> Args {
                     }
                 })
             }
-            "--in-place" if !scan => in_place = true,
-            "-o" if !scan => output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--in-place" if !scan && !lint => in_place = true,
+            "-o" if !scan && !lint => {
+                output = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())))
+            }
             "-j" | "--jobs" => {
                 threads = it
                     .next()
@@ -203,6 +262,11 @@ fn parse_args() -> Args {
             eprintln!("spatch: scan mode requires --rules <dir>");
             usage();
         }
+    } else if lint {
+        if targets.len() != 1 {
+            eprintln!("spatch: lint mode takes exactly one patch file or rules directory");
+            usage();
+        }
     } else if sp_file.is_none() {
         usage();
     }
@@ -216,6 +280,9 @@ fn parse_args() -> Args {
     ignore.retain(|p| seen.insert(p.clone()));
     Args {
         scan,
+        lint,
+        no_lint,
+        lint_overrides,
         rules,
         sp_file,
         targets,
@@ -276,6 +343,147 @@ fn load_resume(
     Ok(r)
 }
 
+/// Print load-time lint diagnostics to stderr (deny lines always, warn
+/// lines unless `--quiet`) and return `true` when deny-level findings
+/// must refuse the run.
+fn report_load_lints(lints: &[Lint], quiet: bool) -> bool {
+    for l in lints {
+        if l.level == LintLevel::Deny || !quiet {
+            eprintln!("spatch: lint [{}]: {}", l.level, l.finding.text_line());
+        }
+    }
+    has_deny(lints)
+}
+
+/// `spatch lint <patch.cocci|rules-dir>`: static analysis of the rules
+/// themselves — nothing in the corpus is touched. Exit 0 clean, 1 on
+/// deny-level findings, 2 when the rules cannot be loaded.
+fn run_lint(args: &Args) -> ExitCode {
+    let target = &args.targets[0];
+    let cfg = match lint_config(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    // Gather `(source, rule id, text)` triples: one per `*.cocci` file
+    // for a directory (validating each metadata header exactly as scan's
+    // loader would), or the single file itself.
+    let mut rule_files: Vec<PathBuf> = Vec::new();
+    if target.is_dir() {
+        match std::fs::read_dir(target) {
+            Ok(rd) => {
+                for entry in rd.filter_map(|e| e.ok()) {
+                    let p = entry.path();
+                    if p.extension().is_some_and(|x| x == "cocci") {
+                        rule_files.push(p);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("spatch: cannot read {}: {e}", target.display());
+                return ExitCode::from(2);
+            }
+        }
+        rule_files.sort();
+        if rule_files.is_empty() {
+            eprintln!("spatch: {}: no .cocci rule files", target.display());
+            return ExitCode::from(2);
+        }
+    } else {
+        rule_files.push(target.clone());
+    }
+    let mut sources: Vec<(String, String, String)> = Vec::new();
+    for p in &rule_files {
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("spatch: cannot read {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        };
+        let stem = p
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("rule")
+            .to_string();
+        let meta = match cocci_core::parse_rule_metadata(&text, &stem) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("spatch: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        };
+        sources.push((p.display().to_string(), meta.id, text));
+    }
+    let mut patches: Vec<SemanticPatch> = Vec::new();
+    for (src, _, text) in &sources {
+        match parse_semantic_patch(text) {
+            Ok(p) => patches.push(p),
+            Err(e) => {
+                eprintln!("spatch: {src}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut lints: Vec<Lint> = Vec::new();
+    for ((src, _, text), patch) in sources.iter().zip(&patches) {
+        lints.extend(lint_patch(patch, src, Some(text), &cfg));
+    }
+    let entries: Vec<(&str, &str, &SemanticPatch)> = sources
+        .iter()
+        .zip(&patches)
+        .map(|((src, id, _), p)| (id.as_str(), src.as_str(), p))
+        .collect();
+    lints.extend(lint_duplicates(&entries, &cfg));
+
+    let denies = lints.iter().filter(|l| l.level == LintLevel::Deny).count();
+    let warns = lints.len() - denies;
+    match args.format.unwrap_or(Format::Text) {
+        Format::Text => {
+            for l in &lints {
+                println!("{}", l.finding.text_line());
+            }
+        }
+        Format::Json | Format::Sarif => {
+            // Reuse the apply-report shape: a lint run is a corpus run
+            // that never walked any files, carrying only the `lints`
+            // block — so downstream JSON/SARIF consumers need nothing
+            // new.
+            let report = ApplyReport {
+                patch: target.display().to_string(),
+                patch_hash: 0,
+                threads: 0,
+                prefilter: false,
+                resumed: 0,
+                total_seconds: 0.0,
+                metrics: None,
+                lints: lints.iter().map(|l| l.finding.clone()).collect(),
+                files: Vec::new(),
+            };
+            if args.format == Some(Format::Json) {
+                print!("{}", report.to_json());
+            } else {
+                print!(
+                    "{}",
+                    cocci_core::to_sarif_with(&report, &cocci_lint::sarif_rules(&cfg))
+                );
+            }
+        }
+    }
+    if !args.quiet {
+        eprintln!(
+            "spatch: lint: {} finding(s) ({denies} deny, {warns} warn) across {} rule file(s)",
+            lints.len(),
+            sources.len()
+        );
+    }
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `spatch scan --rules <dir>`: N rules, one parse per file.
 fn run_scan(args: &Args) -> ExitCode {
     let rules_dir = args.rules.as_ref().expect("validated in parse_args");
@@ -286,6 +494,24 @@ fn run_scan(args: &Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Lint the rules before touching the corpus: a rule that can never
+    // match (or never bind) should fail here, not hours into a walk.
+    let lints = if args.no_lint {
+        Vec::new()
+    } else {
+        let cfg = match lint_config(args) {
+            Ok(c) => c,
+            Err(code) => return code,
+        };
+        lint_ruleset(&set, &cfg)
+    };
+    if report_load_lints(&lints, args.quiet) {
+        eprintln!(
+            "spatch: {}: deny-level lint findings; fix the rules or pass --no-lint",
+            rules_dir.display()
+        );
+        return ExitCode::from(2);
+    }
     let previous = match &args.resume {
         Some(path) => match load_resume(path, set.hash, "rule set") {
             Ok(r) => Some(r),
@@ -337,6 +563,7 @@ fn run_scan(args: &Args) -> ExitCode {
         }
     };
     report.patch = rules_dir.display().to_string();
+    report.lints = lints.iter().map(|l| l.finding.clone()).collect();
     if let Some(path) = &args.trace_out {
         if let Err(e) = telemetry::write_trace(path) {
             eprintln!("spatch: cannot write trace {}: {e}", path.display());
@@ -439,6 +666,9 @@ fn main() -> ExitCode {
     if args.scan {
         return run_scan(&args);
     }
+    if args.lint {
+        return run_lint(&args);
+    }
     let sp_file = args.sp_file.as_ref().expect("validated in parse_args");
     let patch_text = match std::fs::read_to_string(sp_file) {
         Ok(t) => t,
@@ -455,6 +685,30 @@ fn main() -> ExitCode {
         }
     };
     let patch_hash = cocci_core::content_hash(&patch_text);
+
+    // Lint at load, before anything else runs: deny-level diagnostics
+    // mean every match would fail (or never happen) — refuse up front.
+    let lints = if args.no_lint {
+        Vec::new()
+    } else {
+        let cfg = match lint_config(&args) {
+            Ok(c) => c,
+            Err(code) => return code,
+        };
+        lint_patch(
+            &patch,
+            &sp_file.display().to_string(),
+            Some(&patch_text),
+            &cfg,
+        )
+    };
+    if report_load_lints(&lints, args.quiet) {
+        eprintln!(
+            "spatch: {}: deny-level lint findings; fix the patch or pass --no-lint",
+            sp_file.display()
+        );
+        return ExitCode::from(2);
+    }
 
     // Report mode: explicit `--mode report`, or auto-detected from a
     // transformation-free patch (pure-context bodies can only ever
@@ -599,6 +853,7 @@ fn main() -> ExitCode {
     };
     report.patch = sp_file.display().to_string();
     report.patch_hash = patch_hash;
+    report.lints = lints.iter().map(|l| l.finding.clone()).collect();
     if let Some(path) = &args.trace_out {
         if let Err(e) = telemetry::write_trace(path) {
             eprintln!("spatch: cannot write trace {}: {e}", path.display());

@@ -1551,3 +1551,269 @@ fn stats_count_totals_are_stable_across_thread_counts() {
     assert_eq!(run("2"), base, "-j 2 drifted");
     assert_eq!(run("4"), base, "-j 4 drifted");
 }
+
+// ---------------------------------------------------------------------------
+// `spatch lint` and the load-time rule lint in scan/apply.
+
+/// SPL03 deny: the `=~` regex requires a `-`, which no identifier has.
+/// Compiles fine, so `--no-lint` bypass runs still succeed (matching
+/// nothing).
+const UNSATISFIABLE_PATCH: &str = "@r@\nidentifier f =~ \"foo-bar\";\n@@\n- f();\n";
+
+/// SPL01 warn only: `dead` is declared and never referenced.
+const UNUSED_MV_PATCH: &str =
+    "@r@\nexpression e;\nidentifier dead;\n@@\n- old_api(e);\n+ new_api(e);\n";
+
+#[test]
+fn lint_clean_patch_exits_zero() {
+    let dir = tmpdir("lint-clean");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let out = spatch().arg("lint").arg(&patch).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("0 deny, 0 warn"), "{err}");
+}
+
+#[test]
+fn lint_deny_finding_exits_one() {
+    let dir = tmpdir("lint-deny");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, UNSATISFIABLE_PATCH).unwrap();
+    let out = spatch().arg("lint").arg(&patch).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // Grep-style text: `path:line:col: SPL03: message`.
+    assert!(stdout.contains("p.cocci:1:1: SPL03:"), "{stdout}");
+    assert!(stdout.contains("can never match"), "{stdout}");
+}
+
+#[test]
+fn lint_warnings_alone_exit_zero() {
+    let dir = tmpdir("lint-warn");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, UNUSED_MV_PATCH).unwrap();
+    let out = spatch().arg("lint").arg(&patch).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SPL01"), "{stdout}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("0 deny, 1 warn"));
+}
+
+#[test]
+fn lint_level_overrides_change_exit_codes() {
+    let dir = tmpdir("lint-levels");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, UNSATISFIABLE_PATCH).unwrap();
+    // --allow SPL03 drops the diagnostic entirely.
+    let out = spatch()
+        .args(["lint", "--allow", "SPL03"])
+        .arg(&patch)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "{out:?}");
+    // --warn SPL03 keeps it visible but passing.
+    let out = spatch()
+        .args(["lint", "--warn", "SPL03"])
+        .arg(&patch)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8(out.stdout).unwrap().contains("SPL03"));
+    // --deny on a warn-class lint fails the run.
+    let unused = dir.join("u.cocci");
+    fs::write(&unused, UNUSED_MV_PATCH).unwrap();
+    let out = spatch()
+        .args(["lint", "--deny", "unused-metavar"])
+        .arg(&unused)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // Unknown lint id is a usage error.
+    let out = spatch()
+        .args(["lint", "--deny", "SPL99"])
+        .arg(&unused)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown lint"));
+}
+
+#[test]
+fn lint_json_format_embeds_lints_block() {
+    let dir = tmpdir("lint-json");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, UNSATISFIABLE_PATCH).unwrap();
+    let out = spatch()
+        .args(["lint", "--format", "json", "--quiet"])
+        .arg(&patch)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"lints\": ["), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"SPL03\""), "{stdout}");
+    // A lint run never walks the corpus: no per-file entries.
+    assert!(stdout.contains("\"files\": ["), "{stdout}");
+    assert!(!stdout.contains("\"findings\""), "{stdout}");
+}
+
+#[test]
+fn lint_sarif_format_has_required_keys() {
+    let dir = tmpdir("lint-sarif");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, UNSATISFIABLE_PATCH).unwrap();
+    let out = spatch()
+        .args(["lint", "--format", "sarif", "--quiet"])
+        .arg(&patch)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"results\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\": \"SPL03\""), "{stdout}");
+    // The tool section lists the lint classes with their levels.
+    assert!(stdout.contains("\"id\": \"SPL03\""), "{stdout}");
+    assert!(stdout.contains("\"level\": \"error\""), "{stdout}");
+}
+
+#[test]
+fn lint_directory_flags_duplicate_rules() {
+    let dir = tmpdir("lint-dir");
+    let rules = dir.join("rules");
+    fs::create_dir_all(&rules).unwrap();
+    fs::write(rules.join("first.cocci"), RENAME_PATCH).unwrap();
+    // Same pattern, different indentation — still the same normalized rule.
+    fs::write(
+        rules.join("second.cocci"),
+        "@@\nexpression e;\n@@\n-   old_api(e);\n+   new_api(e);\n",
+    )
+    .unwrap();
+    let out = spatch().arg("lint").arg(&rules).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("SPL08"), "{stdout}");
+    assert!(stdout.contains("duplicates rule `first`"), "{stdout}");
+    // Promoted to deny, the duplicate fails the lint run.
+    let out = spatch()
+        .args(["lint", "--deny", "SPL08"])
+        .arg(&rules)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn lint_load_errors_exit_two() {
+    let dir = tmpdir("lint-load-err");
+    // Unparseable rule file.
+    let broken = dir.join("broken.cocci");
+    fs::write(&broken, "@@\nnot a decl\n").unwrap();
+    let out = spatch().arg("lint").arg(&broken).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Bad `spatch-severity:` header names the offending file.
+    let sev = dir.join("sev.cocci");
+    fs::write(
+        &sev,
+        "// spatch-severity: critical\n@@\nexpression e;\n@@\n- old_api(e);\n+ new_api(e);\n",
+    )
+    .unwrap();
+    let out = spatch().arg("lint").arg(&sev).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("sev.cocci"), "{err}");
+    assert!(err.contains("bad spatch-severity `critical`"), "{err}");
+}
+
+#[test]
+fn scan_refuses_deny_lints_before_walk_unless_no_lint() {
+    let dir = tmpdir("scan-lint-refuse");
+    let rules = dir.join("rules");
+    let corpus = dir.join("src");
+    fs::create_dir_all(&rules).unwrap();
+    fs::create_dir_all(&corpus).unwrap();
+    fs::write(rules.join("bad.cocci"), UNSATISFIABLE_PATCH).unwrap();
+    fs::write(corpus.join("a.c"), "void f(void) { g(); }\n").unwrap();
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("SPL03"), "{err}");
+    assert!(err.contains("--no-lint"), "{err}");
+
+    // The escape hatch: same rules, lint skipped, scan completes.
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("--no-lint")
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn apply_refuses_deny_lints_and_reports_warn_lints() {
+    let dir = tmpdir("apply-lint");
+    let bad = dir.join("bad.cocci");
+    let file = dir.join("t.c");
+    fs::write(&bad, UNSATISFIABLE_PATCH).unwrap();
+    fs::write(&file, "void f(void) { old_api(1); }\n").unwrap();
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&bad)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("SPL03"), "{err}");
+    assert!(err.contains("--no-lint"), "{err}");
+
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&bad)
+        .arg("--no-lint")
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Warn-level lints do not block the run and land in the JSON
+    // report's `lints` block.
+    let warn = dir.join("warn.cocci");
+    let report = dir.join("report.json");
+    fs::write(&warn, UNUSED_MV_PATCH).unwrap();
+    let out = spatch()
+        .args(["--sp-file"])
+        .arg(&warn)
+        .args(["--report"])
+        .arg(&report)
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8(out.stderr).unwrap().contains("SPL01"));
+    let json = fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"lints\": ["), "{json}");
+    assert!(json.contains("\"rule\": \"SPL01\""), "{json}");
+    // The rewrite itself still happened (diff on stdout).
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("new_api(1)"));
+}

@@ -206,6 +206,11 @@ impl CompiledPatch {
         let mut script_inherited_from = HashSet::new();
         let mut has_transform = false;
         let mut has_script = false;
+        // Metavariables each *named* earlier rule exports (declarations
+        // for transform rules, outputs for script rules) — script inputs
+        // referencing anything else would fail on every single file at
+        // run time; refuse once here instead.
+        let mut exported: HashMap<&str, HashSet<&str>> = HashMap::new();
         for rule in &patch.rules {
             let mut regexes = HashMap::new();
             let mut atoms = None;
@@ -267,12 +272,41 @@ impl CompiledPatch {
                             t.name.as_deref().unwrap_or("<anonymous>")
                         )));
                     }
+                    if let Some(name) = &t.name {
+                        exported
+                            .entry(name.as_str())
+                            .or_default()
+                            .extend(t.metavars.iter().map(|m| m.name.as_str()));
+                    }
                 }
                 Rule::Script(s) => {
                     has_script = true;
-                    for (_, from, _) in &s.inputs {
+                    let script_name = s.name.as_deref().unwrap_or("<anonymous>");
+                    for (local, from, var) in &s.inputs {
+                        match exported.get(from.as_str()) {
+                            None => {
+                                return Err(ApplyError::new(format!(
+                                    "script rule {script_name}: input `{local} << {from}.{var}` \
+                                     references unknown rule `{from}` (no earlier rule has that \
+                                     name)"
+                                )))
+                            }
+                            Some(vars) if !vars.contains(var.as_str()) => {
+                                return Err(ApplyError::new(format!(
+                                    "script rule {script_name}: input `{local} << {from}.{var}` \
+                                     references undeclared metavariable `{var}` of rule `{from}`"
+                                )))
+                            }
+                            Some(_) => {}
+                        }
                         inherited_from.insert(from.clone());
                         script_inherited_from.insert(from.clone());
+                    }
+                    if let Some(name) = &s.name {
+                        exported
+                            .entry(name.as_str())
+                            .or_default()
+                            .extend(s.outputs.iter().map(String::as_str));
                     }
                 }
                 _ => has_script = true,
@@ -429,6 +463,45 @@ mod tests {
                 .unwrap();
         let err = CompiledPatch::compile(&patch).unwrap_err();
         assert!(err.message.contains("regex"), "{err}");
+    }
+
+    #[test]
+    fn script_input_referencing_undeclared_metavar_refuses_at_compile() {
+        // Valid inheritance compiles: `r` declares `e`, the script pulls it.
+        let ok = parse_semantic_patch(
+            "@r@\nexpression e;\nposition p;\n@@\nalpha(e)@p;\n\n\
+             @script:python s@\nx << r.e;\n@@\nprint(x)\n",
+        )
+        .unwrap();
+        assert!(CompiledPatch::compile(&ok).is_ok());
+        // Undeclared metavariable: used to fail per file at run time.
+        let bad_var = parse_semantic_patch(
+            "@r@\nexpression e;\n@@\nalpha(e);\n\n\
+             @script:python s@\nx << r.missing;\n@@\nprint(x)\n",
+        )
+        .unwrap();
+        let err = CompiledPatch::compile(&bad_var).unwrap_err();
+        assert!(
+            err.message.contains("undeclared metavariable `missing`"),
+            "{err}"
+        );
+        assert!(err.message.contains("rule `r`"), "{err}");
+        // Unknown source rule (includes a later rule: rules run in order).
+        let bad_rule = parse_semantic_patch(
+            "@script:python s@\nx << r.e;\n@@\nprint(x)\n\n\
+             @r@\nexpression e;\n@@\nalpha(e);\n",
+        )
+        .unwrap();
+        let err = CompiledPatch::compile(&bad_rule).unwrap_err();
+        assert!(err.message.contains("unknown rule `r`"), "{err}");
+        // A script's declared *outputs* are inheritable by later scripts.
+        let chain = parse_semantic_patch(
+            "@r@\nexpression e;\n@@\nalpha(e);\n\n\
+             @script:python a@\nx << r.e;\nout;\n@@\nout = x\n\n\
+             @script:python b@\ny << a.out;\n@@\nprint(y)\n",
+        )
+        .unwrap();
+        assert!(CompiledPatch::compile(&chain).is_ok());
     }
 
     #[test]

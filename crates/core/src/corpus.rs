@@ -569,6 +569,7 @@ pub fn apply_to_corpus_resumed(
         resumed,
         total_seconds: t0.elapsed().as_secs_f64(),
         metrics,
+        lints: Vec::new(),
         files,
     })
 }

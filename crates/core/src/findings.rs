@@ -239,7 +239,13 @@ pub fn to_sarif(report: &ApplyReport) -> String {
 /// even for rules with zero findings this run). Finding rule ids
 /// without a descriptor still get a generated entry at `note`.
 pub fn to_sarif_with(report: &ApplyReport, rules: &[SarifRule]) -> String {
-    let findings: Vec<&Finding> = report.files.iter().flat_map(|f| &f.findings).collect();
+    // Lint diagnostics ride along as ordinary results: their "rule" is
+    // the lint id and their location points into the rule source file.
+    let findings: Vec<&Finding> = report
+        .lints
+        .iter()
+        .chain(report.files.iter().flat_map(|f| &f.findings))
+        .collect();
     let mut rule_ids: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
     rule_ids.extend(rules.iter().map(|r| r.id.as_str()));
     rule_ids.sort_unstable();
@@ -363,6 +369,7 @@ mod tests {
             resumed: 0,
             total_seconds: 0.0,
             metrics: None,
+            lints: Vec::new(),
             files: vec![FileReport {
                 name: "src/a.c".into(),
                 status: FileStatus::Matched,
@@ -421,6 +428,7 @@ mod tests {
             resumed: 0,
             total_seconds: 0.0,
             metrics: None,
+            lints: Vec::new(),
             files: vec![FileReport {
                 name: "src/a.c".into(),
                 status: FileStatus::Matched,

@@ -65,6 +65,6 @@ pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
 pub use pool::{resolve_threads, PoolStats, ResultSlots, WorkQueue};
 pub use report::{content_hash, ApplyReport, FileReport, FileStatus, PoolMetrics, RunMetrics};
-pub use ruleset::{CompiledRuleSet, RuleMeta, ScanRule, Severity};
+pub use ruleset::{parse_rule_metadata, CompiledRuleSet, RuleMeta, ScanRule, Severity};
 pub use scan::{scan_batch, scan_corpus, RuleOutcome, ScanOutcome};
 pub use suppress::SuppressionIndex;

@@ -346,6 +346,11 @@ pub struct ApplyReport {
     /// Aggregated telemetry (phase totals, counters, pool health);
     /// present when the run was traced (`--stats` / `--trace-out`).
     pub metrics: Option<RunMetrics>,
+    /// Rule-lint diagnostics from the load-time static analysis
+    /// (`cocci-lint` via the CLI): each finding points into a *rule
+    /// source file*, with the lint id as its rule name. Empty when
+    /// linting was clean, skipped (`--no-lint`), or predates this field.
+    pub lints: Vec<Finding>,
     /// Per-file entries, in processing order.
     pub files: Vec<FileReport>,
 }
@@ -399,6 +404,16 @@ impl ApplyReport {
         out.push('}');
         if let Some(m) = &self.metrics {
             let _ = write!(out, ",\n  \"metrics\": {}", m.to_json());
+        }
+        if !self.lints.is_empty() {
+            out.push_str(",\n  \"lints\": [");
+            for (i, l) in self.lints.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&finding_to_json(l));
+            }
+            out.push(']');
         }
         out.push_str(",\n  \"files\": [");
         for (i, f) in self.files.iter().enumerate() {
@@ -486,6 +501,12 @@ impl ApplyReport {
             Some(mv) => Some(RunMetrics::from_json(mv)?),
             None => None,
         };
+        let mut lints = Vec::new();
+        if let Some(arr) = obj.get("lints").and_then(json::Value::as_array) {
+            for lv in arr {
+                lints.push(finding_from_json(lv)?);
+            }
+        }
         let mut files = Vec::new();
         for fv in obj
             .get("files")
@@ -566,6 +587,7 @@ impl ApplyReport {
             resumed,
             total_seconds,
             metrics,
+            lints,
             files,
         })
     }
@@ -849,6 +871,16 @@ mod tests {
                     queue_depth_max: 12,
                 }),
             }),
+            lints: vec![Finding {
+                path: "rules/old.cocci".into(),
+                line: 1,
+                col: 1,
+                end_line: 1,
+                end_col: 1,
+                rule: "SPL01".into(),
+                message: "rule r: metavariable `x` is declared but never used".into(),
+                bindings: Vec::new(),
+            }],
             files: vec![
                 FileReport {
                     name: "a/b.c".into(),
@@ -968,6 +1000,13 @@ mod tests {
         assert_eq!(back.files[2].status, FileStatus::Timeout);
         // The metrics block survives exactly.
         assert_eq!(back.metrics, r.metrics);
+        // Lint findings survive exactly; reports without the block
+        // (older runs, clean lints) parse to an empty list.
+        assert_eq!(back.lints, r.lints);
+        let mut clean = sample();
+        clean.lints = Vec::new();
+        let back = ApplyReport::from_json(&clean.to_json()).unwrap();
+        assert!(back.lints.is_empty());
     }
 
     #[test]

@@ -141,7 +141,8 @@ impl CompiledRuleSet {
     ) -> Result<CompiledRuleSet, ApplyError> {
         let mut rules = Vec::with_capacity(sources.len());
         for (source, default_id, text) in sources {
-            let mut meta = parse_metadata(text, default_id);
+            let mut meta = parse_rule_metadata(text, default_id)
+                .map_err(|e| ApplyError::new(format!("{source}: {e}")))?;
             meta.source = source.clone();
             let patch = cocci_smpl::parse_semantic_patch(text)
                 .map_err(|e| ApplyError::new(format!("{source}: {e}")))?;
@@ -209,8 +210,11 @@ impl CompiledRuleSet {
 }
 
 /// Parse `// spatch-*:` headers from the leading comment lines of a rule
-/// file. Stops at the first non-comment, non-blank line.
-fn parse_metadata(text: &str, default_id: &str) -> RuleMeta {
+/// file. Stops at the first non-comment, non-blank line. A
+/// `spatch-severity:` value outside the accepted spellings is an error:
+/// silently defaulting would demote a rule the author meant to be an
+/// `error` down to `note` without anyone noticing.
+pub fn parse_rule_metadata(text: &str, default_id: &str) -> Result<RuleMeta, String> {
     let mut meta = RuleMeta {
         id: default_id.to_string(),
         severity: Severity::default(),
@@ -232,8 +236,14 @@ fn parse_metadata(text: &str, default_id: &str) -> RuleMeta {
                 meta.id = v.to_string();
             }
         } else if let Some(v) = comment.strip_prefix("spatch-severity:") {
-            if let Some(s) = Severity::parse(v.trim()) {
-                meta.severity = s;
+            let v = v.trim();
+            match Severity::parse(v) {
+                Some(s) => meta.severity = s,
+                None => {
+                    return Err(format!(
+                        "bad spatch-severity `{v}` (expected error|warning|note|info)"
+                    ))
+                }
             }
         } else if let Some(v) = comment.strip_prefix("spatch-message:") {
             let v = v.trim();
@@ -242,7 +252,7 @@ fn parse_metadata(text: &str, default_id: &str) -> RuleMeta {
             }
         }
     }
-    meta
+    Ok(meta)
 }
 
 #[cfg(test)]
@@ -336,6 +346,30 @@ mod tests {
         )])
         .unwrap_err();
         assert!(err.message.contains("broken.cocci"), "{err}");
+    }
+
+    #[test]
+    fn bad_severity_is_a_load_error_naming_the_file() {
+        // Silently defaulting would demote an intended `error` rule.
+        let text = "// spatch-severity: critical\n@@\nexpression e;\n@@\nalpha(e);\n";
+        let err = CompiledRuleSet::from_sources(&[("sev.cocci".into(), "sev".into(), text.into())])
+            .unwrap_err();
+        assert!(err.message.contains("sev.cocci"), "{err}");
+        assert!(
+            err.message.contains("bad spatch-severity `critical`"),
+            "{err}"
+        );
+        // All accepted spellings still parse.
+        for (v, want) in [
+            ("error", Severity::Error),
+            ("warning", Severity::Warning),
+            ("note", Severity::Note),
+            ("info", Severity::Note),
+        ] {
+            let text = format!("// spatch-severity: {v}\n@@\nexpression e;\n@@\nalpha(e);\n");
+            let meta = parse_rule_metadata(&text, "x").unwrap();
+            assert_eq!(meta.severity, want, "{v}");
+        }
     }
 
     #[test]

@@ -562,6 +562,7 @@ pub fn scan_corpus(
         resumed,
         total_seconds: t0.elapsed().as_secs_f64(),
         metrics,
+        lints: Vec::new(),
         files,
     })
 }
@@ -796,6 +797,7 @@ mod tests {
             resumed: 0,
             total_seconds: 0.0,
             metrics: None,
+            lints: Vec::new(),
             files: outcomes.iter().map(|o| o.to_report()).collect(),
         };
         let back = ApplyReport::from_json(&report.to_json()).unwrap();

@@ -101,6 +101,23 @@ impl Regex {
             .map(|(s, e)| s == 0 && e == text.len())
             .unwrap_or(false)
     }
+
+    /// Can the pattern match *some* string built only from bytes
+    /// satisfying `allowed`? Computed by NFA reachability with anchors
+    /// treated as passable, so `false` is definitive ("no string over
+    /// this alphabet matches") while `true` may over-approximate —
+    /// exactly the direction an emptiness lint needs to stay sound.
+    pub fn matchable_over(&self, allowed: impl Fn(u8) -> bool) -> bool {
+        self.prog.reachable_match(&allowed)
+    }
+
+    /// Can the pattern match anywhere in *some* C identifier? Identifiers
+    /// draw on `[A-Za-z0-9_]` only, so an `=~` constraint failing this
+    /// check can never accept any bound identifier — the rule it guards
+    /// is unsatisfiable.
+    pub fn can_match_identifier(&self) -> bool {
+        self.matchable_over(|b| b.is_ascii_alphanumeric() || b == b'_')
+    }
 }
 
 /// Append the pending literal run to `out` (if non-empty and valid UTF-8).
@@ -317,6 +334,25 @@ mod tests {
         }
         // One-byte classes count as literals.
         assert_eq!(re("a[x]b").required_literals(), ["axb"]);
+    }
+
+    #[test]
+    fn identifier_matchability() {
+        // Satisfiable over [A-Za-z0-9_]: plain words, classes, digits.
+        for p in ["kernel", "^[0-9]+$", "\\w+", "a.c", "x|y-z", "foo_[0-9]"] {
+            assert!(re(p).can_match_identifier(), "{p}");
+        }
+        // Definitely unsatisfiable: every accepting path needs a byte
+        // outside the identifier alphabet.
+        for p in ["foo-bar", "[^a-zA-Z0-9_]", "a\\.b", "\\s", "a б"] {
+            assert!(!re(p).can_match_identifier(), "{p}");
+        }
+        // Anchors are passable (sound under-approximation of emptiness):
+        // `^foo$` stays "satisfiable".
+        assert!(re("^foo$").can_match_identifier());
+        // General alphabets work too.
+        assert!(re("[0-9]+").matchable_over(|b| b.is_ascii_digit()));
+        assert!(!re("[a-z]").matchable_over(|b| b.is_ascii_digit()));
     }
 
     #[test]

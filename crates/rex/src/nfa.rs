@@ -102,6 +102,55 @@ impl Program {
         best
     }
 
+    /// Can the program accept *some* string drawn solely from the bytes
+    /// satisfying `allowed`? Plain graph reachability from pc 0 to
+    /// `Match`: consuming instructions are traversable when at least one
+    /// allowed byte satisfies them, epsilon instructions always are, and
+    /// anchors are treated as passable (a sound over-approximation of
+    /// satisfiability — `false` therefore means *definitely* no match
+    /// over this alphabet, which is what emptiness lints need).
+    pub(crate) fn reachable_match(&self, allowed: &dyn Fn(u8) -> bool) -> bool {
+        let allowed_bytes: Vec<u8> = (0..=255u8).filter(|&b| allowed(b)).collect();
+        let mut seen = vec![false; self.insts.len()];
+        let mut stack = vec![0usize];
+        while let Some(pc) = stack.pop() {
+            if seen[pc] {
+                continue;
+            }
+            seen[pc] = true;
+            match &self.insts[pc] {
+                Inst::Match => return true,
+                Inst::Jmp(t) => stack.push(*t),
+                Inst::Split(a, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                // Zero-width: anchors consume nothing and are assumed
+                // satisfiable at whatever position the walk reaches.
+                Inst::AssertStart | Inst::AssertEnd => stack.push(pc + 1),
+                Inst::Byte(c) => {
+                    if allowed(*c) {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::Any => {
+                    if allowed_bytes.iter().any(|&b| b != b'\n') {
+                        stack.push(pc + 1);
+                    }
+                }
+                Inst::Class { items, negated } => {
+                    if allowed_bytes
+                        .iter()
+                        .any(|&b| items.iter().any(|i| i.matches(b)) != *negated)
+                    {
+                        stack.push(pc + 1);
+                    }
+                }
+            }
+        }
+        false
+    }
+
     /// Follow epsilon transitions from `pc`, recording match states.
     fn add_thread(
         &self,

@@ -1,0 +1,79 @@
+//! Property tests for `cocci-lint`, driven by the in-house harness:
+//!
+//! * every rule the rule-matrix workload generates is lint-clean — the
+//!   corpus generators must never produce rules the engine itself would
+//!   warn about (they feed benchmarks and CI e2e runs);
+//! * lint class SPL07 (unroutable quantified dots) fires **exactly**
+//!   when `CompiledPatch::compile` refuses the patch with its
+//!   "CFG-routable" error — the lint is a faithful predictor of the
+//!   load-time refusal, never stricter and never laxer.
+
+use cocci_core::CompiledPatch;
+use cocci_lint::{lint_patch, LintConfig};
+use cocci_smpl::parse_semantic_patch;
+use cocci_tests::{pick, Runner};
+use cocci_workloads::rule_matrix::{rule_matrix_rules, RuleMatrixSpec};
+
+#[test]
+fn rule_matrix_rules_are_lint_clean() {
+    Runner::new("rule_matrix_rules_are_lint_clean")
+        .cases(64)
+        .run(|rng| {
+            let spec = RuleMatrixSpec {
+                rules: rng.gen_range(1..30),
+                files: 1,
+                functions_per_file: 1,
+                overlap: rng.gen_range(1..5),
+                seed: rng.next_u64(),
+            };
+            let cfg = LintConfig::default();
+            for rule in rule_matrix_rules(&spec) {
+                let patch = parse_semantic_patch(&rule.text)
+                    .unwrap_or_else(|e| panic!("{}: {e}", rule.name));
+                let lints = lint_patch(&patch, &rule.name, Some(&rule.text), &cfg);
+                assert!(lints.is_empty(), "{}: {lints:?}", rule.name);
+            }
+        });
+}
+
+#[test]
+fn spl07_exactly_predicts_compile_refusal() {
+    Runner::new("spl07_exactly_predicts_compile_refusal")
+        .cases(256)
+        .run(|rng| {
+            let quant = pick(rng, &["", " when exists", " when strict"]);
+            // Pattern shapes around one dots line: routable (simple
+            // statement anchors at the top level), and three shapes the
+            // CFG lowering rejects — dots nested in a sub-block, a
+            // missing second anchor, and a compound-statement anchor.
+            let body = match rng.gen_range(0..4) {
+                0 => format!("probe_begin(e);\n...{quant}\nprobe_end(e);\n"),
+                1 => format!("probe_begin(e);\n{{\n...{quant}\n}}\n"),
+                2 => format!("...{quant}\nprobe_end(e);\n"),
+                _ => format!("if (e) {{ probe_begin(e); }}\n...{quant}\nprobe_end(e);\n"),
+            };
+            let src = format!("@@\nexpression e;\n@@\n{body}");
+            let patch = parse_semantic_patch(&src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+
+            let lints = lint_patch(&patch, "prop.cocci", Some(&src), &LintConfig::default());
+            let predicted_refusal = lints.iter().any(|l| l.id == "SPL07");
+
+            match CompiledPatch::compile(&patch) {
+                Ok(_) => assert!(
+                    !predicted_refusal,
+                    "SPL07 fired but the patch compiles: {src:?}"
+                ),
+                Err(e) => {
+                    let msg = e.to_string();
+                    assert!(
+                        msg.contains("CFG-routable"),
+                        "unexpected compile error for {src:?}: {msg}"
+                    );
+                    assert!(
+                        predicted_refusal,
+                        "compile refused ({msg}) but SPL07 did not fire: {src:?}"
+                    );
+                }
+            }
+        });
+}
