@@ -113,10 +113,17 @@ OVERHEAD=$(grep -o '"id": "trace_overhead_frac", "value": [0-9.eE+-]*' target/BE
 test -n "$OVERHEAD"
 awk -v o="$OVERHEAD" 'BEGIN { exit !(o + 0 < 0.02) }' \
   || { echo "tracing overhead ${OVERHEAD} >= 2% budget"; exit 1; }
+# Explain's always-on half must be even cheaper: with --explain off,
+# record_attempt is one relaxed load per (file x rule) attempt, and the
+# projected cost over a corpus run may be at most 1% of its wall clock.
+EXPLAIN_FRAC=$(grep -o '"id": "explain_overhead_frac", "value": [0-9.eE+-]*' target/BENCH_scaling.json | awk '{print $NF}')
+test -n "$EXPLAIN_FRAC"
+awk -v o="$EXPLAIN_FRAC" 'BEGIN { exit !(o + 0 < 0.01) }' \
+  || { echo "explain overhead ${EXPLAIN_FRAC} >= 1% budget"; exit 1; }
 # trend_check also gates the parallel-scaling ratio: bench_trend fails
 # when speedup_max keeps less than 70% of the previous run's ratio.
 trend_check scaling
-echo "ok: target/BENCH_scaling.json written (speedups + alloc/file + pool counters + trace overhead ${OVERHEAD} recorded)"
+echo "ok: target/BENCH_scaling.json written (speedups + alloc/file + pool counters + trace overhead ${OVERHEAD} + explain overhead ${EXPLAIN_FRAC} recorded)"
 
 echo "== report-mode e2e (findings over a generated corpus; format agreement + SARIF shape) =="
 RPT_ROOT="target/report-e2e"
@@ -237,6 +244,28 @@ grep -q '^  phase parse: spans=[1-9]' "$TRACE_ROOT/stats.txt"
 grep -q '^  counter files_parsed: [1-9]' "$TRACE_ROOT/stats.txt"
 grep -q '^  pool: workers=' "$TRACE_ROOT/stats.txt"
 echo "ok: traced scan reconciles across trace/stats/report (trace at target/TRACE_scan.json)"
+
+echo "== explain e2e (kill-stage funnel reconciles exactly with the report) =="
+EXPLAIN_ROOT="target/explain-e2e"
+rm -rf "$EXPLAIN_ROOT"
+mkdir -p "$EXPLAIN_ROOT"
+# The rule-matrix scan again, now with --explain: every attempt is
+# traced into the report's explain block and the funnel counters.
+"$SPATCH" scan --rules "$SCAN_ROOT/rules" --explain --stats \
+  --report target/EXPLAIN_scan.json --quiet "$SCAN_ROOT/corpus" \
+  > /dev/null 2> "$EXPLAIN_ROOT/stats.txt"
+test -s target/EXPLAIN_scan.json
+grep -q '"explain"' target/EXPLAIN_scan.json
+grep -q '"kill_stage"' target/EXPLAIN_scan.json
+# Funnel counters vs the explain block vs per-outcome kill stages: the
+# validator demands exact agreement (same record point per attempt).
+cargo run --release -q -p cocci-examples --example explain_check --locked -- \
+  target/EXPLAIN_scan.json
+# The --stats table renders the same counters as a funnel.
+grep -q '^  funnel:' "$EXPLAIN_ROOT/stats.txt"
+grep -q '^    attempts: [1-9]' "$EXPLAIN_ROOT/stats.txt"
+grep -q '^    completed: [0-9]' "$EXPLAIN_ROOT/stats.txt"
+echo "ok: explain funnel reconciles exactly (report at target/EXPLAIN_scan.json)"
 
 echo "== rule lint (every CI rule set must be deny-clean) =="
 # The rule_matrix rules are property-tested lint-clean, so the merged

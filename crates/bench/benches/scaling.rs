@@ -204,6 +204,10 @@ fn telemetry_probe(h: &mut Harness) {
     );
     h.metric("pool", "queue_depth_max", pool.queue_depth_max as f64);
 
+    // Attempts one corpus run makes — the explain engine's probe-site
+    // count, harvested from the same clean-counter traced run.
+    let attempts_per_run = cocci_trace::counter_value(cocci_trace::Counter::Attempts) as f64;
+
     // Disabled probe unit cost: black_box keeps the guard construction
     // and drop (both one relaxed load) from being hoisted or elided.
     const PROBE_ITERS: u64 = 1_000_000;
@@ -212,6 +216,22 @@ fn telemetry_probe(h: &mut Harness) {
         let _g = std::hint::black_box(cocci_trace::span(cocci_trace::Phase::TreeMatch));
     }
     let probe_ns = t0.elapsed().as_nanos() as f64 / PROBE_ITERS as f64;
+
+    // Explain's always-on half, disabled: record_attempt bails on one
+    // relaxed load per (file × rule) attempt. Same construction as
+    // trace_overhead_frac — measured disabled unit cost × attempt
+    // sites per corpus run (doubled for slack), over the untraced wall
+    // clock. ci.sh gates this under 1%.
+    let t0 = std::time::Instant::now();
+    for _ in 0..PROBE_ITERS {
+        cocci_core::explain::record_attempt(
+            std::hint::black_box(cocci_core::explain::KillStage::Completed),
+            std::hint::black_box("bench.c"),
+            "bench-rule",
+            None,
+        );
+    }
+    let attempt_ns = t0.elapsed().as_nanos() as f64 / PROBE_ITERS as f64;
 
     let off = h.min_s("scaling_trace", "off").expect("off record");
     let on = h.min_s("scaling_trace", "on").expect("on record");
@@ -225,6 +245,12 @@ fn telemetry_probe(h: &mut Harness) {
         "scaling_trace",
         "trace_overhead_frac",
         (probe_ns * 1e-9 * probes_per_run) / off,
+    );
+    h.metric("scaling_trace", "explain_probe_ns", attempt_ns);
+    h.metric(
+        "scaling_trace",
+        "explain_overhead_frac",
+        (attempt_ns * 1e-9 * attempts_per_run * 2.0) / off,
     );
 }
 

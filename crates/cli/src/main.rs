@@ -26,8 +26,14 @@
 //!   --no-flow           tree-sequence dots instead of CFG path matching
 //!   --trace-out <FILE>  write a Chrome trace-event JSON profile of the
 //!                       run (open in Perfetto / about:tracing)
-//!   --stats             print per-phase/per-rule aggregates, slowest
-//!                       files, and pool utilization to stderr
+//!   --stats             print per-phase/per-rule aggregates, the match
+//!                       funnel, slowest files, and pool utilization to
+//!                       stderr
+//!   --explain[=GLOB[:RULE]]
+//!                       trace per-attempt kill stages: annotate per-file
+//!                       output and embed an `explain` block in the JSON
+//!                       report, optionally filtered by file glob and
+//!                       rule id
 //!   --quiet             suppress per-file match reports
 //! ```
 //!
@@ -66,13 +72,14 @@ mod telemetry;
 
 use cocci_core::corpus::{apply_to_corpus_resumed, CorpusOptions, WalkSource};
 use cocci_core::scan::scan_corpus;
-use cocci_core::{ApplyReport, CompiledRuleSet, SarifRule};
+use cocci_core::{ApplyReport, CompiledRuleSet, ExplainConfig, RunMetrics, SarifRule};
 use cocci_lint::{
     has_deny, lint_duplicates, lint_patch, lint_ruleset, Lint, LintConfig, LintLevel,
 };
 use cocci_smpl::{parse_semantic_patch, SemanticPatch};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Run mode: rewrite matches or report them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +130,9 @@ struct Args {
     trace_out: Option<PathBuf>,
     /// Print the aggregate stats table (enables tracing).
     stats: bool,
+    /// `--explain[=FILE_GLOB[:RULE_ID]]`: trace per-attempt kill stages
+    /// (empty string = every attempt). Enables tracing.
+    explain: Option<String>,
 }
 
 fn usage() -> ! {
@@ -130,13 +140,13 @@ fn usage() -> ! {
         "usage: spatch --sp-file <patch.cocci> [--mode patch|report] [--format text|json|sarif] \
          [--in-place] [-o FILE] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
-         [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>\n\
+         [--trace-out FILE] [--stats] [--explain[=GLOB[:RULE]]] [--quiet] <files-or-dirs...>\n\
          \x20      spatch scan --rules <dir> [--format text|json|sarif] [-j N] [--report FILE] \
          [--resume FILE] [--timeout-ms N] [--ignore PAT]... [--no-prefilter] [--no-flow] \
          [--no-lint] [--deny ID]... [--warn ID]... [--allow ID]... \
-         [--trace-out FILE] [--stats] [--quiet] <files-or-dirs...>\n\
+         [--trace-out FILE] [--stats] [--explain[=GLOB[:RULE]]] [--quiet] <files-or-dirs...>\n\
          \x20      spatch lint [--format text|json|sarif] [--deny ID]... [--warn ID]... \
-         [--allow ID]... [--quiet] <patch.cocci|rules-dir>"
+         [--allow ID]... [--stats] [--quiet] <patch.cocci|rules-dir>"
     );
     std::process::exit(2);
 }
@@ -175,6 +185,7 @@ fn parse_args() -> Args {
     let mut format = None;
     let mut trace_out = None;
     let mut stats = false;
+    let mut explain = None;
     let mut it = std::env::args().skip(1).peekable();
     match it.peek().map(String::as_str) {
         Some("scan") => {
@@ -248,6 +259,10 @@ fn parse_args() -> Args {
             "--no-flow" => no_flow = true,
             "--trace-out" => trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--stats" => stats = true,
+            "--explain" if !lint => explain = Some(String::new()),
+            other if other.starts_with("--explain=") && !lint => {
+                explain = Some(other["--explain=".len()..].to_string())
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
@@ -300,6 +315,7 @@ fn parse_args() -> Args {
         format,
         trace_out,
         stats,
+        explain,
     }
 }
 
@@ -343,6 +359,15 @@ fn load_resume(
     Ok(r)
 }
 
+/// The `--explain` annotation body for one attempt: `rule [stage]`
+/// plus the detail when one was traced.
+fn attempt_line(a: &cocci_core::explain::RuleAttempt) -> String {
+    match &a.detail {
+        Some(d) => format!("{} [{}] {d}", a.rule, a.stage),
+        None => format!("{} [{}]", a.rule, a.stage),
+    }
+}
+
 /// Print load-time lint diagnostics to stderr (deny lines always, warn
 /// lines unless `--quiet`) and return `true` when deny-level findings
 /// must refuse the run.
@@ -359,6 +384,7 @@ fn report_load_lints(lints: &[Lint], quiet: bool) -> bool {
 /// themselves — nothing in the corpus is touched. Exit 0 clean, 1 on
 /// deny-level findings, 2 when the rules cannot be loaded.
 fn run_lint(args: &Args) -> ExitCode {
+    let t0 = std::time::Instant::now();
     let target = &args.targets[0];
     let cfg = match lint_config(args) {
         Ok(c) => c,
@@ -438,6 +464,23 @@ fn run_lint(args: &Args) -> ExitCode {
 
     let denies = lints.iter().filter(|l| l.level == LintLevel::Deny).count();
     let warns = lints.len() - denies;
+    // The lint metrics block: per-class finding counts plus how long
+    // the whole analysis took — CI's `lint_overhead_frac` gate reads
+    // the wall-clock from here instead of timing the process.
+    let total_seconds = t0.elapsed().as_secs_f64();
+    let mut metrics = RunMetrics::default();
+    metrics
+        .counters
+        .insert("lint_rule_files".to_string(), sources.len() as u64);
+    metrics
+        .counters
+        .insert("lint_findings".to_string(), lints.len() as u64);
+    for l in &lints {
+        *metrics
+            .counters
+            .entry(format!("lint_{}", l.finding.rule))
+            .or_insert(0) += 1;
+    }
     match args.format.unwrap_or(Format::Text) {
         Format::Text => {
             for l in &lints {
@@ -447,17 +490,18 @@ fn run_lint(args: &Args) -> ExitCode {
         Format::Json | Format::Sarif => {
             // Reuse the apply-report shape: a lint run is a corpus run
             // that never walked any files, carrying only the `lints`
-            // block — so downstream JSON/SARIF consumers need nothing
-            // new.
+            // block (and its metrics) — so downstream JSON/SARIF
+            // consumers need nothing new.
             let report = ApplyReport {
                 patch: target.display().to_string(),
                 patch_hash: 0,
                 threads: 0,
                 prefilter: false,
                 resumed: 0,
-                total_seconds: 0.0,
-                metrics: None,
+                total_seconds,
+                metrics: Some(metrics.clone()),
                 lints: lints.iter().map(|l| l.finding.clone()).collect(),
+                explain: None,
                 files: Vec::new(),
             };
             if args.format == Some(Format::Json) {
@@ -469,6 +513,13 @@ fn run_lint(args: &Args) -> ExitCode {
                 );
             }
         }
+    }
+    if args.stats {
+        eprintln!("spatch lint stats:");
+        for (name, v) in &metrics.counters {
+            eprintln!("  counter {name}: {v}");
+        }
+        eprintln!("  wall ms={:.3}", total_seconds * 1e3);
     }
     if !args.quiet {
         eprintln!(
@@ -519,16 +570,22 @@ fn run_scan(args: &Args) -> ExitCode {
         },
         None => None,
     };
-    telemetry::init(args.trace_out.as_deref(), args.stats);
+    let explain_cfg = args
+        .explain
+        .as_deref()
+        .map(|spec| Arc::new(ExplainConfig::parse(spec)));
+    telemetry::init(args.trace_out.as_deref(), args.stats, explain_cfg.is_some());
     let mut source = WalkSource::discover(&args.targets, &args.ignore);
     let opts = CorpusOptions {
         threads: args.threads,
         no_prefilter: args.no_prefilter,
         no_flow: args.no_flow,
         timeout_ms: args.timeout_ms,
+        explain: explain_cfg.clone(),
         ..Default::default()
     };
     let quiet = args.quiet;
+    let explain_cfg = &explain_cfg;
     let mut heartbeat = telemetry::Heartbeat::new(source.remaining(), quiet);
     let run = scan_corpus(
         &set,
@@ -537,6 +594,15 @@ fn run_scan(args: &Args) -> ExitCode {
         previous.as_ref(),
         |name, _original, outcome| {
             heartbeat.tick(outcome.findings.len());
+            if let (Some(cfg), false) = (explain_cfg, quiet) {
+                for a in outcome
+                    .attempts
+                    .iter()
+                    .filter(|a| cfg.matches(name, &a.rule))
+                {
+                    eprintln!("spatch: explain: {name}: {}", attempt_line(a));
+                }
+            }
             if quiet || outcome.error.is_some() {
                 return; // errors are reported once, from the report below
             }
@@ -763,13 +829,18 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    telemetry::init(args.trace_out.as_deref(), args.stats);
+    let explain_cfg = args
+        .explain
+        .as_deref()
+        .map(|spec| Arc::new(ExplainConfig::parse(spec)));
+    telemetry::init(args.trace_out.as_deref(), args.stats, explain_cfg.is_some());
     let mut source = WalkSource::discover(&args.targets, &args.ignore);
     let opts = CorpusOptions {
         threads: args.threads,
         no_prefilter: args.no_prefilter,
         no_flow: args.no_flow,
         timeout_ms: args.timeout_ms,
+        explain: explain_cfg.clone(),
         ..Default::default()
     };
 
@@ -779,6 +850,7 @@ fn main() -> ExitCode {
     // (the driver outcome says "changed", but the change never landed).
     let mut changed = 0usize;
     let mut write_errors: Vec<(String, String)> = Vec::new();
+    let explain_cfg = &explain_cfg;
     let mut heartbeat = telemetry::Heartbeat::new(source.remaining(), args.quiet);
     let run = apply_to_corpus_resumed(
         &patch,
@@ -787,6 +859,15 @@ fn main() -> ExitCode {
         previous.as_ref(),
         |name, original, outcome| {
             heartbeat.tick(outcome.findings.len());
+            if let (Some(cfg), false) = (explain_cfg, args.quiet) {
+                for a in outcome
+                    .attempts
+                    .iter()
+                    .filter(|a| cfg.matches(name, &a.rule))
+                {
+                    eprintln!("spatch: explain: {name}: {}", attempt_line(a));
+                }
+            }
             if outcome.error.is_some() {
                 return; // reported once from the report below
             }

@@ -13,10 +13,12 @@ use std::io::{IsTerminal, Write};
 use std::path::Path;
 use std::time::Instant;
 
-/// Turn tracing on when any telemetry surface was requested. Returns
-/// whether tracing is live so callers can skip collection otherwise.
-pub fn init(trace_out: Option<&Path>, stats: bool) -> bool {
-    let on = trace_out.is_some() || stats;
+/// Turn tracing on when any telemetry surface was requested —
+/// `--explain` included: its funnel counters and kill-site instant
+/// events ride the same rings. Returns whether tracing is live so
+/// callers can skip collection otherwise.
+pub fn init(trace_out: Option<&Path>, stats: bool, explain: bool) -> bool {
+    let on = trace_out.is_some() || stats || explain;
     if on {
         cocci_trace::set_enabled(true);
     }
@@ -106,6 +108,13 @@ fn print_metrics(err: &mut impl Write, m: &RunMetrics, wall_seconds: f64) {
         let name = counter.name();
         let _ = writeln!(err, "  counter {name}: {}", m.counter(name));
     }
+    // The match funnel: attempts in at the top, survivors at each stage
+    // below. Derived from the same counters printed above, so the two
+    // views reconcile by construction.
+    let _ = writeln!(err, "  funnel:");
+    for (label, v) in cocci_core::explain::funnel_rows(|name| m.counter(name)) {
+        let _ = writeln!(err, "    {label}: {v}");
+    }
     if let Some(pool) = &m.pool {
         let _ = writeln!(
             err,
@@ -154,11 +163,22 @@ impl Heartbeat {
         }
         self.last_draw = Instant::now();
         let elapsed = self.start.elapsed().as_secs_f64();
-        let rate = self.done as f64 / elapsed.max(1e-9);
-        let eta = (self.total.saturating_sub(self.done)) as f64 / rate.max(1e-9);
+        // A files/s rate extrapolated from under a second of work is
+        // noise; show `--:--` until the rate means something rather
+        // than flashing a wild ETA at the start of every run.
+        let eta = if elapsed >= 1.0 && self.done > 0 {
+            let rate = self.done as f64 / elapsed;
+            format!(
+                "{:.0} files/s, ETA {:.0}s",
+                rate,
+                self.total.saturating_sub(self.done) as f64 / rate.max(1e-9)
+            )
+        } else {
+            "ETA --:--".to_string()
+        };
         eprint!(
-            "\r\x1b[2Kspatch: {}/{} files, {} finding(s), {:.1}s elapsed, {:.0} files/s, ETA {:.0}s",
-            self.done, self.total, self.findings, elapsed, rate, eta
+            "\r\x1b[2Kspatch: {}/{} files, {} finding(s), {:.1}s elapsed, {eta}",
+            self.done, self.total, self.findings, elapsed
         );
         let _ = std::io::stderr().flush();
     }

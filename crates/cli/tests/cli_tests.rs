@@ -1817,3 +1817,284 @@ fn apply_refuses_deny_lints_and_reports_warn_lints() {
         .unwrap()
         .contains("new_api(1)"));
 }
+
+// ---------------------------------------------------------------------------
+// The explain engine: --explain annotations, kill stages, and the funnel.
+
+/// Parse `spatch: explain: <path>: <rule> [<stage>]...` stderr lines
+/// into a sorted `(file-basename, rule, stage)` set.
+fn explain_lines(stderr: &str) -> Vec<(String, String, String)> {
+    let mut out: Vec<(String, String, String)> = stderr
+        .lines()
+        .filter_map(|l| l.strip_prefix("spatch: explain: "))
+        .map(|l| {
+            let (path, rest) = l.split_once(": ").unwrap();
+            let (rule, rest) = rest.split_once(" [").unwrap();
+            let stage = rest.split(']').next().unwrap();
+            (
+                path.rsplit('/').next().unwrap().to_string(),
+                rule.to_string(),
+                stage.to_string(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Parse the `funnel:` rows out of `--stats` stderr.
+fn stats_funnel(stderr: &str) -> Vec<(String, u64)> {
+    stderr
+        .lines()
+        .skip_while(|l| l.trim() != "funnel:")
+        .skip(1)
+        .take_while(|l| l.starts_with("    ") && !l.trim_start().starts_with("rule "))
+        .map(|l| {
+            let (k, v) = l.trim().split_once(": ").unwrap();
+            (k.to_string(), v.parse().unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn explain_apply_stages_agree_with_report_across_jobs() {
+    use cocci_core::explain::KillStage;
+    use cocci_core::ApplyReport;
+
+    let dir = tmpdir("explain-apply");
+    let patch = dir.join("p.cocci");
+    fs::write(&patch, RENAME_PATCH).unwrap();
+    let tree = dir.join("tree");
+    fs::create_dir_all(&tree).unwrap();
+    fs::write(tree.join("hit.c"), "void f(void) {\n    old_api(1);\n}\n").unwrap();
+    // The atom appears (so the file parses) but nothing anchors.
+    fs::write(
+        tree.join("anchor.c"),
+        "void a(void) {\n    int old_api = 3;\n}\n",
+    )
+    .unwrap();
+    fs::write(tree.join("none.c"), "void h(void) {\n    keep(2);\n}\n").unwrap();
+
+    let run = |jobs: &str, report: &std::path::Path| -> Vec<(String, String, String)> {
+        let out = spatch()
+            .args(["--sp-file"])
+            .arg(&patch)
+            .args(["--explain", "-j", jobs, "--report"])
+            .arg(report)
+            .arg(&tree)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        explain_lines(&String::from_utf8(out.stderr).unwrap())
+    };
+
+    let r1 = dir.join("r1.json");
+    let r4 = dir.join("r4.json");
+    let lines = run("1", &r1);
+    assert_eq!(run("4", &r4), lines, "-j 4 drifted from -j 1");
+
+    let by_file = |file: &str| -> &str {
+        &lines
+            .iter()
+            .find(|(f, _, _)| f == file)
+            .unwrap_or_else(|| panic!("no explain line for {file}: {lines:?}"))
+            .2
+    };
+    assert_eq!(by_file("hit.c"), "completed");
+    assert_eq!(by_file("anchor.c"), "anchor");
+    assert_eq!(by_file("none.c"), "prefilter");
+
+    // The report tells the same story on every surface: per-file
+    // kill_stage rows and the embedded explain block.
+    for path in [&r1, &r4] {
+        let report = ApplyReport::from_json(&fs::read_to_string(path).unwrap()).unwrap();
+        for (file, stage) in [
+            ("hit.c", KillStage::Completed),
+            ("anchor.c", KillStage::Anchor),
+            ("none.c", KillStage::Prefilter),
+        ] {
+            let f = report
+                .files
+                .iter()
+                .find(|f| f.name.ends_with(file))
+                .unwrap();
+            assert_eq!(f.kill_stage, Some(stage), "{file}");
+        }
+        let block = report.explain.as_ref().expect("--explain embeds the block");
+        assert_eq!(block.dropped, 0);
+        let mut from_block: Vec<(String, String, String)> = block
+            .attempts
+            .iter()
+            .map(|a| {
+                (
+                    a.file.rsplit('/').next().unwrap().to_string(),
+                    a.rule.clone(),
+                    a.stage.name().to_string(),
+                )
+            })
+            .collect();
+        from_block.sort();
+        assert_eq!(from_block, lines, "explain block vs stderr annotations");
+    }
+}
+
+#[test]
+fn explain_scan_funnel_reconciles_exactly_with_report() {
+    use cocci_core::explain::KillStage;
+    use cocci_core::ApplyReport;
+
+    let dir = tmpdir("explain-scan");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+    let report_path = dir.join("scan.json");
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .args(["--explain", "--stats", "-j", "4", "--report"])
+        .arg(&report_path)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let report = ApplyReport::from_json(&fs::read_to_string(&report_path).unwrap()).unwrap();
+    let block = report.explain.as_ref().expect("explain block present");
+    assert_eq!(block.dropped, 0);
+
+    // Fixture shape: a.c runs both rules to completion, b.c completes
+    // use-beta and prunes no-gamma, c.c prunes both.
+    let stage_count = |stage: KillStage| block.attempts.iter().filter(|a| a.stage == stage).count();
+    assert_eq!(block.attempts.len(), 6, "{block:?}");
+    assert_eq!(stage_count(KillStage::Completed), 3);
+    assert_eq!(stage_count(KillStage::Prefilter), 3);
+
+    // The --stats funnel must equal the one derived from the report's
+    // own attempts — exactly, no tolerance.
+    let funnel = stats_funnel(&stderr);
+    let killed_through = |through: KillStage| {
+        block
+            .attempts
+            .iter()
+            .filter(|a| a.stage <= through && a.stage != KillStage::Completed)
+            .count() as u64
+    };
+    let attempts = block.attempts.len() as u64;
+    let expected: Vec<(String, u64)> = [
+        ("attempts", attempts),
+        (
+            "survived_prefilter",
+            attempts - killed_through(KillStage::Prefilter),
+        ),
+        ("parsed", attempts - killed_through(KillStage::Parse)),
+        ("anchored", attempts - killed_through(KillStage::Anchor)),
+        ("gaps_clean", attempts - killed_through(KillStage::GapWalk)),
+        (
+            "bindings_consistent",
+            attempts - killed_through(KillStage::Bindings),
+        ),
+        ("completed", attempts - killed_through(KillStage::Timeout)),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+    assert_eq!(funnel, expected, "--stats funnel vs report explain block");
+
+    // Per-rule kill_stage rows agree with the block's attribution.
+    for f in &report.files {
+        for r in &f.rules {
+            let a = block
+                .attempts
+                .iter()
+                .find(|a| a.file == f.name && a.rule == r.id && a.stage != KillStage::Prefilter)
+                .unwrap_or_else(|| panic!("{}: no attempt for {}", f.name, r.id));
+            assert_eq!(r.kill_stage, Some(a.stage), "{}: {}", f.name, r.id);
+        }
+    }
+}
+
+#[test]
+fn explain_resume_carries_kill_stages_without_new_attempts() {
+    use cocci_core::ApplyReport;
+
+    let dir = tmpdir("explain-resume");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+    let r1 = dir.join("r1.json");
+    let r2 = dir.join("r2.json");
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .args(["--explain", "--quiet", "-j", "1", "--report"])
+        .arg(&r1)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Nothing changed: every file resumes; kill stages are copied from
+    // the previous report, and no fresh attempt is recorded.
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .args(["--explain", "--stats", "--quiet", "-j", "4", "--resume"])
+        .arg(&r1)
+        .args(["--report"])
+        .arg(&r2)
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+
+    let first = ApplyReport::from_json(&fs::read_to_string(&r1).unwrap()).unwrap();
+    let second = ApplyReport::from_json(&fs::read_to_string(&r2).unwrap()).unwrap();
+    assert_eq!(second.resumed, 3);
+    for f in &first.files {
+        let carried = second.files.iter().find(|s| s.name == f.name).unwrap();
+        assert!(f.kill_stage.is_some(), "{}", f.name);
+        assert_eq!(carried.kill_stage, f.kill_stage, "{}", f.name);
+    }
+    let funnel = stats_funnel(&stderr);
+    assert_eq!(
+        funnel.first().map(|(k, v)| (k.as_str(), *v)),
+        Some(("attempts", 0)),
+        "resumed files bump no funnel counters: {funnel:?}"
+    );
+    assert_eq!(
+        second.explain.as_ref().map(|b| b.attempts.len()),
+        Some(0),
+        "no fresh attempt traced"
+    );
+}
+
+#[test]
+fn explain_filter_narrows_annotations_to_file_and_rule() {
+    let dir = tmpdir("explain-filter");
+    let rules = write_rules_dir(&dir);
+    let tree = write_scan_tree(&dir);
+
+    let out = spatch()
+        .arg("scan")
+        .arg("--rules")
+        .arg(&rules)
+        .arg("--explain=b.c:use-beta")
+        .arg(&tree)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let lines = explain_lines(&String::from_utf8(out.stderr).unwrap());
+    assert_eq!(
+        lines,
+        vec![(
+            "b.c".to_string(),
+            "use-beta".to_string(),
+            "completed".to_string()
+        )],
+        "only the filtered (file, rule) attempt is annotated"
+    );
+}

@@ -19,6 +19,7 @@
 
 use crate::compile::CompiledPatch;
 use crate::driver::{run_one, ExecOptions, FileOutcome};
+use crate::explain::{AttemptTrace, ExplainBlock, ExplainConfig};
 use crate::orchestrate::{ApplyError, Patcher};
 use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
 use crate::report::{content_hash, ApplyReport, FileReport, FileStatus, RunMetrics};
@@ -334,7 +335,7 @@ fn glob_match(glob: &str, path: &str) -> bool {
 }
 
 /// Options for a streaming corpus run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CorpusOptions {
     /// Worker threads (0 = all cores).
     pub threads: usize,
@@ -347,6 +348,10 @@ pub struct CorpusOptions {
     /// Per-file wall-clock budget in milliseconds; over-budget files are
     /// recorded with a `timeout` status instead of stalling the run.
     pub timeout_ms: Option<u64>,
+    /// `--explain` filter: collect full attempt traces (stage + detail)
+    /// for matching (file, rule) attempts into the report's `explain`
+    /// block. `None` keeps only the cheap per-outcome stages.
+    pub explain: Option<Arc<ExplainConfig>>,
     /// Batch limits.
     pub batch: BatchOptions,
 }
@@ -404,6 +409,7 @@ pub fn apply_to_corpus_resumed(
         prefilter: !opts.no_prefilter,
         flow: !opts.no_flow,
         timeout_ms: opts.timeout_ms,
+        explain: opts.explain.clone(),
     };
     // Hash 0 means "unknown" (unreadable file, pre-hash report): never a
     // skip candidate.
@@ -439,6 +445,11 @@ pub fn apply_to_corpus_resumed(
     let threads = resolve_threads(opts.threads);
     let queue: WorkQueue<Task> = WorkQueue::new(threads);
     let slots: ResultSlots<Done> = ResultSlots::new();
+    // Under `--explain`, matching attempts accumulate into the report's
+    // explain block. Results arrive in walk order (the slots are
+    // ordered), and the block sorts on finish, so the embedded traces
+    // are byte-identical across thread counts.
+    let mut explain_block = opts.explain.as_ref().map(|_| ExplainBlock::default());
 
     std::thread::scope(|scope| {
         for w in 0..threads {
@@ -452,25 +463,36 @@ pub fn apply_to_corpus_resumed(
                 let mut patcher = Patcher::from_compiled(Arc::clone(compiled));
                 patcher.flow_enabled = exec.flow;
                 patcher.time_budget = exec.timeout_ms.map(Duration::from_millis);
+                patcher.explain = exec.explain.clone();
                 while let Some(task) = queue.pop(w) {
-                    let outcome = run_one(
-                        &mut patcher,
-                        compiled,
-                        &task.name,
-                        &task.text,
-                        exec.prefilter,
-                    );
+                    let outcome = run_one(&mut patcher, compiled, &task.name, &task.text, exec);
                     slots.set(task.slot, Done::Ran(task.name, task.text, outcome));
                 }
             });
             handle.expect("spawn corpus worker");
         }
 
+        let explain_cfg: Option<&ExplainConfig> = opts.explain.as_deref();
+        let explain_block = &mut explain_block;
         let mut emit = |done: Vec<Done>, files: &mut Vec<FileReport>| {
             for d in done {
                 let _report_span = cocci_trace::span(Phase::Report);
                 match d {
                     Done::Ran(name, text, outcome) => {
+                        if let (Some(block), Some(cfg)) = (explain_block.as_mut(), explain_cfg) {
+                            block.extend(
+                                outcome
+                                    .attempts
+                                    .iter()
+                                    .filter(|a| cfg.matches(&name, &a.rule))
+                                    .map(|a| AttemptTrace {
+                                        file: name.clone(),
+                                        rule: a.rule.clone(),
+                                        stage: a.stage,
+                                        detail: a.detail.clone(),
+                                    }),
+                            );
+                        }
                         sink(&name, &text, &outcome);
                         files.push(FileReport::from_outcome(&outcome));
                     }
@@ -500,6 +522,7 @@ pub fn apply_to_corpus_resumed(
                         rules: Vec::new(),
                         rules_pruned: 0,
                         suppressed: 0,
+                        kill_stage: None,
                     }),
                 );
             }
@@ -536,6 +559,7 @@ pub fn apply_to_corpus_resumed(
                                 rules: prev.rules.clone(),
                                 rules_pruned: prev.rules_pruned,
                                 suppressed: prev.suppressed,
+                                kill_stage: prev.kill_stage,
                             }),
                         );
                     }
@@ -560,6 +584,9 @@ pub fn apply_to_corpus_resumed(
     // run can embed an exact aggregate alongside the pool's counters.
     let metrics = cocci_trace::is_enabled()
         .then(|| RunMetrics::from_trace(&cocci_trace::collect(), Some(&queue.stats())));
+    if let Some(block) = explain_block.as_mut() {
+        block.finish();
+    }
 
     Ok(ApplyReport {
         patch: String::new(),
@@ -570,6 +597,7 @@ pub fn apply_to_corpus_resumed(
         total_seconds: t0.elapsed().as_secs_f64(),
         metrics,
         lints: Vec::new(),
+        explain: explain_block,
         files,
     })
 }

@@ -15,10 +15,11 @@
 //! files that fail the patch's literal-atom pre-scan.
 
 use crate::compile::CompiledPatch;
+use crate::explain::{self, ExplainConfig, KillStage, RuleAttempt};
 use crate::orchestrate::{ApplyError, Patcher};
 use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
 use crate::report::content_hash;
-use cocci_smpl::SemanticPatch;
+use cocci_smpl::{Rule, SemanticPatch};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,10 +50,17 @@ pub struct FileOutcome {
     pub hash: u64,
     /// Wall-clock seconds this file took (prefilter scan included).
     pub seconds: f64,
+    /// One record per (this file × rule) attempt with the stage that
+    /// ended it — the explain funnel's per-file half. Empty for error
+    /// outcomes (unattributable) and resumed files.
+    pub attempts: Vec<RuleAttempt>,
+    /// File-level summary: the deepest stage any attempt reached
+    /// (`Completed` when any rule completed), `None` when nothing ran.
+    pub kill_stage: Option<KillStage>,
 }
 
 /// Per-run execution knobs shared by every worker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads (0 = number of available CPUs).
     pub threads: usize,
@@ -64,6 +72,9 @@ pub struct ExecOptions {
     /// Per-file wall-clock budget in milliseconds, checked at rule
     /// boundaries; over-budget files get a `timeout` outcome.
     pub timeout_ms: Option<u64>,
+    /// `--explain` filter: attempts matching it carry human-readable
+    /// kill details (the stage itself is always recorded).
+    pub explain: Option<Arc<ExplainConfig>>,
 }
 
 impl Default for ExecOptions {
@@ -73,6 +84,7 @@ impl Default for ExecOptions {
             prefilter: false,
             flow: true,
             timeout_ms: None,
+            explain: None,
         }
     }
 }
@@ -140,12 +152,10 @@ pub fn apply_batch_opts(
                 let mut patcher = Patcher::from_compiled(Arc::clone(compiled));
                 patcher.flow_enabled = opts.flow;
                 patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
+                patcher.explain = opts.explain.clone();
                 while let Some(i) = queue.pop(w) {
                     let (name, text) = &files[i];
-                    slots.set(
-                        i,
-                        run_one(&mut patcher, compiled, name, text, opts.prefilter),
-                    );
+                    slots.set(i, run_one(&mut patcher, compiled, name, text, opts));
                 }
             });
         }
@@ -204,22 +214,75 @@ pub(crate) fn catch_matcher_panics<T>(
     }
 }
 
+/// One prefilter-killed attempt per transform rule of the patch, with
+/// the absent required atoms as the `--explain` detail.
+fn prefilter_attempts(
+    compiled: &CompiledPatch,
+    name: &str,
+    text: &str,
+    explain: Option<&ExplainConfig>,
+) -> Vec<RuleAttempt> {
+    let mut attempts = Vec::new();
+    for (ri, rule) in compiled.patch.rules.iter().enumerate() {
+        let Rule::Transform(t) = rule else { continue };
+        let label = t.name.as_deref().unwrap_or("<anonymous>");
+        let detail =
+            explain
+                .filter(|cfg| cfg.matches(name, label))
+                .map(|_| match compiled.rule_atoms(ri) {
+                    Some(atoms) => {
+                        let absent: Vec<&str> = atoms
+                            .iter()
+                            .filter(|a| !text.contains(a.as_str()))
+                            .map(String::as_str)
+                            .collect();
+                        format!("missing required atom(s): {}", absent.join(", "))
+                    }
+                    None => "prefilter rejected the file".to_string(),
+                });
+        attempts.push(RuleAttempt {
+            rule: label.to_string(),
+            stage: KillStage::Prefilter,
+            detail,
+        });
+    }
+    attempts
+}
+
+/// Fold per-rule attempts into the file-level summary stage.
+fn file_stage(attempts: &[RuleAttempt]) -> Option<KillStage> {
+    attempts.iter().map(|a| a.stage).max()
+}
+
+/// Store the funnel counters (and `--explain` instant events) for every
+/// attempt of one file — the single record point per attempt, so the
+/// `--stats` funnel, the report metrics, and the per-outcome stages
+/// reconcile exactly.
+fn record_attempts(name: &str, attempts: &[RuleAttempt]) {
+    for a in attempts {
+        explain::record_attempt(a.stage, name, &a.rule, a.detail.as_deref());
+    }
+}
+
 /// Run the per-file pipeline (prefilter scan, then full apply) once.
 pub(crate) fn run_one(
     patcher: &mut Patcher,
     compiled: &CompiledPatch,
     name: &str,
     text: &str,
-    prefilter: bool,
+    opts: &ExecOptions,
 ) -> FileOutcome {
     let t0 = Instant::now();
     let hash = content_hash(text);
-    let survives = !prefilter || {
+    let survives = !opts.prefilter || {
         let _span = cocci_trace::span(cocci_trace::Phase::Prefilter);
         compiled.may_match(text)
     };
     if !survives {
         cocci_trace::count(cocci_trace::Counter::FilesPruned, 1);
+        let attempts = prefilter_attempts(compiled, name, text, opts.explain.as_deref());
+        record_attempts(name, &attempts);
+        let kill_stage = file_stage(&attempts);
         return FileOutcome {
             name: name.to_string(),
             output: None,
@@ -232,11 +295,21 @@ pub(crate) fn run_one(
             timed_out: false,
             hash,
             seconds: t0.elapsed().as_secs_f64(),
+            attempts,
+            kill_stage,
         };
     }
+    // Attempt records survive in `last_stats` only when the application
+    // itself stored them (success, timeout, parse failure); clear the
+    // previous file's residue so unattributable errors stay empty.
+    patcher.last_stats.attempts.clear();
     match catch_matcher_panics(name, || patcher.apply(name, text)) {
         Ok(output) => {
             let findings = std::mem::take(&mut patcher.last_stats.findings);
+            let mut attempts = std::mem::take(&mut patcher.last_stats.attempts);
+            // Pre-suppression finding counts per rule, to upgrade a
+            // completed attempt whose findings all vanish.
+            let pre: Vec<(String, usize)> = count_by_rule(&findings);
             // `// spatch-ignore` markers drop findings here, at the
             // outcome boundary — matching itself never sees them.
             let (findings, suppressed) = if findings.is_empty() {
@@ -245,6 +318,26 @@ pub(crate) fn run_one(
                 crate::suppress::SuppressionIndex::parse(text).filter(findings)
             };
             cocci_trace::count(cocci_trace::Counter::Suppressions, suppressed as u64);
+            if suppressed > 0 {
+                let post = count_by_rule(&findings);
+                let count = |list: &[(String, usize)], rule: &str| {
+                    list.iter()
+                        .find(|(r, _)| r == rule)
+                        .map(|(_, n)| *n)
+                        .unwrap_or(0)
+                };
+                for a in &mut attempts {
+                    let before = count(&pre, &a.rule);
+                    if a.stage == KillStage::Completed && before > 0 && count(&post, &a.rule) == 0 {
+                        a.stage = KillStage::Suppressed;
+                        if a.detail.is_some() || patcher.explain_wants(name, &a.rule) {
+                            a.detail = Some(format!("all {before} finding(s) suppressed inline"));
+                        }
+                    }
+                }
+            }
+            record_attempts(name, &attempts);
+            let kill_stage = file_stage(&attempts);
             FileOutcome {
                 name: name.to_string(),
                 output,
@@ -257,22 +350,46 @@ pub(crate) fn run_one(
                 timed_out: false,
                 hash,
                 seconds: t0.elapsed().as_secs_f64(),
+                attempts,
+                kill_stage,
             }
         }
-        Err(e) => FileOutcome {
-            name: name.to_string(),
-            output: None,
-            error: Some(e.to_string()),
-            matches: 0,
-            witnesses: 0,
-            findings: Vec::new(),
-            suppressed: 0,
-            pruned: false,
-            timed_out: e.timed_out,
-            hash,
-            seconds: t0.elapsed().as_secs_f64(),
-        },
+        Err(e) => {
+            // Timeout and parse failures stored their attempts before
+            // erroring; other errors left the vec empty (cleared above)
+            // and stay out of the funnel.
+            let attempts = std::mem::take(&mut patcher.last_stats.attempts);
+            record_attempts(name, &attempts);
+            let kill_stage = file_stage(&attempts);
+            FileOutcome {
+                name: name.to_string(),
+                output: None,
+                error: Some(e.to_string()),
+                matches: 0,
+                witnesses: 0,
+                findings: Vec::new(),
+                suppressed: 0,
+                pruned: false,
+                timed_out: e.timed_out,
+                hash,
+                seconds: t0.elapsed().as_secs_f64(),
+                attempts,
+                kill_stage,
+            }
+        }
     }
+}
+
+/// Finding counts grouped by rule name (small lists; no hashing).
+fn count_by_rule(findings: &[crate::findings::Finding]) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = Vec::new();
+    for f in findings {
+        match out.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => out.push((f.rule.clone(), 1)),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

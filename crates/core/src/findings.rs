@@ -241,12 +241,20 @@ pub fn to_sarif(report: &ApplyReport) -> String {
 pub fn to_sarif_with(report: &ApplyReport, rules: &[SarifRule]) -> String {
     // Lint diagnostics ride along as ordinary results: their "rule" is
     // the lint id and their location points into the rule source file.
-    let findings: Vec<&Finding> = report
+    // Corpus findings carry their file's funnel kill stage along so CI
+    // result processors can group by how far the attempt got.
+    let findings: Vec<(&Finding, Option<crate::explain::KillStage>)> = report
         .lints
         .iter()
-        .chain(report.files.iter().flat_map(|f| &f.findings))
+        .map(|l| (l, None))
+        .chain(
+            report
+                .files
+                .iter()
+                .flat_map(|f| f.findings.iter().map(|fd| (fd, f.kill_stage))),
+        )
         .collect();
-    let mut rule_ids: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    let mut rule_ids: Vec<&str> = findings.iter().map(|(f, _)| f.rule.as_str()).collect();
     rule_ids.extend(rules.iter().map(|r| r.id.as_str()));
     rule_ids.sort_unstable();
     rule_ids.dedup();
@@ -284,16 +292,23 @@ pub fn to_sarif_with(report: &ApplyReport, rules: &[SarifRule]) -> String {
     }
     out.push_str("]}},\n");
     out.push_str("    \"results\": [");
-    for (i, f) in findings.iter().enumerate() {
+    for (i, (f, kill_stage)) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let level = meta(&f.rule).map(|r| r.level).unwrap_or("note");
+        // A content-derived fingerprint so result trackers can match
+        // findings across runs even as unrelated lines shift.
+        let fingerprint = crate::report::content_hash(&format!(
+            "{}:{}:{}:{}:{}",
+            f.path, f.line, f.col, f.rule, f.message
+        ));
         let _ = write!(
             out,
             "\n      {{\"ruleId\": {}, \"level\": \"{}\", \"message\": {{\"text\": {}}}, \
              \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
-             \"region\": {{\"startLine\": {}, \"startColumn\": {}, \"endLine\": {}, \"endColumn\": {}}}}}}}]}}",
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}, \"endLine\": {}, \"endColumn\": {}}}}}}}], \
+             \"partialFingerprints\": {{\"spatchFinding/v1\": \"{fingerprint:016x}\"}}",
             json::escape(&f.rule),
             level,
             json::escape(&f.message),
@@ -303,6 +318,10 @@ pub fn to_sarif_with(report: &ApplyReport, rules: &[SarifRule]) -> String {
             f.end_line.max(1),
             f.end_col.max(1),
         );
+        if let Some(k) = kill_stage {
+            let _ = write!(out, ", \"properties\": {{\"killStage\": \"{}\"}}", k.name());
+        }
+        out.push('}');
     }
     out.push_str("\n    ]\n  }]\n}\n");
     out
@@ -370,6 +389,7 @@ mod tests {
             total_seconds: 0.0,
             metrics: None,
             lints: Vec::new(),
+            explain: None,
             files: vec![FileReport {
                 name: "src/a.c".into(),
                 status: FileStatus::Matched,
@@ -382,6 +402,7 @@ mod tests {
                 rules: Vec::new(),
                 rules_pruned: 0,
                 suppressed: 0,
+                kill_stage: Some(crate::explain::KillStage::Completed),
             }],
         };
         let sarif = to_sarif(&report);
@@ -429,6 +450,7 @@ mod tests {
             total_seconds: 0.0,
             metrics: None,
             lints: Vec::new(),
+            explain: None,
             files: vec![FileReport {
                 name: "src/a.c".into(),
                 status: FileStatus::Matched,
@@ -441,6 +463,7 @@ mod tests {
                 rules: Vec::new(),
                 rules_pruned: 0,
                 suppressed: 0,
+                kill_stage: None,
             }],
         };
         let rules = vec![

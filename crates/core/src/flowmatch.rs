@@ -102,6 +102,43 @@ impl CfgCache {
 /// attempts truncate (each witness is independently sound).
 pub const MAX_WITNESSES_PER_ATTEMPT: usize = 256;
 
+/// Per-search attempt accounting for kill-stage attribution
+/// ([`crate::explain`]). An *attempt* is one CFG node that matched the
+/// first anchor; it either completes (witnesses survive) or dies in a
+/// gap walk (escape, `when !=` violation, no hit) or in witness binding
+/// (reconciliation/cross-product refusal). Cells because [`FlowSearch::find`]
+/// takes `&self`.
+#[derive(Debug, Default)]
+pub struct SearchProbe {
+    /// CFG nodes that matched the first anchor (attempt starts).
+    pub anchors: Cell<u64>,
+    /// Attempts killed discharging a gap (escaped path, unclean
+    /// `when !=` node, or no path reaching the next anchor).
+    pub gap_kills: Cell<u64>,
+    /// Attempts killed reconciling witness bindings (merge failure or
+    /// cross-product refusal at [`MAX_WITNESSES_PER_ATTEMPT`]).
+    pub binding_kills: Cell<u64>,
+    /// Scratch: classification of the first failure inside the current
+    /// attempt (reset per anchor seed).
+    kill: Cell<KillClass>,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum KillClass {
+    #[default]
+    None,
+    Gap,
+    Binding,
+}
+
+impl SearchProbe {
+    fn classify(&self, class: KillClass) {
+        if self.kill.get() == KillClass::None {
+            self.kill.set(class);
+        }
+    }
+}
+
 /// One step of a lowered statement-dots pattern.
 #[derive(Debug, Clone)]
 pub enum FlowStep {
@@ -276,6 +313,8 @@ pub struct FlowSearch<'t> {
     /// attempt stay grouped even when a rule runs under several seed
     /// environments.
     next_group: Cell<u32>,
+    /// Attempt accounting across every `find` call on this search.
+    probe: SearchProbe,
 }
 
 /// Per-function precomputed matching substrate. `cfg` is `None` when
@@ -327,7 +366,13 @@ impl<'t> FlowSearch<'t> {
             tree_pats,
             fns,
             next_group: Cell::new(1),
+            probe: SearchProbe::default(),
         }
+    }
+
+    /// Attempt accounting accumulated over every `find` call so far.
+    pub fn probe(&self) -> &SearchProbe {
+        &self.probe
     }
 
     /// All match witnesses across the prepared functions for one seed
@@ -343,6 +388,7 @@ impl<'t> FlowSearch<'t> {
                         fp: self.fp,
                         cfg: cfg.as_ref(),
                         by_span: &data.by_span,
+                        probe: &self.probe,
                     };
                     m.run(seed, &self.next_group, &mut out);
                 }
@@ -388,6 +434,7 @@ struct FnMatcher<'a> {
     fp: &'a FlowPattern,
     cfg: &'a Cfg,
     by_span: &'a HashMap<Span, &'a Stmt>,
+    probe: &'a SearchProbe,
 }
 
 impl<'a> FnMatcher<'a> {
@@ -468,7 +515,22 @@ impl<'a> FnMatcher<'a> {
             if !matcher::match_stmt(self.ctx, first, s, &mut st) {
                 continue;
             }
+            self.probe.anchors.set(self.probe.anchors.get() + 1);
+            self.probe.kill.set(KillClass::None);
             let mut witnesses = self.advance(1, n, st);
+            if witnesses.is_empty() {
+                // Classified by the first failure site inside the
+                // attempt; an unclassified refusal is a gap death (the
+                // advance either discharges a gap or reconciles
+                // bindings — nothing else empties the witness set).
+                match self.probe.kill.get() {
+                    KillClass::Binding => self
+                        .probe
+                        .binding_kills
+                        .set(self.probe.binding_kills.get() + 1),
+                    _ => self.probe.gap_kills.set(self.probe.gap_kills.get() + 1),
+                }
+            }
             dedup_witnesses(&mut witnesses);
             // Every CFG witness gets its attempt's id — siblings share
             // it (downstream group handling), and a non-zero id is what
@@ -529,6 +591,7 @@ impl<'a> FnMatcher<'a> {
             },
             &mut |m| when_not.is_empty() || !self.violates_when(m, when_not, &st),
         ) else {
+            self.probe.classify(KillClass::Gap);
             return Vec::new();
         };
         // Deterministic source order for binding and rewriting.
@@ -579,6 +642,7 @@ impl<'a> FnMatcher<'a> {
         let mut groups: Vec<(MatchState, Vec<NodeId>)> = Vec::new();
         'hits: for m in hits {
             let Some(s) = self.stmt_at(m) else {
+                self.probe.classify(KillClass::Gap);
                 return Vec::new(); // sat only holds on statement nodes
             };
             for (gst, gh) in &mut groups {
@@ -593,6 +657,7 @@ impl<'a> FnMatcher<'a> {
             if !matcher::match_stmt(self.ctx, next, s, &mut fresh) {
                 // Unreachable (the sat predicate bound this hit from
                 // `st`); refuse conservatively rather than drop a path.
+                self.probe.classify(KillClass::Gap);
                 return Vec::new();
             }
             groups.push((fresh, vec![m]));
@@ -640,6 +705,7 @@ impl<'a> FnMatcher<'a> {
                         // Cross-product blow-up on a pathological
                         // input: refuse the attempt (a forall witness
                         // subset cannot be soundly truncated).
+                        self.probe.classify(KillClass::Binding);
                         return Vec::new();
                     }
                 }
@@ -662,6 +728,7 @@ impl<'a> FnMatcher<'a> {
             if out.len() > MAX_WITNESSES_PER_ATTEMPT {
                 // Pathological fan-out: refuse the attempt (a forall
                 // witness subset cannot be soundly truncated).
+                self.probe.classify(KillClass::Binding);
                 return Vec::new();
             }
         }

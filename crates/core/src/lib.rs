@@ -39,6 +39,7 @@ pub mod corpus;
 pub mod driver;
 pub mod edits;
 pub mod env;
+pub mod explain;
 pub mod findings;
 pub mod flowmatch;
 pub mod matcher;
@@ -59,8 +60,9 @@ pub use corpus::{
 pub use driver::{apply_batch, apply_batch_opts, apply_to_files, ExecOptions, FileOutcome};
 pub use edits::{Edit, EditConflict, EditSet};
 pub use env::{Env, ExportedEnv, Value};
+pub use explain::{AttemptTrace, ExplainBlock, ExplainConfig, KillStage};
 pub use findings::{to_sarif, to_sarif_with, Finding, SarifRule};
-pub use flowmatch::{CfgCache, FlowPattern, FlowSearch, FlowStep};
+pub use flowmatch::{CfgCache, FlowPattern, FlowSearch, FlowStep, SearchProbe};
 pub use matcher::{MatchCtx, MatchState, Pair, PairKind};
 pub use orchestrate::{ApplyError, Patcher};
 pub use pool::{resolve_threads, PoolStats, ResultSlots, WorkQueue};

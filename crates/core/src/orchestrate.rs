@@ -20,6 +20,7 @@ use crate::compile::CompiledPatch;
 use crate::context::FileContext;
 use crate::edits::EditSet;
 use crate::env::{Env, ExportedEnv, Value};
+use crate::explain::{AttemptProbe, ExplainConfig, KillStage, RuleAttempt};
 use crate::findings::{self, Finding, Resolver};
 use crate::matcher::{self, MatchCtx, MatchState};
 use crate::rewrite;
@@ -91,6 +92,13 @@ pub struct ApplyStats {
     /// and by script rules via `coccilib.report.print_report` — one per
     /// match witness.
     pub findings: Vec<Finding>,
+    /// One record per transform-rule attempt (and per timed-out rule
+    /// boundary), in rule order: the kill stage that ended it, plus an
+    /// `--explain` detail when the patcher's explain filter matched.
+    /// Valid after `Ok` returns *and* after timeout/parse errors (the
+    /// two attributable failure modes); other errors leave the previous
+    /// application's records in place.
+    pub attempts: Vec<RuleAttempt>,
 }
 
 /// Applies a parsed semantic patch to files.
@@ -113,6 +121,10 @@ pub struct Patcher {
     /// over budget aborts with a timeout error instead of stalling the
     /// corpus run.
     pub time_budget: Option<std::time::Duration>,
+    /// `--explain` filter: when set and matching a (file, rule)
+    /// attempt, its [`RuleAttempt`] carries a human-readable detail
+    /// (the always-on half records only the stage).
+    pub explain: Option<Arc<ExplainConfig>>,
 }
 
 impl Patcher {
@@ -133,6 +145,7 @@ impl Patcher {
             last_stats: ApplyStats::default(),
             flow_enabled: true,
             time_budget: None,
+            explain: None,
         }
     }
 
@@ -173,6 +186,7 @@ impl Patcher {
             edits: 0,
             witnesses: 0,
             findings: Vec::new(),
+            attempts: Vec::new(),
         };
         let mut finalizers = Vec::new();
         // Line/col resolution for findings and script positions, built
@@ -201,6 +215,18 @@ impl Patcher {
             if let Some(budget) = self.time_budget {
                 if t0.elapsed() >= budget {
                     cocci_trace::count(cocci_trace::Counter::Timeouts, 1);
+                    let rule_label = rule.name().unwrap_or("<anonymous>");
+                    stats.attempts.push(RuleAttempt {
+                        rule: rule_label.to_string(),
+                        stage: KillStage::Timeout,
+                        detail: self.explain_detail(&name, rule_label, || {
+                            Some(format!(
+                                "budget {} ms expired before this rule",
+                                budget.as_millis()
+                            ))
+                        }),
+                    });
+                    self.last_stats = stats;
                     return Err(ApplyError::timeout(format!(
                         "{name}: exceeded per-file time budget ({} ms) before rule {}",
                         budget.as_millis(),
@@ -241,17 +267,27 @@ impl Patcher {
                     // context (cached across rules and across scan rule
                     // sets); once this patch's own edits landed, the
                     // rewritten text is private and parses privately.
-                    let tu: Arc<TranslationUnit> = if changed {
+                    let parsed: Result<Arc<TranslationUnit>, String> = if changed {
                         parse_translation_unit(&current, opts, &NoMeta)
                             .map(Arc::new)
-                            .map_err(|e| {
-                                aerr(format!(
-                                    "{name}: cannot parse target (after transformation): {e}"
-                                ))
-                            })?
+                            .map_err(|e| format!("cannot parse target (after transformation): {e}"))
                     } else {
                         ctx.parse(opts)
-                            .map_err(|e| aerr(format!("{name}: cannot parse target: {e}")))?
+                            .map_err(|e| format!("cannot parse target: {e}"))
+                    };
+                    let tu: Arc<TranslationUnit> = match parsed {
+                        Ok(tu) => tu,
+                        Err(msg) => {
+                            let rule_label = t.name.as_deref().unwrap_or("<anonymous>");
+                            stats.attempts.push(RuleAttempt {
+                                rule: rule_label.to_string(),
+                                stage: KillStage::Parse,
+                                detail: self
+                                    .explain_detail(&name, rule_label, || Some(msg.clone())),
+                            });
+                            self.last_stats = stats;
+                            return Err(aerr(format!("{name}: {msg}")));
+                        }
                     };
                     // Contradictory witness groups are already rejected
                     // inside run_transform_rule (before they could claim
@@ -262,8 +298,15 @@ impl Patcher {
                     // matches (over-budget functions) keep 0 and are
                     // not counted as witnesses.
                     let shared = if changed { None } else { Some(&mut *ctx) };
-                    let (all_matches, new_streams, edits) =
+                    let (all_matches, new_streams, edits, probe) =
                         self.run_transform_rule(ri, t, &tu, &name, &current, &streams, shared)?;
+                    let rule_label = t.name.as_deref().unwrap_or("<anonymous>");
+                    let stage = probe.stage(!all_matches.is_empty());
+                    stats.attempts.push(RuleAttempt {
+                        rule: rule_label.to_string(),
+                        stage,
+                        detail: self.explain_detail(&name, rule_label, || probe.detail(stage)),
+                    });
                     stats.matches_per_rule[ri] = all_matches.len();
                     stats.witnesses += all_matches.iter().filter(|m| m.witness_group != 0).count();
                     // Reporting-only rules (pure-context bodies) route
@@ -354,6 +397,29 @@ impl Patcher {
         } else {
             None
         })
+    }
+
+    /// Whether the `--explain` filter is set and matches this
+    /// (file, rule) attempt — i.e. whether details should be kept.
+    pub fn explain_wants(&self, file: &str, rule: &str) -> bool {
+        self.explain.as_ref().is_some_and(|c| c.matches(file, rule))
+    }
+
+    /// The `--explain` detail for one (file, rule) attempt: `None`
+    /// unless the explain filter is set and matches — the cheap always-on
+    /// half never assembles detail strings.
+    fn explain_detail(
+        &self,
+        file: &str,
+        rule: &str,
+        make: impl FnOnce() -> Option<String>,
+    ) -> Option<String> {
+        let cfg = self.explain.as_ref()?;
+        if cfg.matches(file, rule) {
+            make()
+        } else {
+            None
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -481,8 +547,8 @@ impl Patcher {
     /// Run one transformation rule over all seed environments. Returns
     /// the surviving matches (contradictory witness groups already
     /// rejected), (when the rule is inherited from) the new environment
-    /// stream, and the emitted edit set for those matches, ready to
-    /// apply.
+    /// stream, the emitted edit set for those matches, ready to
+    /// apply, and the attempt probe for kill-stage attribution.
     #[allow(clippy::type_complexity)]
     #[allow(clippy::too_many_arguments)]
     fn run_transform_rule(
@@ -494,7 +560,15 @@ impl Patcher {
         src: &str,
         streams: &[ExportedEnv],
         mut shared: Option<&mut FileContext>,
-    ) -> Result<(Vec<MatchState>, Option<Vec<ExportedEnv>>, EditSet), ApplyError> {
+    ) -> Result<
+        (
+            Vec<MatchState>,
+            Option<Vec<ExportedEnv>>,
+            EditSet,
+            AttemptProbe,
+        ),
+        ApplyError,
+    > {
         let exports_needed = t
             .name
             .as_ref()
@@ -599,6 +673,7 @@ impl Patcher {
         let mut new_streams: Vec<ExportedEnv> = Vec::new();
         let mut claimed: Vec<(Span, u32)> = Vec::new();
         let mut edits = EditSet::new();
+        let mut probe = AttemptProbe::default();
         let rule_label = t.name.as_deref().unwrap_or("<anonymous>");
         for (ex, seed) in &seeds {
             let mut found = match &flow_search {
@@ -608,7 +683,11 @@ impl Patcher {
                 }
                 None => {
                     let _span = cocci_trace::span_with(cocci_trace::Phase::TreeMatch, rule_label);
-                    find_matches(&ctx, &t.body.pattern, tu, seed)
+                    let found = find_matches(&ctx, &t.body.pattern, tu, seed);
+                    // Tree route: a full-pattern match *is* the anchor
+                    // hit (no separate gap/binding stages).
+                    probe.anchors += found.len() as u64;
+                    found
                 }
             };
             for m in &mut found {
@@ -670,6 +749,7 @@ impl Patcher {
                 };
                 if gid != 0 && atomic_groups {
                     if members.iter().any(member_blocked) {
+                        probe.group_blocked += 1;
                         continue;
                     }
                     // Contradictory rewrites (a forked metavariable
@@ -696,6 +776,7 @@ impl Patcher {
                         .enumerate()
                         .any(|(i, a)| member_sets[i + 1..].iter().any(|b| a.conflicts_with(b)));
                     if contradictory {
+                        probe.contradictory += 1;
                         continue;
                     }
                     for set in member_sets {
@@ -706,7 +787,9 @@ impl Patcher {
                     // then keep a maximal consistent set in source
                     // order (a later witness whose edits contradict an
                     // accepted sibling's drops alone).
+                    let before = members.len();
                     members.retain(|m| !member_blocked(m));
+                    probe.group_blocked += (before - members.len()) as u64;
                     let mut accepted_sets: Vec<EditSet> = Vec::new();
                     let mut kept = Vec::with_capacity(members.len());
                     let _rewrite = cocci_trace::span(cocci_trace::Phase::Rewrite);
@@ -717,6 +800,8 @@ impl Patcher {
                         if accepted_sets.iter().all(|a| !a.conflicts_with(&set)) {
                             accepted_sets.push(set);
                             kept.push(m);
+                        } else {
+                            probe.contradictory += 1;
                         }
                     }
                     members = kept;
@@ -725,6 +810,7 @@ impl Patcher {
                     }
                 } else {
                     if members.iter().any(member_blocked) {
+                        probe.group_blocked += 1;
                         continue;
                     }
                     let _rewrite = cocci_trace::span(cocci_trace::Phase::Rewrite);
@@ -789,7 +875,15 @@ impl Patcher {
         } else {
             None
         };
-        Ok((all_matches, streams_out, edits))
+        if let Some(fs) = &flow_search {
+            // Flow route: per-anchor-attempt accounting accumulated
+            // inside the search (across every seed environment).
+            let p = fs.probe();
+            probe.anchors += p.anchors.get();
+            probe.gap_kills += p.gap_kills.get();
+            probe.binding_kills += p.binding_kills.get();
+        }
+        Ok((all_matches, streams_out, edits, probe))
     }
 }
 

@@ -8,6 +8,7 @@
 //! crates.io dependencies, so there is no serde to lean on.
 
 use crate::driver::FileOutcome;
+use crate::explain::{ExplainBlock, KillStage};
 use crate::findings::{finding_from_json, finding_to_json, Finding};
 use crate::pool::PoolStats;
 use crate::scan::RuleOutcome;
@@ -116,6 +117,10 @@ pub struct FileReport {
     pub rules_pruned: usize,
     /// Findings dropped by `// spatch-ignore` markers.
     pub suppressed: usize,
+    /// Deepest funnel stage reached across this file's rule attempts
+    /// (`None` for files with no recorded attempts — errors outside the
+    /// match pipeline, or reports from older builds).
+    pub kill_stage: Option<KillStage>,
 }
 
 impl FileReport {
@@ -146,6 +151,7 @@ impl FileReport {
             rules: Vec::new(),
             rules_pruned: 0,
             suppressed: o.suppressed,
+            kill_stage: o.kill_stage,
         }
     }
 }
@@ -351,6 +357,10 @@ pub struct ApplyReport {
     /// source file*, with the lint id as its rule name. Empty when
     /// linting was clean, skipped (`--no-lint`), or predates this field.
     pub lints: Vec<Finding>,
+    /// Full per-attempt traces (file × rule × kill stage), present only
+    /// when the run was started with `--explain`; capped at
+    /// [`crate::explain::EXPLAIN_ATTEMPT_CAP`] entries.
+    pub explain: Option<ExplainBlock>,
     /// Per-file entries, in processing order.
     pub files: Vec<FileReport>,
 }
@@ -415,6 +425,9 @@ impl ApplyReport {
             }
             out.push(']');
         }
+        if let Some(ex) = &self.explain {
+            let _ = write!(out, ",\n  \"explain\": {}", ex.to_json());
+        }
         out.push_str(",\n  \"files\": [");
         for (i, f) in self.files.iter().enumerate() {
             if i > 0 {
@@ -440,6 +453,9 @@ impl ApplyReport {
             }
             if f.rules_pruned > 0 {
                 let _ = write!(out, ", \"rules_pruned\": {}", f.rules_pruned);
+            }
+            if let Some(k) = f.kill_stage {
+                let _ = write!(out, ", \"kill_stage\": \"{}\"", k.name());
             }
             if !f.rules.is_empty() {
                 out.push_str(", \"rules\": [");
@@ -507,6 +523,10 @@ impl ApplyReport {
                 lints.push(finding_from_json(lv)?);
             }
         }
+        let explain = match obj.get("explain") {
+            Some(ev) => Some(ExplainBlock::from_json(ev)?),
+            None => None,
+        };
         let mut files = Vec::new();
         for fv in obj
             .get("files")
@@ -559,6 +579,10 @@ impl ApplyReport {
                 .get("rules_pruned")
                 .and_then(json::Value::as_f64)
                 .unwrap_or(0.0) as usize;
+            let kill_stage = fo
+                .get("kill_stage")
+                .and_then(json::Value::as_str)
+                .and_then(KillStage::parse);
             let mut rules = Vec::new();
             if let Some(arr) = fo.get("rules").and_then(json::Value::as_array) {
                 for rv in arr {
@@ -577,6 +601,7 @@ impl ApplyReport {
                 rules,
                 rules_pruned,
                 suppressed,
+                kill_stage,
             });
         }
         Ok(ApplyReport {
@@ -588,6 +613,7 @@ impl ApplyReport {
             total_seconds,
             metrics,
             lints,
+            explain,
             files,
         })
     }
@@ -881,6 +907,15 @@ mod tests {
                 message: "rule r: metavariable `x` is declared but never used".into(),
                 bindings: Vec::new(),
             }],
+            explain: Some(ExplainBlock {
+                attempts: vec![crate::explain::AttemptTrace {
+                    file: "a/b.c".into(),
+                    rule: "use-new-api".into(),
+                    stage: KillStage::Completed,
+                    detail: None,
+                }],
+                dropped: 0,
+            }),
             files: vec![
                 FileReport {
                     name: "a/b.c".into(),
@@ -908,6 +943,7 @@ mod tests {
                             findings: 1,
                             suppressed: 1,
                             seconds: 2.5e-4,
+                            kill_stage: Some(KillStage::Completed),
                         },
                         RuleOutcome {
                             id: "no-old-free".into(),
@@ -916,10 +952,12 @@ mod tests {
                             findings: 0,
                             suppressed: 0,
                             seconds: 1e-5,
+                            kill_stage: Some(KillStage::Anchor),
                         },
                     ],
                     rules_pruned: 3,
                     suppressed: 1,
+                    kill_stage: Some(KillStage::Completed),
                 },
                 FileReport {
                     name: "a/skip.c".into(),
@@ -933,6 +971,7 @@ mod tests {
                     rules: Vec::new(),
                     rules_pruned: 0,
                     suppressed: 0,
+                    kill_stage: Some(KillStage::Prefilter),
                 },
                 FileReport {
                     name: "slow.c".into(),
@@ -946,6 +985,7 @@ mod tests {
                     rules: Vec::new(),
                     rules_pruned: 0,
                     suppressed: 0,
+                    kill_stage: Some(KillStage::Timeout),
                 },
                 FileReport {
                     name: "bad.c".into(),
@@ -959,6 +999,7 @@ mod tests {
                     rules: Vec::new(),
                     rules_pruned: 0,
                     suppressed: 0,
+                    kill_stage: None,
                 },
             ],
         }
@@ -1003,6 +1044,19 @@ mod tests {
         // Lint findings survive exactly; reports without the block
         // (older runs, clean lints) parse to an empty list.
         assert_eq!(back.lints, r.lints);
+        // Kill stages and the explain block survive exactly; legacy
+        // entries without them parse to None.
+        assert_eq!(back.files[0].kill_stage, Some(KillStage::Completed));
+        assert_eq!(back.files[1].kill_stage, Some(KillStage::Prefilter));
+        assert_eq!(back.files[3].kill_stage, None);
+        let ex = back.explain.as_ref().unwrap();
+        assert_eq!(ex.attempts.len(), 1);
+        assert_eq!(ex.attempts[0].rule, "use-new-api");
+        assert_eq!(ex.attempts[0].stage, KillStage::Completed);
+        let mut bare = sample();
+        bare.explain = None;
+        let back = ApplyReport::from_json(&bare.to_json()).unwrap();
+        assert!(back.explain.is_none());
         let mut clean = sample();
         clean.lints = Vec::new();
         let back = ApplyReport::from_json(&clean.to_json()).unwrap();

@@ -23,6 +23,7 @@
 use crate::context::FileContext;
 use crate::corpus::{CorpusOptions, FileSource};
 use crate::driver::{catch_matcher_panics, ExecOptions};
+use crate::explain::{self, AttemptTrace, ExplainBlock, KillStage, RuleAttempt};
 use crate::findings::Finding;
 use crate::orchestrate::{ApplyError, Patcher};
 use crate::pool::{resolve_threads, ResultSlots, WorkQueue};
@@ -52,20 +53,29 @@ pub struct RuleOutcome {
     /// *every* status, including `timeout` and `error`, so slow-rule
     /// accounting (`--stats`) covers quarantined work too.
     pub seconds: f64,
+    /// Deepest funnel stage this rule's attempts reached on this file
+    /// (`None` when no attempt was recorded — e.g. a matcher panic, or
+    /// a report from an older build).
+    pub kill_stage: Option<KillStage>,
 }
 
 impl RuleOutcome {
     /// Serialize as one JSON object (used inside file reports).
     pub(crate) fn to_json(&self) -> String {
-        format!(
-            "{{\"id\": {}, \"status\": \"{}\", \"matches\": {}, \"findings\": {}, \"suppressed\": {}, \"seconds\": {:e}}}",
+        let mut out = format!(
+            "{{\"id\": {}, \"status\": \"{}\", \"matches\": {}, \"findings\": {}, \"suppressed\": {}, \"seconds\": {:e}",
             json::escape(&self.id),
             self.status,
             self.matches,
             self.findings,
             self.suppressed,
             self.seconds
-        )
+        );
+        if let Some(k) = self.kill_stage {
+            out.push_str(&format!(", \"kill_stage\": \"{}\"", k.name()));
+        }
+        out.push('}');
+        out
     }
 
     /// Parse the [`to_json`](RuleOutcome::to_json) form back.
@@ -87,6 +97,10 @@ impl RuleOutcome {
             findings: get_n("findings"),
             suppressed: get_n("suppressed"),
             seconds: o.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
+            kill_stage: o
+                .get("kill_stage")
+                .and_then(Value::as_str)
+                .and_then(KillStage::parse),
         })
     }
 }
@@ -118,6 +132,10 @@ pub struct ScanOutcome {
     pub witnesses: usize,
     /// First per-rule failure, prefixed with the rule id.
     pub error: Option<String>,
+    /// Every attempt this file saw — one `Prefilter` entry per pruned
+    /// rule plus the surviving units' attempts, attributed to scan rule
+    /// ids. Feeds the report's `explain` block under `--explain`.
+    pub attempts: Vec<RuleAttempt>,
 }
 
 impl ScanOutcome {
@@ -161,6 +179,7 @@ impl ScanOutcome {
             rules: self.rules.clone(),
             rules_pruned: self.rules_pruned,
             suppressed: self.suppressed,
+            kill_stage: self.attempts.iter().map(|a| a.stage).max(),
         }
     }
 }
@@ -171,6 +190,8 @@ struct UnitResult {
     findings: Vec<Finding>,
     witnesses: usize,
     error: Option<String>,
+    /// Funnel attempts, relabelled to the scan rule id.
+    attempts: Vec<RuleAttempt>,
 }
 
 /// Shared per-file state during a scan run.
@@ -181,6 +202,8 @@ struct Slot {
     /// Rule indices that survived the merged prefilter, ascending (and
     /// therefore in rule-id order — the set is sorted by id).
     surviving: Vec<usize>,
+    /// One `Prefilter` attempt per pruned rule, recorded at build time.
+    pruned_attempts: Vec<RuleAttempt>,
     sieve_seconds: f64,
     /// One preassigned result cell per surviving rule, so parallel
     /// completion order cannot reorder the output.
@@ -210,17 +233,41 @@ enum ScanDone {
 
 impl Slot {
     /// Sieve `text` against the merged prefilter and set up the per-rule
-    /// result cells.
-    fn build(set: &CompiledRuleSet, name: String, text: String, prefilter: bool) -> Slot {
+    /// result cells. Pruned rules record their `Prefilter` funnel
+    /// attempt here — the only point that knows a (file × rule) pair
+    /// was killed before parsing.
+    fn build(set: &CompiledRuleSet, name: String, text: String, opts: &ExecOptions) -> Slot {
         let t0 = Instant::now();
-        let surviving = if prefilter {
+        let surviving: Vec<usize> = if opts.prefilter {
             let _span = cocci_trace::span(cocci_trace::Phase::Prefilter);
             set.surviving_rules(&text)
         } else {
             (0..set.len()).collect()
         };
-        if prefilter && surviving.is_empty() {
+        if opts.prefilter && surviving.is_empty() {
             cocci_trace::count(cocci_trace::Counter::FilesPruned, 1);
+        }
+        let mut pruned_attempts = Vec::new();
+        if surviving.len() < set.len() {
+            let mut next = surviving.iter().copied().peekable();
+            for (ri, rule) in set.rules.iter().enumerate() {
+                if next.peek() == Some(&ri) {
+                    next.next();
+                    continue;
+                }
+                let id = &rule.meta.id;
+                let detail = opts
+                    .explain
+                    .as_ref()
+                    .filter(|cfg| cfg.matches(&name, id))
+                    .map(|_| "merged prefilter: no required atom of this rule occurs".to_string());
+                explain::record_attempt(KillStage::Prefilter, &name, id, detail.as_deref());
+                pruned_attempts.push(RuleAttempt {
+                    rule: id.clone(),
+                    stage: KillStage::Prefilter,
+                    detail,
+                });
+            }
         }
         let n = surviving.len();
         Slot {
@@ -228,6 +275,7 @@ impl Slot {
             name,
             text,
             surviving,
+            pruned_attempts,
             sieve_seconds: t0.elapsed().as_secs_f64(),
             results: Mutex::new((0..n).map(|_| None).collect()),
             remaining: AtomicUsize::new(n),
@@ -246,12 +294,14 @@ impl Slot {
         let mut witnesses = 0usize;
         let mut seconds = self.sieve_seconds;
         let mut error: Option<String> = None;
+        let mut attempts = self.pruned_attempts.clone();
         for r in results {
             let r = r.expect("every unit processed");
             seconds += r.outcome.seconds;
             witnesses += r.witnesses;
             suppressed += r.outcome.suppressed;
             findings.extend(r.findings);
+            attempts.extend(r.attempts);
             if error.is_none() {
                 if let Some(e) = r.error {
                     error = Some(format!("rule {}: {e}", r.outcome.id));
@@ -271,6 +321,7 @@ impl Slot {
             suppressed,
             witnesses,
             error,
+            attempts,
         }
     }
 }
@@ -282,9 +333,18 @@ fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
     let mut patcher = Patcher::from_compiled(Arc::clone(&rule.compiled));
     patcher.flow_enabled = opts.flow;
     patcher.time_budget = opts.timeout_ms.map(Duration::from_millis);
+    patcher.explain = opts.explain.clone();
     let t0 = Instant::now();
     let mut ctx = slot.ctx.lock().unwrap();
     let res = catch_matcher_panics(&slot.name, || patcher.apply_ctx(&mut ctx));
+    // Funnel attempts ride in the patcher's stats for both outcomes
+    // (`apply_ctx` stores them at its timeout/parse `Err` sites too);
+    // relabel them from inner SMPL rule names to the scan rule id —
+    // the same attribution findings get.
+    let mut attempts = std::mem::take(&mut patcher.last_stats.attempts);
+    for a in &mut attempts {
+        a.rule = rule.meta.id.clone();
+    }
     match res {
         Ok(output) => {
             let matches: usize = patcher.last_stats.matches_per_rule.iter().sum();
@@ -304,6 +364,22 @@ fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
                 ctx.suppressions().filter(findings)
             };
             cocci_trace::count(cocci_trace::Counter::Suppressions, suppressed as u64);
+            // Inline markers silenced the whole unit: what completed the
+            // funnel actually died at suppression.
+            if suppressed > 0 && findings.is_empty() {
+                for a in &mut attempts {
+                    if a.stage == KillStage::Completed {
+                        a.stage = KillStage::Suppressed;
+                        if a.detail.is_some() || patcher.explain_wants(&slot.name, &a.rule) {
+                            a.detail =
+                                Some(format!("all {suppressed} finding(s) suppressed inline"));
+                        }
+                    }
+                }
+            }
+            for a in &attempts {
+                explain::record_attempt(a.stage, &slot.name, &a.rule, a.detail.as_deref());
+            }
             let status = if output.is_some() {
                 FileStatus::Changed
             } else if matches > 0 {
@@ -319,31 +395,40 @@ fn run_unit(rule: &ScanRule, slot: &Slot, opts: &ExecOptions) -> UnitResult {
                     findings: findings.len(),
                     suppressed,
                     seconds: t0.elapsed().as_secs_f64(),
+                    kill_stage: attempts.iter().map(|a| a.stage).max(),
                 },
                 findings,
                 witnesses: patcher.last_stats.witnesses,
                 error: None,
+                attempts,
             }
         }
         // Failed attempts keep their elapsed time too: a timed-out or
         // crashing rule is exactly what slow-file accounting must see.
-        Err(e) => UnitResult {
-            outcome: RuleOutcome {
-                id: rule.meta.id.clone(),
-                status: if e.timed_out {
-                    FileStatus::Timeout
-                } else {
-                    FileStatus::Error
+        Err(e) => {
+            for a in &attempts {
+                explain::record_attempt(a.stage, &slot.name, &a.rule, a.detail.as_deref());
+            }
+            UnitResult {
+                outcome: RuleOutcome {
+                    id: rule.meta.id.clone(),
+                    status: if e.timed_out {
+                        FileStatus::Timeout
+                    } else {
+                        FileStatus::Error
+                    },
+                    matches: 0,
+                    findings: 0,
+                    suppressed: 0,
+                    seconds: t0.elapsed().as_secs_f64(),
+                    kill_stage: attempts.iter().map(|a| a.stage).max(),
                 },
-                matches: 0,
-                findings: 0,
-                suppressed: 0,
-                seconds: t0.elapsed().as_secs_f64(),
-            },
-            findings: Vec::new(),
-            witnesses: 0,
-            error: Some(e.message),
-        },
+                findings: Vec::new(),
+                witnesses: 0,
+                error: Some(e.message),
+                attempts,
+            }
+        }
     }
 }
 
@@ -361,7 +446,7 @@ pub fn scan_batch(
 ) -> Vec<ScanOutcome> {
     let slots: Vec<Arc<Slot>> = files
         .iter()
-        .map(|(name, text)| Arc::new(Slot::build(set, name.clone(), text.clone(), opts.prefilter)))
+        .map(|(name, text)| Arc::new(Slot::build(set, name.clone(), text.clone(), opts)))
         .collect();
     let total_units: usize = slots.iter().map(|s| s.surviving.len()).sum();
     let threads = resolve_threads(opts.threads).min(total_units.max(1));
@@ -423,6 +508,7 @@ pub fn scan_corpus(
         prefilter: !opts.no_prefilter,
         flow: !opts.no_flow,
         timeout_ms: opts.timeout_ms,
+        explain: opts.explain.clone(),
     };
     let prev_by_name: HashMap<&str, &FileReport> = previous
         .map(|r| {
@@ -436,6 +522,7 @@ pub fn scan_corpus(
     let t0 = Instant::now();
     let mut files = Vec::new();
     let mut resumed = 0usize;
+    let mut explain_block = opts.explain.as_ref().map(|_| ExplainBlock::default());
     let threads = resolve_threads(opts.threads);
     let queue: WorkQueue<Unit> = WorkQueue::new(threads);
     let out: ResultSlots<ScanDone> = ResultSlots::new();
@@ -461,12 +548,28 @@ pub fn scan_corpus(
             handle.expect("spawn scan worker");
         }
 
+        let explain_cfg = opts.explain.as_deref();
+        let explain_block = &mut explain_block;
         let mut emit = |done: Vec<ScanDone>| {
             for d in done {
                 let _report_span = cocci_trace::span(cocci_trace::Phase::Report);
                 match d {
                     ScanDone::Ran(slot) => {
                         let outcome = slot.assemble(set);
+                        if let (Some(block), Some(cfg)) = (explain_block.as_mut(), explain_cfg) {
+                            block.extend(
+                                outcome
+                                    .attempts
+                                    .iter()
+                                    .filter(|a| cfg.matches(&outcome.name, &a.rule))
+                                    .map(|a| AttemptTrace {
+                                        file: outcome.name.clone(),
+                                        rule: a.rule.clone(),
+                                        stage: a.stage,
+                                        detail: a.detail.clone(),
+                                    }),
+                            );
+                        }
                         sink(&slot.name, &slot.text, &outcome);
                         files.push(outcome.to_report());
                     }
@@ -495,6 +598,7 @@ pub fn scan_corpus(
                         rules: Vec::new(),
                         rules_pruned: 0,
                         suppressed: 0,
+                        kill_stage: None,
                     }),
                 );
             }
@@ -524,11 +628,14 @@ pub fn scan_corpus(
                                 rules: prev.rules.clone(),
                                 rules_pruned: prev.rules_pruned,
                                 suppressed: prev.suppressed,
+                                // Copied forward, but no counters bump:
+                                // a resumed file is not a new attempt.
+                                kill_stage: prev.kill_stage,
                             }),
                         );
                     }
                     _ => {
-                        let slot = Arc::new(Slot::build(set, name, text, exec.prefilter));
+                        let slot = Arc::new(Slot::build(set, name, text, &exec));
                         if slot.surviving.is_empty() {
                             // Pruned without a parse — no units to queue.
                             out.set(seq, ScanDone::Ran(slot));
@@ -554,6 +661,9 @@ pub fn scan_corpus(
     let metrics = cocci_trace::is_enabled().then(|| {
         crate::report::RunMetrics::from_trace(&cocci_trace::collect(), Some(&queue.stats()))
     });
+    if let Some(block) = explain_block.as_mut() {
+        block.finish();
+    }
     Ok(ApplyReport {
         patch: String::new(),
         patch_hash: set.hash,
@@ -563,6 +673,7 @@ pub fn scan_corpus(
         total_seconds: t0.elapsed().as_secs_f64(),
         metrics,
         lints: Vec::new(),
+        explain: explain_block,
         files,
     })
 }
@@ -798,6 +909,7 @@ mod tests {
             total_seconds: 0.0,
             metrics: None,
             lints: Vec::new(),
+            explain: None,
             files: outcomes.iter().map(|o| o.to_report()).collect(),
         };
         let back = ApplyReport::from_json(&report.to_json()).unwrap();
@@ -969,8 +1081,16 @@ mod tests {
             findings: 2,
             suppressed: 1,
             seconds: 1.25e-3,
+            kill_stage: Some(KillStage::Completed),
         };
         let v = json::parse(&r.to_json()).unwrap();
         assert_eq!(RuleOutcome::from_json(&v).unwrap(), r);
+        // Entries without the stage (older reports) parse to None.
+        let r2 = RuleOutcome {
+            kill_stage: None,
+            ..r.clone()
+        };
+        let v = json::parse(&r2.to_json()).unwrap();
+        assert_eq!(RuleOutcome::from_json(&v).unwrap(), r2);
     }
 }

@@ -99,9 +99,28 @@ pub enum Counter {
     Panics,
     /// Findings dropped by inline `spatch-ignore` suppressions.
     Suppressions,
+    /// (file x rule) match attempts started (the explain funnel's top).
+    Attempts,
+    /// Attempts ended by the literal-atom prefilter.
+    KillPrefilter,
+    /// Attempts ended because the target file would not parse.
+    KillParse,
+    /// Attempts whose pattern anchor hit nothing in the file.
+    KillAnchor,
+    /// Attempts whose every anchor hit died in a dots gap walk
+    /// (quantifier unsatisfied, escaped node, `when !=` kill).
+    KillGapWalk,
+    /// Attempts killed by witness-group binding conflicts.
+    KillBindings,
+    /// Attempts whose edits conflicted and were discarded.
+    KillEditConflict,
+    /// Attempts whose every finding was suppressed inline.
+    KillSuppressed,
+    /// Attempts ended by the per-file time budget.
+    KillTimeout,
 }
 
-const COUNTER_COUNT: usize = 7;
+const COUNTER_COUNT: usize = 16;
 
 impl Counter {
     /// Every counter.
@@ -113,6 +132,15 @@ impl Counter {
         Counter::Timeouts,
         Counter::Panics,
         Counter::Suppressions,
+        Counter::Attempts,
+        Counter::KillPrefilter,
+        Counter::KillParse,
+        Counter::KillAnchor,
+        Counter::KillGapWalk,
+        Counter::KillBindings,
+        Counter::KillEditConflict,
+        Counter::KillSuppressed,
+        Counter::KillTimeout,
     ];
 
     /// Stable identifier used in every output format.
@@ -125,6 +153,15 @@ impl Counter {
             Counter::Timeouts => "timeouts",
             Counter::Panics => "panics",
             Counter::Suppressions => "suppressions",
+            Counter::Attempts => "attempts",
+            Counter::KillPrefilter => "kill_prefilter",
+            Counter::KillParse => "kill_parse",
+            Counter::KillAnchor => "kill_anchor",
+            Counter::KillGapWalk => "kill_gap_walk",
+            Counter::KillBindings => "kill_bindings",
+            Counter::KillEditConflict => "kill_edit_conflict",
+            Counter::KillSuppressed => "kill_suppressed",
+            Counter::KillTimeout => "kill_timeout",
         }
     }
 }
@@ -140,26 +177,37 @@ pub struct SpanEvent {
     pub dur_ns: u64,
 }
 
+/// One recorded instant: a point-in-time marker on some thread (a kill
+/// site in the explain engine, typically), rendered as a Chrome "i"
+/// event so Perfetto shows where attempts die on the timeline.
+#[derive(Clone, Debug)]
+pub struct InstantEvent {
+    /// Stable marker name (a kill-stage identifier, usually).
+    pub name: &'static str,
+    /// Free-form context (`file: rule`, absent atoms, ...).
+    pub detail: Option<Box<str>>,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+}
+
 /// Spans kept per thread before the oldest are overwritten.
 pub const RING_CAPACITY: usize = 1 << 16;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
-static COUNTERS: [AtomicU64; COUNTER_COUNT] = [
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-    AtomicU64::new(0),
-];
+#[allow(clippy::declare_interior_mutable_const)]
+const COUNTER_ZERO: AtomicU64 = AtomicU64::new(0);
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = [COUNTER_ZERO; COUNTER_COUNT];
 
 struct RingInner {
     buf: Vec<SpanEvent>,
     /// Next overwrite position once the buffer is full.
     next: usize,
     dropped: u64,
+    /// Instant markers, ring-buffered like the spans.
+    instants: Vec<InstantEvent>,
+    instants_next: usize,
+    instants_dropped: u64,
 }
 
 struct Ring {
@@ -187,7 +235,7 @@ thread_local! {
     static LOCAL_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
 }
 
-fn record(event: SpanEvent) {
+fn with_local_ring(f: impl FnOnce(&mut RingInner)) {
     LOCAL_RING.with(|slot| {
         let mut slot = slot.borrow_mut();
         let ring = slot.get_or_insert_with(|| {
@@ -203,12 +251,21 @@ fn record(event: SpanEvent) {
                     buf: Vec::new(),
                     next: 0,
                     dropped: 0,
+                    instants: Vec::new(),
+                    instants_next: 0,
+                    instants_dropped: 0,
                 }),
             });
             registry().lock().unwrap().push(Arc::clone(&ring));
             ring
         });
         let mut inner = ring.inner.lock().unwrap();
+        f(&mut inner);
+    });
+}
+
+fn record(event: SpanEvent) {
+    with_local_ring(|inner| {
         if inner.buf.len() < RING_CAPACITY {
             inner.buf.push(event);
         } else {
@@ -217,6 +274,33 @@ fn record(event: SpanEvent) {
             inner.next = (at + 1) % RING_CAPACITY;
             inner.dropped += 1;
         }
+    });
+}
+
+fn record_instant(event: InstantEvent) {
+    with_local_ring(|inner| {
+        if inner.instants.len() < RING_CAPACITY {
+            inner.instants.push(event);
+        } else {
+            let at = inner.instants_next;
+            inner.instants[at] = event;
+            inner.instants_next = (at + 1) % RING_CAPACITY;
+            inner.instants_dropped += 1;
+        }
+    });
+}
+
+/// Record an instant marker (a Chrome "i" event) on the current
+/// thread's lane. A no-op when tracing is disabled.
+#[inline]
+pub fn instant(name: &'static str, detail: Option<&str>) {
+    if !is_enabled() {
+        return;
+    }
+    record_instant(InstantEvent {
+        name,
+        detail: detail.map(Into::into),
+        ts_ns: now_ns(),
     });
 }
 
@@ -247,6 +331,9 @@ pub fn reset() {
         inner.buf.clear();
         inner.next = 0;
         inner.dropped = 0;
+        inner.instants.clear();
+        inner.instants_next = 0;
+        inner.instants_dropped = 0;
     }
 }
 
@@ -322,6 +409,10 @@ pub struct Lane {
     pub spans: Vec<SpanEvent>,
     /// Spans overwritten because the ring filled up.
     pub dropped: u64,
+    /// Instant markers, oldest surviving first.
+    pub instants: Vec<InstantEvent>,
+    /// Instants overwritten because their ring filled up.
+    pub instants_dropped: u64,
 }
 
 /// Aggregate time + count for one phase or one detail label.
@@ -352,11 +443,20 @@ pub fn collect() -> TraceData {
         } else {
             spans.extend_from_slice(&inner.buf);
         }
+        let mut instants = Vec::with_capacity(inner.instants.len());
+        if inner.instants.len() == RING_CAPACITY {
+            instants.extend_from_slice(&inner.instants[inner.instants_next..]);
+            instants.extend_from_slice(&inner.instants[..inner.instants_next]);
+        } else {
+            instants.extend_from_slice(&inner.instants);
+        }
         lanes.push(Lane {
             tid: ring.tid,
             name: ring.name.clone(),
             spans,
             dropped: inner.dropped,
+            instants,
+            instants_dropped: inner.instants_dropped,
         });
     }
     lanes.sort_by_key(|l| l.tid);
@@ -407,9 +507,12 @@ impl TraceData {
         totals
     }
 
-    /// Write Chrome trace-event JSON: one metadata event naming each
-    /// lane, then one complete ("X") event per span. Open the file in
-    /// Perfetto (ui.perfetto.dev) or chrome://tracing.
+    /// Write Chrome trace-event JSON: metadata events naming the process
+    /// and each lane (with a numeric `thread_sort_index` so Perfetto
+    /// orders `worker-10` after `worker-2` instead of lexicographically),
+    /// one complete ("X") event per span, and one instant ("i") event per
+    /// recorded marker. Open the file in Perfetto (ui.perfetto.dev) or
+    /// chrome://tracing.
     pub fn write_chrome<W: Write>(&self, w: &mut W) -> io::Result<()> {
         writeln!(w, "{{\"traceEvents\":[")?;
         let mut first = true;
@@ -421,6 +524,12 @@ impl TraceData {
                 writeln!(w, ",")
             }
         };
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"spatch\"}}}}"
+        )?;
         for lane in &self.lanes {
             sep(w, &mut first)?;
             write!(
@@ -429,6 +538,14 @@ impl TraceData {
                  \"args\":{{\"name\":{}}}}}",
                 lane.tid,
                 json_string(&lane.name)
+            )?;
+            sep(w, &mut first)?;
+            write!(
+                w,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{}}}}}",
+                lane.tid,
+                lane_sort_index(&lane.name, lane.tid)
             )?;
         }
         for lane in &self.lanes {
@@ -448,9 +565,36 @@ impl TraceData {
                 }
                 write!(w, "}}")?;
             }
+            for inst in &lane.instants {
+                sep(w, &mut first)?;
+                write!(
+                    w,
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"s\":\"t\",\
+                     \"name\":\"{}\"",
+                    lane.tid,
+                    inst.ts_ns as f64 / 1000.0,
+                    inst.name
+                )?;
+                if let Some(detail) = &inst.detail {
+                    write!(w, ",\"args\":{{\"detail\":{}}}", json_string(detail))?;
+                }
+                write!(w, "}}")?;
+            }
         }
         writeln!(w, "\n]}}")?;
         Ok(())
+    }
+}
+
+/// Numeric Perfetto sort key for a lane: `worker-10` sorts after
+/// `worker-2` by its trailing number; unnumbered lanes (the main
+/// thread) come first, and ties fall back to registration order.
+fn lane_sort_index(name: &str, tid: u64) -> u64 {
+    match name.rsplit('-').next().and_then(|n| n.parse::<u64>().ok()) {
+        // +1 keeps index 0 free for unnumbered lanes; the multiplier
+        // leaves room for the tid tiebreak without collisions.
+        Some(n) => (n + 1) * 1_000 + tid,
+        None => tid,
     }
 }
 
@@ -615,5 +759,88 @@ mod tests {
         assert!(text.contains("\"name\":\"report\""));
         assert!(text.contains("quote\\\"me"));
         assert!(text.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn chrome_metadata_orders_workers_numerically() {
+        // Perfetto sorts lanes by thread_sort_index when present;
+        // without it, `worker-10` sorts before `worker-2`
+        // lexicographically. The emitted metadata must give worker-10
+        // the larger sort key.
+        let _g = lock();
+        set_enabled(true);
+        reset();
+        for w in [2usize, 10] {
+            std::thread::Builder::new()
+                .name(format!("worker-{w}"))
+                .spawn(|| {
+                    let _s = span(Phase::Parse);
+                })
+                .unwrap()
+                .join()
+                .unwrap();
+        }
+        let data = collect();
+        set_enabled(false);
+        let mut out = Vec::new();
+        data.write_chrome(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"process_name\""));
+        assert!(text.contains("\"args\":{\"name\":\"spatch\"}"));
+        let sort_key = |name: &str| -> u64 {
+            let lane = data
+                .lanes
+                .iter()
+                .find(|l| l.name == name)
+                .unwrap_or_else(|| panic!("no lane {name}"));
+            let marker = format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":",
+                lane.tid
+            );
+            let at = text.find(&marker).expect("sort_index metadata present");
+            let rest = &text[at + marker.len()..];
+            rest[..rest.find('}').unwrap()].parse().unwrap()
+        };
+        assert!(
+            sort_key("worker-2") < sort_key("worker-10"),
+            "worker-10 must sort after worker-2 numerically"
+        );
+    }
+
+    #[test]
+    fn instants_record_and_render_as_i_events() {
+        let _g = lock();
+        set_enabled(false);
+        instant("kill_anchor", Some("ignored while disabled"));
+        set_enabled(true);
+        reset();
+        instant("kill_gap_walk", Some("a.c: rule-x"));
+        instant("kill_timeout", None);
+        let data = collect();
+        set_enabled(false);
+        let instants: Vec<&InstantEvent> = data.lanes.iter().flat_map(|l| &l.instants).collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].name, "kill_gap_walk");
+        assert_eq!(instants[0].detail.as_deref(), Some("a.c: rule-x"));
+        let mut out = Vec::new();
+        data.write_chrome(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"name\":\"kill_gap_walk\""));
+        assert!(!text.contains("kill_anchor"), "disabled instants dropped");
+    }
+
+    #[test]
+    fn funnel_counters_have_stable_names() {
+        assert_eq!(Counter::ALL.len(), COUNTER_COUNT);
+        assert_eq!(Counter::Attempts.name(), "attempts");
+        assert_eq!(Counter::KillPrefilter.name(), "kill_prefilter");
+        assert_eq!(Counter::KillTimeout.name(), "kill_timeout");
+        // Names are unique: the counters BTreeMap keys on them.
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT);
     }
 }
